@@ -1,0 +1,34 @@
+"""Benchmark configuration.
+
+Node counts default to a short sweep so ``pytest benchmarks/`` finishes
+in minutes; set ``REPRO_FULL_SWEEP=1`` for the paper's full 1..256 node
+axis. Every benchmark prints its table (run pytest with ``-s`` to see
+them live; they are also captured into the report).
+"""
+
+import os
+
+import pytest
+
+
+def node_counts(extra=()):
+    """The weak-scaling node axis for benchmarks."""
+    if os.environ.get("REPRO_FULL_SWEEP"):
+        return [1, 2, 4, 8, 16, 32, 64, 128, 256]
+    base = [1, 4, 16, 64]
+    for n in extra:
+        if n not in base:
+            base.append(n)
+    return sorted(base)
+
+
+@pytest.fixture
+def run_once(benchmark):
+    """Run an expensive figure generator exactly once under timing."""
+
+    def runner(fn, *args, **kwargs):
+        return benchmark.pedantic(
+            fn, args=args, kwargs=kwargs, rounds=1, iterations=1
+        )
+
+    return runner

@@ -1,0 +1,123 @@
+"""Ablations of the design choices the paper calls out (DESIGN.md §7).
+
+* ``rotate`` on/off — Cannon's systolic pattern vs owner broadcasts
+  (Section 7.1.2's explanation for Cannon's advantage at scale).
+* ``communicate`` aggregation — Figure 7's naive vs chunked completion.
+* communication/computation overlap — the stated reason DISTAL and
+  COSMA beat the MPI libraries on CPUs (Section 7.1.1).
+* the Legion runtime-core tax — the "COSMA (Restricted CPUs)" line.
+"""
+
+import pytest
+
+from repro import Cluster, Grid, Machine, MemoryKind
+from repro.algorithms import cannon, pumma, summa
+from repro.sim.costmodel import CostModel
+from repro.sim.params import LASSEN
+
+
+@pytest.fixture(scope="module")
+def gpu_cluster():
+    return Cluster.gpu_cluster(16)
+
+
+class TestRotateAblation:
+    def test_rotate_cuts_collective_latency(self, run_once, gpu_cluster):
+        """Cannon (rotate) vs SUMMA (broadcast) on the same machine."""
+        n = 80000
+        m = Machine(gpu_cluster, Grid(8, 8))
+
+        def run():
+            fb = MemoryKind.GPU_FB
+            with_rotate = cannon(m, n, memory=fb).simulate(LASSEN)
+            without = summa(m, n, memory=fb).simulate(LASSEN)
+            return with_rotate, without
+
+        with_rotate, without = run_once(run)
+        print()
+        print(f"rotate ablation (GPU, 16 nodes): systolic "
+              f"{with_rotate.gflops_per_node:.0f} vs broadcast "
+              f"{without.gflops_per_node:.0f} GFLOP/s/node")
+        assert with_rotate.comm_time <= without.comm_time
+        assert with_rotate.gflops_per_node >= without.gflops_per_node
+
+
+class TestAggregationAblation:
+    def test_chunked_vs_tile_sized_messages(self, run_once):
+        """Figure 7's tradeoff: chunk size vs memory high-water."""
+        from repro import (
+            Assignment,
+            Format,
+            Schedule,
+            TensorVar,
+            compile_kernel,
+            index_vars,
+        )
+
+        cluster = Cluster.cpu_cluster(8)
+        machine = Machine(cluster, Grid(4, 4))
+        n = 16384
+
+        def build(chunk):
+            return summa(machine, n, chunk=chunk)
+
+        def run():
+            fine = build(chunk=n // 64).trace(False)
+            coarse = build(chunk=n // 4).trace(False)
+            return fine, coarse
+
+        fine, coarse = run_once(run)
+        fine_hw = max(fine.trace.memory_high_water.values())
+        coarse_hw = max(coarse.trace.memory_high_water.values())
+        fine_steps = len([s for s in fine.trace.steps if s.copies])
+        coarse_steps = len([s for s in coarse.trace.steps if s.copies])
+        print()
+        print(f"aggregation ablation: fine chunks -> {fine_steps} comm "
+              f"phases, {fine_hw / 1e9:.2f} GB high-water; coarse -> "
+              f"{coarse_steps} phases, {coarse_hw / 1e9:.2f} GB")
+        # More aggregation = fewer phases but more transient memory.
+        assert coarse_steps < fine_steps
+        assert coarse_hw >= fine_hw
+
+
+class TestOverlapAblation:
+    def test_overlap_hides_communication(self, run_once):
+        cluster = Cluster.cpu_cluster(16)
+        machine = Machine(cluster, Grid(8, 4))
+        n = 32768
+
+        def run():
+            kern = summa(machine, n)
+            trace = kern.trace(False).trace
+            with_overlap = CostModel(cluster, LASSEN).time_trace(trace)
+            blocking = CostModel(
+                cluster, LASSEN.with_(overlap=False)
+            ).time_trace(trace)
+            return with_overlap, blocking
+
+        with_overlap, blocking = run_once(run)
+        print()
+        print(f"overlap ablation: {with_overlap.gflops_per_node:.0f} vs "
+              f"{blocking.gflops_per_node:.0f} GFLOP/s/node (blocking)")
+        assert with_overlap.total_time < blocking.total_time
+
+
+class TestRuntimeCoreTax:
+    def test_four_of_forty_cores(self, run_once):
+        cluster = Cluster.cpu_cluster(8)
+        machine = Machine(cluster, Grid(4, 4))
+
+        def run():
+            kern = summa(machine, 23168)
+            trace = kern.trace(False).trace
+            distal = CostModel(cluster, LASSEN).time_trace(trace)
+            all_cores = CostModel(
+                cluster, LASSEN.with_(runtime_core_fraction=1.0)
+            ).time_trace(trace)
+            return distal, all_cores
+
+        distal, all_cores = run_once(run)
+        ratio = distal.gflops_per_node / all_cores.gflops_per_node
+        print()
+        print(f"runtime-core tax: {ratio:.3f} (expected ~0.9 = 36/40)")
+        assert 0.85 <= ratio <= 0.95

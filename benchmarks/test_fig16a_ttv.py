@@ -1,0 +1,43 @@
+"""Figure 16a: TTV weak scaling, CPU + GPU (E3).
+
+The paper's sharpest generality result: DISTAL schedules TTV with zero
+communication and weak-scales flat, while CTF's matmul fold moves the
+whole 3-tensor through the network and collapses past one node.
+"""
+
+from conftest import node_counts
+
+from repro.bench.figures import fig16_higher_order, format_table, series
+
+
+def test_fig16a_cpu(run_once):
+    counts = node_counts()
+    rows = run_once(
+        fig16_higher_order, "ttv", gpu=False, node_counts=counts
+    )
+    print()
+    print(format_table(rows, "Figure 16a: TTV weak scaling (CPU)"))
+
+    ours = series(rows, "Ours")
+    ctf = series(rows, "CTF")
+
+    # Ours weak-scales flat (zero communication).
+    assert max(ours.values()) / min(ours.values()) < 1.1
+    # CTF collapses past one node.
+    top = counts[-1]
+    assert ctf[top] < 0.5 * ctf[1]
+    # Large speedup at scale (the paper's biggest higher-order gap).
+    assert ours[top] / ctf[top] > 3.0
+
+
+def test_fig16a_gpu(run_once):
+    counts = node_counts()
+    rows = run_once(
+        fig16_higher_order, "ttv", gpu=True, node_counts=counts
+    )
+    print()
+    print(format_table(rows, "Figure 16a: TTV weak scaling (GPU)"))
+    ours = series(rows, "Ours")
+    # GPU bandwidth well above CPU bandwidth; flat scaling.
+    assert min(ours.values()) > 2 * 270
+    assert max(ours.values()) / min(ours.values()) < 1.1

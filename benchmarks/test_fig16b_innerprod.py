@@ -1,0 +1,40 @@
+"""Figure 16b: Innerprod weak scaling, CPU + GPU (E4).
+
+Both systems weak-scale flat here — a pure reduction needs no fold —
+but the bespoke kernel's fused leaf streams faster than CTF's generic
+element-wise machinery (paper: "CTF achieves good weak scaling ... but
+is still slower than our implementation").
+"""
+
+from conftest import node_counts
+
+from repro.bench.figures import fig16_higher_order, format_table, series
+
+
+def test_fig16b_cpu(run_once):
+    counts = node_counts()
+    rows = run_once(
+        fig16_higher_order, "innerprod", gpu=False, node_counts=counts
+    )
+    print()
+    print(format_table(rows, "Figure 16b: Innerprod weak scaling (CPU)"))
+
+    ours = series(rows, "Ours")
+    ctf = series(rows, "CTF")
+    # Both flat.
+    assert max(ours.values()) / min(ours.values()) < 1.1
+    assert max(ctf.values()) / min(ctf.values()) < 1.1
+    # Ours consistently faster.
+    for nodes in counts:
+        assert ours[nodes] > ctf[nodes]
+
+
+def test_fig16b_gpu(run_once):
+    counts = node_counts()
+    rows = run_once(
+        fig16_higher_order, "innerprod", gpu=True, node_counts=counts
+    )
+    print()
+    print(format_table(rows, "Figure 16b: Innerprod weak scaling (GPU)"))
+    ours = series(rows, "Ours")
+    assert max(ours.values()) / min(ours.values()) < 1.15

@@ -1,0 +1,80 @@
+#!/usr/bin/env python
+"""The Figure 9 case studies: six matmul algorithms from two languages.
+
+Compiles Cannon's, PUMMA, SUMMA, Johnson's, Solomonik's 2.5-D and COSMA
+from their data distributions + schedules, runs each one functionally
+(verified against numpy), and characterizes its communication pattern —
+systolic shifts vs broadcasts, 2-D vs 3-D volume, replication memory.
+
+Run:  python examples/matmul_case_studies.py
+"""
+
+import numpy as np
+
+from repro import Cluster, Grid, Machine
+from repro.algorithms import cannon, cosma, johnson, pumma, solomonik, summa
+
+
+def characterize(name, kernel, machine, inputs):
+    res = kernel.execute(dict(inputs))
+    trace = res.trace
+    copies = [c for c in trace.copies if not c.reduce]
+    reduces = [c for c in trace.copies if c.reduce]
+    if copies:
+        max_dist = max(
+            machine.torus_distance(c.src_coords, c.dst_coords)
+            for c in copies
+        )
+    else:
+        max_dist = 0
+    pattern = "systolic" if max_dist <= 1 else "broadcast/collective"
+    hw = max(trace.memory_high_water.values())
+    print(
+        f"{name:<12s} copies={len(copies):4d} reductions={len(reduces):3d} "
+        f"bytes={trace.total_copy_bytes:>10,} maxdist={max_dist} "
+        f"({pattern}); high-water={hw:,} B"
+    )
+    return res.outputs["A"]
+
+
+def main():
+    n = 36
+    rng = np.random.default_rng(1)
+    inputs = {"B": rng.random((n, n)), "C": rng.random((n, n))}
+    expected = inputs["B"] @ inputs["C"]
+
+    print(f"GEMM n={n} on 9 processors (2-D) / 8 processors (3-D)\n")
+
+    m2 = Machine.flat(3, 3)
+    m3 = Machine.flat(2, 2, 2)
+    cl = Cluster.cpu_cluster(8, sockets_per_node=1)
+
+    cases = [
+        ("Cannon", cannon(m2, n), m2),
+        ("PUMMA", pumma(m2, n), m2),
+        ("SUMMA", summa(m2, n), m2),
+        ("Johnson", johnson(m3, n), m3),
+        ("Solomonik", solomonik(m3, n), m3),
+    ]
+    for name, kern, mach in cases:
+        out = characterize(name, kern, mach, inputs)
+        np.testing.assert_allclose(out, expected)
+
+    cosma_kern = cosma(cl, n)
+    out = characterize("COSMA", cosma_kern, cosma_kern.machine, inputs)
+    np.testing.assert_allclose(out, expected)
+    print(f"\nCOSMA optimizer chose grid {cosma_kern.machine.shape}")
+
+    print("\nAll six algorithms verified against numpy.")
+
+    # The paper's Section 1 lines-of-code comparison: the whole SUMMA
+    # distribution spec is the schedule below (6 commands + 1 format
+    # line), against ~500 lines for the hand-written COSMA kernel.
+    print("\nSUMMA scheduling commands applied:")
+    sched_log = summa(m2, n).plan
+    print("  Format:  A, B, C all 'xy -> xy'")
+    print("  Schedule: distribute, split, reorder, communicate x2, substitute")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,66 @@
+#!/usr/bin/env python
+"""Higher-order tensor kernels in a decomposition workload.
+
+The paper motivates TTM and MTTKRP as "important building blocks in
+routines that compute Tucker and canonical polyadic decompositions"
+(Section 7.2). This example runs one sweep of each building block on a
+distributed 3-tensor:
+
+* a TTM (mode-1 product) as used by HOSVD/Tucker,
+* an MTTKRP as used by one step of CP-ALS,
+* the inner product used for residual norms,
+
+all compiled through the library and verified against numpy.
+
+Run:  python examples/tensor_decomposition.py
+"""
+
+import numpy as np
+
+from repro import Machine
+from repro.algorithms import innerprod, mttkrp, ttm, ttv
+
+
+def main():
+    n, r = 24, 8
+    rng = np.random.default_rng(2)
+    X = rng.random((n, n, n))  # the data tensor
+    factor_c = rng.random((n, r))
+    factor_d = rng.random((n, r))
+
+    # --- Tucker building block: mode product (TTM). --------------------
+    m1 = Machine.flat(4)
+    kern_ttm = ttm(m1, n, r=r)
+    res = kern_ttm.execute({"B": X, "C": factor_c}, verify=True)
+    print("TTM    A(i,j,l) = B(i,j,k) C(k,l)")
+    print(f"  communication: {res.trace.total_copy_bytes} bytes "
+          f"(communication-free schedule)")
+
+    # --- CP-ALS building block: MTTKRP (Ballard et al. algorithm). -----
+    m3 = Machine.flat(2, 2, 2)
+    kern_mk = mttkrp(m3, n, r=r)
+    res = kern_mk.execute(
+        {"B": X, "C": factor_c, "D": factor_d}, verify=True
+    )
+    reduces = sum(1 for c in res.trace.copies if c.reduce)
+    print("MTTKRP A(i,l) = B(i,j,k) C(j,l) D(k,l)")
+    print(f"  B stays in place; {reduces} partial results reduced into A")
+
+    # --- Residual norm building blocks. ---------------------------------
+    m2 = Machine.flat(2, 2)
+    kern_ip = innerprod(m2, n)
+    res = kern_ip.execute({"B": X, "C": X}, verify=True)
+    norm2 = float(res.outputs["a"])
+    print("Innerprod a = B(i,j,k) C(i,j,k)")
+    print(f"  ||X||^2 = {norm2:.4f} (expected {np.sum(X * X):.4f})")
+
+    kern_ttv = ttv(m2, n)
+    res = kern_ttv.execute({"B": X, "c": rng.random(n)}, verify=True)
+    print("TTV    A(i,j) = B(i,j,k) c(k)")
+    print(f"  communication: {res.trace.total_copy_bytes} bytes")
+
+    print("\nAll decomposition building blocks verified against numpy.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setuptools shim for environments without the wheel package.
+
+``pip install -e .`` needs ``bdist_wheel`` for PEP 660 editable installs;
+this offline environment lacks the ``wheel`` module, so ``python setup.py
+develop`` provides the equivalent editable install. All metadata lives in
+pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

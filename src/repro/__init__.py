@@ -1,0 +1,96 @@
+"""DISTAL reproduced: a distributed tensor algebra compiler in Python.
+
+This package reimplements the system of *DISTAL: The Distributed Tensor
+Algebra Compiler* (Yadav, Aiken, Kjolstad — PLDI 2022): a tensor index
+notation frontend, the tensor distribution notation format language, the
+distributed scheduling language (``distribute`` / ``communicate`` /
+``rotate`` on top of classic loop transformations), lowering to a
+Legion-like task-based runtime, and a Lassen-calibrated performance model
+that regenerates the paper's evaluation figures.
+
+Quickstart::
+
+    import numpy as np
+    from repro import (
+        Format, Grid, Machine, Schedule, TensorVar, compile_kernel, index_vars,
+    )
+    from repro.ir.tensor import Assignment
+
+    m = Machine.flat(2, 2)
+    f = Format("xy -> xy")
+    A = TensorVar("A", (64, 64), f)
+    B = TensorVar("B", (64, 64), f)
+    C = TensorVar("C", (64, 64), f)
+    i, j, k = index_vars("i j k")
+    io, ii, jo, ji, ko, ki = index_vars("io ii jo ji ko ki")
+
+    stmt = Assignment(A[i, j], B[i, k] * C[k, j])
+    sched = (
+        Schedule(stmt)
+        .distribute([i, j], [io, jo], [ii, ji], Grid(2, 2))
+        .split(k, ko, ki, 32)
+        .reorder([ko, ii, ji, ki])
+        .communicate(A, jo)
+        .communicate([B, C], ko)
+    )
+    kernel = compile_kernel(sched, m)
+    out = kernel.execute(
+        {"B": np.random.rand(64, 64), "C": np.random.rand(64, 64)},
+        verify=True,
+    )
+"""
+
+from repro.core.autoschedule import AutoScheduleResult, auto_schedule
+from repro.core.kernel import Kernel, compile_kernel
+from repro.core.transfer import redistribution_bytes, transfer_kernel
+from repro.formats.distribution import Distribution
+from repro.formats.format import Format
+from repro.ir.expr import Access, IndexVar, index_vars
+from repro.ir.tensor import Assignment, TensorVar, reference_einsum
+from repro.machine.cluster import Cluster, Memory, MemoryKind, ProcessorKind
+from repro.machine.grid import Grid
+from repro.machine.machine import Machine
+from repro.scheduling.schedule import Schedule
+from repro.sim.params import LASSEN, MachineParams
+from repro.sim.report import SimReport
+from repro.util.errors import (
+    DistributionError,
+    LoweringError,
+    OutOfMemoryError,
+    ReproError,
+    ScheduleError,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Access",
+    "AutoScheduleResult",
+    "auto_schedule",
+    "redistribution_bytes",
+    "transfer_kernel",
+    "Assignment",
+    "Cluster",
+    "Distribution",
+    "DistributionError",
+    "Format",
+    "Grid",
+    "IndexVar",
+    "Kernel",
+    "LASSEN",
+    "LoweringError",
+    "Machine",
+    "MachineParams",
+    "Memory",
+    "MemoryKind",
+    "OutOfMemoryError",
+    "ProcessorKind",
+    "ReproError",
+    "ScheduleError",
+    "Schedule",
+    "SimReport",
+    "TensorVar",
+    "compile_kernel",
+    "index_vars",
+    "reference_einsum",
+]

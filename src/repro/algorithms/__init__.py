@@ -1,0 +1,35 @@
+"""Case-study algorithms (Section 4, Figure 9; Section 7.2 kernels).
+
+Every distributed matrix-multiplication algorithm of Figure 9 — Cannon's,
+PUMMA, SUMMA, Johnson's 3-D, Solomonik's 2.5-D, and COSMA — expressed as a
+data distribution plus a schedule, plus the higher-order tensor kernels of
+the evaluation (TTV, Innerprod, TTM, MTTKRP).
+"""
+
+from repro.algorithms.matmul import (
+    cannon,
+    cosma,
+    johnson,
+    matmul_assignment,
+    pumma,
+    solomonik,
+    summa,
+)
+from repro.algorithms.cosma_grid import CosmaDecomposition, optimize_grid
+from repro.algorithms.higher_order import innerprod, mttkrp, ttm, ttv
+
+__all__ = [
+    "CosmaDecomposition",
+    "cannon",
+    "cosma",
+    "innerprod",
+    "johnson",
+    "matmul_assignment",
+    "mttkrp",
+    "optimize_grid",
+    "pumma",
+    "solomonik",
+    "summa",
+    "ttm",
+    "ttv",
+]

@@ -1,0 +1,142 @@
+"""COSMA's processor-grid and step optimizer.
+
+COSMA (Kwasniewski et al. 2019) derives a near-communication-optimal
+parallelization from the red-blue pebbling game: choose a processor grid
+``(gx, gy, gz)`` and a number of sequential steps so that each processor
+computes a local domain maximizing computation per unit of communication,
+subject to its memory. The paper's Figure 9 notes that DISTAL expresses
+COSMA's distribution layer once ``gx, gy, gz, numSteps`` are computed by
+the COSMA scheduler — this module is that scheduler.
+
+The optimizer enumerates factorizations of ``p`` into three grid factors
+and scores each by the per-processor communication volume of the matmul
+``C[m,n] += A[m,k] B[k,n]``:
+
+    V(g) = mk/(gx*gz) + kn/(gz*gy) + (gz > 1) * mn/(gx*gy)
+
+(the two input fetches plus the output reduction when the k dimension is
+split), breaking ties toward balanced local domains. Sequential steps are
+added when the local chunks exceed the memory budget.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Tuple
+
+from repro.util.geometry import ceil_div
+
+
+@dataclass(frozen=True)
+class CosmaDecomposition:
+    """The output of the COSMA scheduler."""
+
+    grid: Tuple[int, int, int]
+    num_steps: int
+    comm_volume: float
+
+    @property
+    def gx(self) -> int:
+        return self.grid[0]
+
+    @property
+    def gy(self) -> int:
+        return self.grid[1]
+
+    @property
+    def gz(self) -> int:
+        return self.grid[2]
+
+
+def factor_triples(p: int) -> Iterator[Tuple[int, int, int]]:
+    """All ordered triples ``(gx, gy, gz)`` with ``gx*gy*gz == p``."""
+    for gx in divisors(p):
+        rest = p // gx
+        for gy in divisors(rest):
+            yield gx, gy, rest // gy
+
+
+def divisors(n: int) -> List[int]:
+    """Divisors of ``n`` in increasing order."""
+    small, large = [], []
+    d = 1
+    while d * d <= n:
+        if n % d == 0:
+            small.append(d)
+            if d != n // d:
+                large.append(n // d)
+        d += 1
+    return small + large[::-1]
+
+
+def comm_volume(
+    m: int, n: int, k: int, grid: Tuple[int, int, int]
+) -> float:
+    """Per-processor words communicated for a grid choice."""
+    gx, gy, gz = grid
+    volume = m * k / (gx * gz) + k * n / (gz * gy)
+    if gz > 1:
+        volume += m * n / (gx * gy)
+    return volume
+
+
+def optimize_grid(
+    m: int,
+    n: int,
+    k: int,
+    processors: int,
+    memory_words: float = float("inf"),
+) -> CosmaDecomposition:
+    """Choose the best grid and step count for ``C[m,n] += A[m,k] B[k,n]``.
+
+    ``memory_words`` bounds the per-processor working set (local tiles of
+    all three matrices); when a candidate exceeds it, the k-chunks are
+    stepped sequentially, and grids whose *resident* tiles alone exceed
+    memory are discarded.
+    """
+    best: CosmaDecomposition | None = None
+    for grid in factor_triples(processors):
+        gx, gy, gz = grid
+        if gx > m or gy > n or gz > k:
+            continue
+        tile_a = ceil_div(m, gx) * ceil_div(k, gz)
+        tile_b = ceil_div(k, gz) * ceil_div(n, gy)
+        tile_c = ceil_div(m, gx) * ceil_div(n, gy)
+        if tile_c * (2 if gz > 1 else 1) > memory_words:
+            continue
+        steps = 1
+        working = tile_a + tile_b + tile_c
+        if working > memory_words:
+            chunk_budget = memory_words - tile_c
+            if chunk_budget <= 0:
+                continue
+            steps = max(1, ceil_div(tile_a + tile_b, int(chunk_budget)))
+            steps = min(steps, ceil_div(k, gz))
+        volume = comm_volume(m, n, k, grid)
+        candidate = CosmaDecomposition(
+            grid=grid, num_steps=steps, comm_volume=volume
+        )
+        if best is None or _better(candidate, best, m, n, k):
+            best = candidate
+    if best is None:
+        raise ValueError(
+            f"no feasible COSMA decomposition for {processors} processors "
+            f"and {memory_words} words of memory"
+        )
+    return best
+
+
+def _better(
+    a: CosmaDecomposition, b: CosmaDecomposition, m: int, n: int, k: int
+) -> bool:
+    """Lower communication wins; ties prefer fewer steps, then balance."""
+    if abs(a.comm_volume - b.comm_volume) > 1e-9:
+        return a.comm_volume < b.comm_volume
+    if a.num_steps != b.num_steps:
+        return a.num_steps < b.num_steps
+    return _imbalance(a, m, n, k) < _imbalance(b, m, n, k)
+
+
+def _imbalance(d: CosmaDecomposition, m: int, n: int, k: int) -> float:
+    sides = sorted([m / d.gx, n / d.gy, k / d.gz])
+    return sides[-1] / max(sides[0], 1e-9)

@@ -1,0 +1,166 @@
+"""Higher-order tensor kernels from the evaluation (Section 7.2).
+
+* TTV — tensor-times-vector, ``A(i,j) = B(i,j,k) c(k)``: element-wise,
+  schedulable with *zero* inter-node communication by tiling i,j and
+  replicating the vector (the paper's schedule; CTF instead reshapes to
+  matmul and collapses past one node).
+* Innerprod — ``a = B(i,j,k) C(i,j,k)``: node-local reductions followed
+  by a global reduction tree.
+* TTM — tensor-times-matrix, ``A(i,j,l) = B(i,j,k) C(k,l)``: distributing
+  i makes it a set of communication-free local matmuls.
+* MTTKRP — ``A(i,l) = B(i,j,k) C(j,l) D(k,l)``: the Ballard et al. (2018)
+  algorithm: keep the 3-tensor in place on a 3-D grid, replicate the
+  factor matrices along faces, reduce partial outputs into A.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.kernel import Kernel, compile_kernel
+from repro.formats.format import Format
+from repro.ir.expr import index_vars
+from repro.ir.tensor import Assignment, TensorVar
+from repro.machine.cluster import MemoryKind, ProcessorKind
+from repro.machine.grid import Grid
+from repro.machine.machine import Machine
+from repro.scheduling.schedule import Schedule
+from repro.util.errors import ScheduleError
+
+
+def _gemm_leaf(machine: Machine, leaf: Optional[str]) -> str:
+    if leaf is not None:
+        return leaf
+    if machine.cluster.processor_kind is ProcessorKind.GPU:
+        return "cublas_gemm"
+    return "blas_gemm"
+
+
+def ttv(
+    machine: Machine,
+    n: int,
+    memory: MemoryKind = MemoryKind.SYSTEM_MEM,
+) -> Kernel:
+    """Tensor-times-vector with a communication-free schedule.
+
+    ``B`` is tiled over the 2-D machine by its first two modes, ``A``
+    matches, and the vector ``c`` is replicated everywhere; distributing
+    i and j then needs no communication at all (Section 7.2.2, TTV).
+    """
+    if machine.dim != 2:
+        raise ScheduleError("the TTV schedule expects a 2-D machine grid")
+    gx, gy = machine.shape
+    A = TensorVar("A", (n, n), Format("xy -> xy", memory=memory))
+    B = TensorVar("B", (n, n, n), Format("xyz -> xy", memory=memory))
+    c = TensorVar("c", (n,), Format("x -> **", memory=memory))
+    i, j, k = index_vars("i j k")
+    stmt = Assignment(A[i, j], B[i, j, k] * c[k])
+    io, ii, jo, ji = index_vars("io ii jo ji")
+    sched = (
+        Schedule(stmt)
+        .distribute([i, j], [io, jo], [ii, ji], Grid(gx, gy))
+        .communicate(A, jo)
+        .communicate([B, c], jo)
+        .parallelize(ii)
+    )
+    return compile_kernel(sched, machine)
+
+
+def innerprod(
+    machine: Machine,
+    n: int,
+    memory: MemoryKind = MemoryKind.SYSTEM_MEM,
+) -> Kernel:
+    """3-tensor inner product: local reductions then a global tree.
+
+    Both tensors are tiled identically, every processor reduces its local
+    block to a scalar partial, and the partials reduce to the machine
+    origin (Section 7.2.2, Innerprod).
+    """
+    if machine.dim != 2:
+        raise ScheduleError("the innerprod schedule expects a 2-D machine grid")
+    gx, gy = machine.shape
+    f3 = Format("xyz -> xy", memory=memory)
+    a = TensorVar("a", (), Format(memory=memory))
+    B = TensorVar("B", (n, n, n), f3)
+    C = TensorVar("C", (n, n, n), f3)
+    i, j, k = index_vars("i j k")
+    stmt = Assignment(a[()], B[i, j, k] * C[i, j, k])
+    io, ii, jo, ji = index_vars("io ii jo ji")
+    sched = (
+        Schedule(stmt)
+        .distribute([i, j], [io, jo], [ii, ji], Grid(gx, gy))
+        .communicate([a, B, C], jo)
+        .parallelize(ii)
+    )
+    return compile_kernel(sched, machine)
+
+
+def ttm(
+    machine: Machine,
+    n: int,
+    r: Optional[int] = None,
+    memory: MemoryKind = MemoryKind.SYSTEM_MEM,
+    leaf: Optional[str] = None,
+) -> Kernel:
+    """Tensor-times-matrix as communication-free parallel matmuls.
+
+    Distributing the i loop with ``B`` partitioned by its first mode and
+    the small matrix ``C`` replicated turns TTM into independent local
+    GEMMs — no inter-node communication, unlike CTF's distributed-matmul
+    decomposition (Section 7.2.2, TTM).
+    """
+    if machine.dim != 1:
+        raise ScheduleError("the TTM schedule expects a 1-D machine grid")
+    p = machine.shape[0]
+    if r is None:
+        r = max(16, n // 4)
+    A = TensorVar("A", (n, n, r), Format("xyw -> x", memory=memory))
+    B = TensorVar("B", (n, n, n), Format("xyz -> x", memory=memory))
+    C = TensorVar("C", (n, r), Format("zw -> *", memory=memory))
+    i, j, k, l = index_vars("i j k l")
+    stmt = Assignment(A[i, j, l], B[i, j, k] * C[k, l])
+    io, ii = index_vars("io ii")
+    sched = (
+        Schedule(stmt)
+        .distribute([i], [io], [ii], Grid(p))
+        .communicate([A, B, C], io)
+        .substitute([ii, j, l, k], _gemm_leaf(machine, leaf))
+    )
+    return compile_kernel(sched, machine)
+
+
+def mttkrp(
+    machine: Machine,
+    n: int,
+    r: int = 64,
+    memory: MemoryKind = MemoryKind.SYSTEM_MEM,
+    leaf: Optional[str] = None,
+) -> Kernel:
+    """MTTKRP via the algorithm of Ballard, Knight and Rouse (2018).
+
+    The 3-tensor ``B`` stays in place, tiled over a 3-D grid; the factor
+    matrices ``C`` and ``D`` are partitioned by one mode and replicated
+    along the other grid dimensions; partial results reduce into the
+    output ``A`` on the (0, 0) face (Section 7.2.2, MTTKRP).
+    """
+    if machine.dim != 3:
+        raise ScheduleError("the MTTKRP schedule expects a 3-D machine grid")
+    g1, g2, g3 = machine.shape
+    A = TensorVar("A", (n, r), Format("xw -> x00", memory=memory))
+    B = TensorVar("B", (n, n, n), Format("xyz -> xyz", memory=memory))
+    C = TensorVar("C", (n, r), Format("yw -> *y*", memory=memory))
+    D = TensorVar("D", (n, r), Format("zw -> **z", memory=memory))
+    i, j, k, l = index_vars("i j k l")
+    stmt = Assignment(A[i, l], B[i, j, k] * C[j, l] * D[k, l])
+    io, ii, jo, ji, ko, ki = index_vars("io ii jo ji ko ki")
+    sched = (
+        Schedule(stmt)
+        # Default order is i, l, j, k (free then reduction variables);
+        # move l innermost so i, j, k can tile onto the grid.
+        .reorder([i, j, k, l])
+        .distribute([i, j, k], [io, jo, ko], [ii, ji, ki], Grid(g1, g2, g3))
+        .communicate([A, B, C, D], ko)
+        .substitute([ii, ji, ki, l], _gemm_leaf(machine, leaf))
+    )
+    return compile_kernel(sched, machine)

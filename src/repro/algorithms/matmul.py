@@ -1,0 +1,305 @@
+"""The six distributed matrix-multiplication algorithms of Figure 9.
+
+Each function returns a compiled :class:`~repro.core.kernel.Kernel` for
+``A(i,j) = sum_k B(i,k) * C(k,j)``, built from exactly the data
+distribution and schedule the paper lists:
+
+=============  ==================  ==========================  =========
+algorithm      machine             data distribution           pattern
+=============  ==================  ==========================  =========
+Cannon's       Grid(gx, gy)        A,B,C xy->xy                systolic
+PUMMA          Grid(gx, gy)        A,B,C xy->xy                hybrid
+SUMMA          Grid(gx, gy)        A,B,C xy->xy                broadcast
+Johnson's      Grid(g, g, g)       A xy->xy0, B xz->x0z,       one-shot
+                                   C zy->0yz                   broadcast
+Solomonik 2.5D Grid(q, q, c)       A,B,C xy->xy0               systolic
+COSMA          Grid(gx, gy, gz)    induced by schedule         broadcast
+=============  ==================  ==========================  =========
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.algorithms.cosma_grid import CosmaDecomposition, optimize_grid
+from repro.core.kernel import Kernel, compile_kernel
+from repro.formats.format import Format
+from repro.ir.expr import index_vars
+from repro.ir.tensor import Assignment, TensorVar
+from repro.machine.cluster import Cluster, MemoryKind, ProcessorKind
+from repro.machine.grid import Grid
+from repro.machine.machine import Machine
+from repro.scheduling.schedule import Schedule
+from repro.util.errors import ScheduleError
+
+
+def matmul_assignment(
+    n: int,
+    a_format: Format,
+    b_format: Format,
+    c_format: Format,
+) -> Tuple[Assignment, TensorVar, TensorVar, TensorVar]:
+    """The GEMM statement ``A(i,j) = B(i,k) * C(k,j)`` on n x n matrices."""
+    A = TensorVar("A", (n, n), a_format)
+    B = TensorVar("B", (n, n), b_format)
+    C = TensorVar("C", (n, n), c_format)
+    i, j, k = index_vars("i j k")
+    return Assignment(A[i, j], B[i, k] * C[k, j]), A, B, C
+
+
+def _leaf_for(machine: Machine, leaf: Optional[str]) -> str:
+    if leaf is not None:
+        return leaf
+    if machine.cluster.processor_kind is ProcessorKind.GPU:
+        return "cublas_gemm"
+    return "blas_gemm"
+
+
+def _tiled_format(machine: Machine, memory: MemoryKind) -> Format:
+    return Format("xy -> xy", memory=memory)
+
+
+def summa(
+    machine: Machine,
+    n: int,
+    chunk: Optional[int] = None,
+    memory: MemoryKind = MemoryKind.SYSTEM_MEM,
+    leaf: Optional[str] = None,
+) -> Kernel:
+    """SUMMA (van de Geijn & Watts 1995): the ScaLAPACK algorithm.
+
+    2-D tiled data; processors step over k in chunks; the owners of each
+    chunk broadcast it along their row/column (Figure 10).
+    """
+    gx, gy = machine.shape[0], machine.shape[1]
+    if chunk is None:
+        chunk = max(1, n // max(gx, gy))
+    f = _tiled_format(machine, memory)
+    stmt, A, B, C = matmul_assignment(n, f, f, f)
+    i, j, k = stmt.all_vars
+    io, ii, jo, ji, ko, ki = index_vars("io ii jo ji ko ki")
+    sched = (
+        Schedule(stmt)
+        .distribute([i, j], [io, jo], [ii, ji], Grid(gx, gy))
+        .split(k, ko, ki, chunk)
+        .reorder([ko, ii, ji, ki])
+        .communicate(A, jo)
+        .communicate([B, C], ko)
+        .substitute([ii, ji, ki], _leaf_for(machine, leaf))
+    )
+    return compile_kernel(sched, machine)
+
+
+def cannon(
+    machine: Machine,
+    n: int,
+    memory: MemoryKind = MemoryKind.SYSTEM_MEM,
+    leaf: Optional[str] = None,
+) -> Kernel:
+    """Cannon's algorithm (1969): fully systolic 2-D matmul.
+
+    Like SUMMA but k is divided into processor-row-sized tiles and the
+    k loop is rotated by both grid coordinates, so every step shifts B
+    and C between neighbours instead of broadcasting (Figures 11, 12).
+    """
+    gx, gy = machine.shape[0], machine.shape[1]
+    f = _tiled_format(machine, memory)
+    stmt, A, B, C = matmul_assignment(n, f, f, f)
+    i, j, k = stmt.all_vars
+    io, ii, jo, ji, ko, ki, kos = index_vars("io ii jo ji ko ki kos")
+    sched = (
+        Schedule(stmt)
+        .distribute([i, j], [io, jo], [ii, ji], Grid(gx, gy))
+        .divide(k, ko, ki, gx)
+        .reorder([ko, ii, ji, ki])
+        .rotate(ko, [io, jo], kos)
+        .communicate(A, jo)
+        .communicate([B, C], kos)
+        .substitute([ii, ji, ki], _leaf_for(machine, leaf))
+    )
+    return compile_kernel(sched, machine)
+
+
+def pumma(
+    machine: Machine,
+    n: int,
+    memory: MemoryKind = MemoryKind.SYSTEM_MEM,
+    leaf: Optional[str] = None,
+) -> Kernel:
+    """PUMMA (Choi, Walker, Dongarra 1994): broadcast/systolic hybrid.
+
+    Identical to Cannon's except the rotation uses only the row
+    coordinate, so one matrix shifts while the other is broadcast.
+    """
+    gx, gy = machine.shape[0], machine.shape[1]
+    f = _tiled_format(machine, memory)
+    stmt, A, B, C = matmul_assignment(n, f, f, f)
+    i, j, k = stmt.all_vars
+    io, ii, jo, ji, ko, ki, kos = index_vars("io ii jo ji ko ki kos")
+    sched = (
+        Schedule(stmt)
+        .distribute([i, j], [io, jo], [ii, ji], Grid(gx, gy))
+        .divide(k, ko, ki, gx)
+        .reorder([ko, ii, ji, ki])
+        .rotate(ko, [io], kos)
+        .communicate(A, jo)
+        .communicate([B, C], kos)
+        .substitute([ii, ji, ki], _leaf_for(machine, leaf))
+    )
+    return compile_kernel(sched, machine)
+
+
+def johnson(
+    machine: Machine,
+    n: int,
+    memory: MemoryKind = MemoryKind.SYSTEM_MEM,
+    leaf: Optional[str] = None,
+) -> Kernel:
+    """Johnson's 3-D algorithm (Agarwal et al. 1995).
+
+    Inputs are tiled onto faces of a processor cube and broadcast along
+    the third dimension; each processor runs one local multiply and the
+    partial outputs reduce back onto a face (Figure 13). Uses
+    asymptotically less communication than 2-D algorithms at the price of
+    replicated memory.
+    """
+    if machine.dim != 3:
+        raise ScheduleError("Johnson's algorithm needs a 3-D machine grid")
+    g1, g2, g3 = machine.shape
+    A = TensorVar("A", (n, n), Format("xy -> xy0", memory=memory))
+    B = TensorVar("B", (n, n), Format("xz -> x0z", memory=memory))
+    C = TensorVar("C", (n, n), Format("zy -> 0yz", memory=memory))
+    i, j, k = index_vars("i j k")
+    stmt = Assignment(A[i, j], B[i, k] * C[k, j])
+    io, ii, jo, ji, ko, ki = index_vars("io ii jo ji ko ki")
+    sched = (
+        Schedule(stmt)
+        .distribute([i, j, k], [io, jo, ko], [ii, ji, ki], Grid(g1, g2, g3))
+        .communicate([A, B, C], ko)
+        .substitute([ii, ji, ki], _leaf_for(machine, leaf))
+    )
+    return compile_kernel(sched, machine)
+
+
+def solomonik(
+    machine: Machine,
+    n: int,
+    memory: MemoryKind = MemoryKind.SYSTEM_MEM,
+    leaf: Optional[str] = None,
+) -> Kernel:
+    """Solomonik & Demmel's 2.5-D algorithm (2011), as used by CTF.
+
+    A ``q x q x c`` grid: each of the ``c`` slices runs a Cannon-style
+    systolic pass over ``1/c`` of the k dimension, using the extra memory
+    to cut communication by ``sqrt(c)``; partials reduce onto the c=0
+    face.
+    """
+    if machine.dim != 3:
+        raise ScheduleError("the 2.5D algorithm needs a Grid(q, q, c) machine")
+    q, q2, c = machine.shape
+    if q != q2:
+        raise ScheduleError("the 2.5D algorithm needs square slices")
+    if q % c != 0:
+        raise ScheduleError(
+            f"the 2.5D algorithm needs c ({c}) to divide q ({q})"
+        )
+    f = Format("xy -> xy0", memory=memory)
+    stmt, A, B, C = matmul_assignment(n, f, f, f)
+    i, j, k = stmt.all_vars
+    io, ii, jo, ji, ko, ki = index_vars("io ii jo ji ko ki")
+    kio, kii, kios = index_vars("kio kii kios")
+    sched = (
+        Schedule(stmt)
+        .distribute([i, j, k], [io, jo, ko], [ii, ji, ki], Grid(q, q, c))
+        .divide(ki, kio, kii, q // c)
+        .reorder([kio, ii, ji, kii])
+        .rotate(kio, [io, jo], kios)
+        .communicate(A, jo)
+        .communicate([B, C], kios)
+        .substitute([ii, ji, kii], _leaf_for(machine, leaf))
+    )
+    return compile_kernel(sched, machine)
+
+
+def cosma(
+    cluster: Cluster,
+    n: int,
+    memory: MemoryKind = MemoryKind.SYSTEM_MEM,
+    leaf: Optional[str] = None,
+    memory_words: float = float("inf"),
+    decomposition: Optional[CosmaDecomposition] = None,
+) -> Kernel:
+    """DISTAL's expression of the COSMA algorithm (Figure 9, last row).
+
+    The COSMA scheduler (:mod:`repro.algorithms.cosma_grid`) picks the
+    processor grid and sequential step count; the machine organization
+    and data distribution are *induced by the schedule* — inputs are
+    placed Johnson-style on the faces of the derived grid.
+    """
+    p = cluster.num_processors
+    if decomposition is None:
+        decomposition = optimize_grid(n, n, n, p, memory_words=memory_words)
+    gx, gy, gz = decomposition.grid
+    machine = Machine(cluster, Grid(gx, gy, gz))
+    A = TensorVar("A", (n, n), Format("xy -> xy0", memory=memory))
+    B = TensorVar("B", (n, n), Format("xz -> x0z", memory=memory))
+    C = TensorVar("C", (n, n), Format("zy -> 0yz", memory=memory))
+    i, j, k = index_vars("i j k")
+    stmt = Assignment(A[i, j], B[i, k] * C[k, j])
+    io, ii, jo, ji, ko, ki = index_vars("io ii jo ji ko ki")
+    kio, kii = index_vars("kio kii")
+    sched = (
+        Schedule(stmt)
+        .distribute([i, j, k], [io, jo, ko], [ii, ji, ki], Grid(gx, gy, gz))
+        .divide(ki, kio, kii, decomposition.num_steps)
+        .reorder([kio, ii, ji, kii])
+        .communicate(A, ko)
+        .communicate([B, C], kio)
+        .substitute([ii, ji, kii], _leaf_for(machine, leaf))
+    )
+    return compile_kernel(sched, machine)
+
+
+def summa_rect(
+    machine: Machine,
+    m: int,
+    k: int,
+    n: int,
+    chunk: Optional[int] = None,
+    memory: MemoryKind = MemoryKind.SYSTEM_MEM,
+    leaf: Optional[str] = None,
+) -> Kernel:
+    """Rectangular SUMMA: ``A(m,n) = B(m,k) C(k,n)`` on a 2-D grid.
+
+    The general form used internally by library baselines (CTF folds
+    arbitrary contractions into rectangular matmuls); also handy on its
+    own for non-square problems.
+    """
+    gx, gy = machine.shape[0], machine.shape[1]
+    if gx > m or gy > n:
+        raise ScheduleError(
+            f"grid ({gx}, {gy}) larger than output matrix ({m}, {n})"
+        )
+    if chunk is None:
+        chunk = max(1, k // max(gx, gy))
+    chunk = min(chunk, k)
+    f = _tiled_format(machine, memory)
+    A = TensorVar("A", (m, n), f)
+    B = TensorVar("B", (m, k), f)
+    C = TensorVar("C", (k, n), f)
+    i, j, kk = index_vars("i j k")
+    stmt = Assignment(A[i, j], B[i, kk] * C[kk, j])
+    io, ii, jo, ji, ko, ki = index_vars("io ii jo ji ko ki")
+    sched = (
+        Schedule(stmt)
+        .distribute([i, j], [io, jo], [ii, ji], Grid(gx, gy))
+        .split(kk, ko, ki, chunk)
+        .reorder([ko, ii, ji, ki])
+        .communicate(A, jo)
+        .communicate([B, C], ko)
+        .substitute([ii, ji, ki], _leaf_for(machine, leaf))
+    )
+    return compile_kernel(sched, machine)
+
+
+ALGORITHMS_2D = {"cannon": cannon, "pumma": pumma, "summa": summa}

@@ -1,0 +1,33 @@
+"""Comparison systems from the evaluation (Section 7).
+
+Each baseline is a *model built from its real algorithm*, run on the same
+simulator as DISTAL's kernels:
+
+* :mod:`~repro.baselines.scalapack` — SUMMA with MPI-style blocking
+  collectives (no communication/computation overlap).
+* :mod:`~repro.baselines.ctf` — the Cyclops Tensor Framework strategy:
+  fold any contraction into distributed matmuls, paying redistribution
+  for the folds, with the 2.5-D algorithm for the matmuls themselves.
+* :mod:`~repro.baselines.cosma` — the COSMA scheduler with its tuned
+  collectives and (for GPUs) host-resident, out-of-core execution.
+"""
+
+from repro.baselines.scalapack import scalapack_matmul
+from repro.baselines.cosma import cosma_reference_matmul
+from repro.baselines.ctf import (
+    ctf_innerprod,
+    ctf_matmul,
+    ctf_mttkrp,
+    ctf_ttm,
+    ctf_ttv,
+)
+
+__all__ = [
+    "cosma_reference_matmul",
+    "ctf_innerprod",
+    "ctf_matmul",
+    "ctf_mttkrp",
+    "ctf_ttm",
+    "ctf_ttv",
+    "scalapack_matmul",
+]

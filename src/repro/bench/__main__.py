@@ -1,0 +1,85 @@
+"""Command-line figure regeneration: ``python -m repro.bench <figure>``.
+
+Usage::
+
+    python -m repro.bench fig15a [--nodes 1,4,16,64,256]
+    python -m repro.bench fig15b
+    python -m repro.bench ttv|innerprod|ttm|mttkrp [--gpu]
+    python -m repro.bench headline
+    python -m repro.bench all
+
+Prints the corresponding paper table. Figures run on the simulator;
+the full node axis takes a few minutes.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.bench.figures import (
+    DEFAULT_NODE_COUNTS,
+    fig15a_cpu_matmul,
+    fig15b_gpu_matmul,
+    fig16_higher_order,
+    format_table,
+    headline_speedups,
+)
+
+HIGHER_ORDER = ("ttv", "innerprod", "ttm", "mttkrp")
+
+
+def parse_nodes(text):
+    return [int(x) for x in text.split(",") if x]
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Regenerate the paper's evaluation figures.",
+    )
+    parser.add_argument(
+        "figure",
+        choices=["fig15a", "fig15b", "headline", "all", *HIGHER_ORDER],
+    )
+    parser.add_argument(
+        "--nodes",
+        type=parse_nodes,
+        default=None,
+        help="comma-separated node counts (default: the paper's axis)",
+    )
+    parser.add_argument(
+        "--gpu", action="store_true", help="GPU variant of Figure 16 kernels"
+    )
+    args = parser.parse_args(argv)
+    nodes = args.nodes or DEFAULT_NODE_COUNTS
+
+    if args.figure in ("fig15a", "all"):
+        print(format_table(
+            fig15a_cpu_matmul(node_counts=nodes),
+            "Figure 15a: CPU matmul weak scaling",
+        ))
+    if args.figure in ("fig15b", "all"):
+        print(format_table(
+            fig15b_gpu_matmul(node_counts=nodes),
+            "Figure 15b: GPU matmul weak scaling",
+        ))
+    for kernel in HIGHER_ORDER:
+        if args.figure in (kernel, "all"):
+            rows = fig16_higher_order(
+                kernel, gpu=args.gpu, node_counts=nodes
+            )
+            label = "GPU" if args.gpu else "CPU"
+            print(format_table(
+                rows, f"Figure 16: {kernel} weak scaling ({label})"
+            ))
+    if args.figure in ("headline", "all"):
+        ratios = headline_speedups(node_counts=[nodes[-1]])
+        print(f"== Headline speedups at {nodes[-1]} nodes ==")
+        for key, value in ratios.items():
+            print(f"  {key:<28s} {value:6.2f}x")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,25 @@
+"""Lowering concrete index notation to a distributed runtime plan.
+
+The plan is this reproduction's analogue of the generated Legion program
+(Section 6.2): distributed loops become index task launches, ``communicate``
+tags become partition + copy points, and the innermost dense loops become
+leaf operations (optionally substituted by optimized kernels).
+"""
+
+from repro.codegen.plan import (
+    DistributedPlan,
+    LaunchNode,
+    LeafNode,
+    PlanNode,
+    SeqNode,
+)
+from repro.codegen.lower import lower_to_plan
+
+__all__ = [
+    "DistributedPlan",
+    "LaunchNode",
+    "LeafNode",
+    "PlanNode",
+    "SeqNode",
+    "lower_to_plan",
+]

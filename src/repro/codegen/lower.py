@@ -1,0 +1,195 @@
+"""Lowering scheduled concrete index notation to a distributed plan.
+
+Follows Section 6.2 of the paper:
+
+* foralls tagged ``distribute`` become index task launches; directly
+  nested distributed loops flatten into one multi-dimensional launch;
+* each tensor tagged ``communicate`` at a loop yields a partition/fetch
+  point at that loop (tensors with no tag default to the innermost loop,
+  the paper's naive completion);
+* the remaining innermost dense loops fold into a single leaf block whose
+  bounds are derived from the provenance graph.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.codegen.plan import (
+    DistributedPlan,
+    LaunchNode,
+    LeafNode,
+    PlanNode,
+    SeqNode,
+)
+from repro.ir.concrete import Assign, Forall, Sequence as SeqStmt, Stmt
+from repro.ir.expr import Access
+from repro.ir.tensor import TensorVar
+from repro.machine.machine import Machine
+from repro.scheduling.schedule import Schedule
+from repro.util.errors import LoweringError
+
+
+def lower_to_plan(schedule: Schedule, machine: Machine) -> DistributedPlan:
+    """Compile a scheduled assignment into an executable plan."""
+    assignment = schedule.assignment
+    for tensor in assignment.tensors():
+        tensor.format.check(tensor.ndim, machine)
+
+    chain = schedule.stmt.foralls()
+    leaf_stmt = chain[-1].body if chain else schedule.stmt
+    leaf_count = _leaf_block_size(schedule, chain)
+    leaf_foralls = chain[len(chain) - leaf_count :]
+    outer_foralls = chain[: len(chain) - leaf_count]
+
+    assigns = _leaf_assigns(leaf_stmt)
+    output = assignment.lhs.tensor.name
+    explicit = set(schedule.communicated_at())
+
+    kernel = None
+    parallel = False
+    for forall in leaf_foralls:
+        if forall.substituted:
+            kernel = forall.substituted
+        parallel = parallel or forall.parallelized
+
+    leaf = LeafNode(
+        loop_vars=[f.var for f in leaf_foralls],
+        assigns=assigns,
+        kernel=kernel,
+        parallel=parallel,
+    )
+    for tensor in assignment.tensors():
+        if tensor.name not in explicit:
+            leaf.comm.append(tensor.name)
+            if tensor.name == output:
+                leaf.flush.append(tensor.name)
+
+    root = _build_tree(outer_foralls, leaf, machine, output, schedule.graph)
+
+    accesses: Dict[str, List[Access]] = {}
+    tensors: Dict[str, TensorVar] = {}
+    for assign in assigns:
+        for access in [assign.lhs] + list(assign.rhs.accesses()):
+            accesses.setdefault(access.tensor.name, []).append(access)
+            tensors[access.tensor.name] = access.tensor
+
+    return DistributedPlan(
+        assignment=assignment,
+        machine=machine,
+        graph=schedule.graph,
+        root=root,
+        accesses=accesses,
+        tensors=tensors,
+        output=output,
+    )
+
+
+def _leaf_block_size(schedule: Schedule, chain: List[Forall]) -> int:
+    """How many innermost loops fold into the leaf block.
+
+    A loop folds if it is not distributed, is not a communication point,
+    and is not a rotation result (rotation results need concrete values
+    for exact slices). A ``substitute`` tag forces at least its nest to be
+    a leaf; conflicts raise.
+    """
+    count = 0
+    for forall in reversed(chain):
+        if forall.distributed or forall.communicated:
+            break
+        if schedule.graph.is_rotate_result(forall.var):
+            break
+        count += 1
+    # A substituted nest must be entirely inside the leaf block.
+    for depth, forall in enumerate(chain):
+        if forall.substituted and len(chain) - depth > count:
+            raise LoweringError(
+                f"substitute at {forall.var} spans loops that cannot fold "
+                f"into a leaf (distributed, communicated, or rotated below)"
+            )
+    return count
+
+
+def _leaf_assigns(leaf_stmt: Stmt) -> List[Assign]:
+    if isinstance(leaf_stmt, Assign):
+        return [leaf_stmt]
+    if isinstance(leaf_stmt, SeqStmt):
+        assigns = []
+        for stmt in leaf_stmt.stmts:
+            if not isinstance(stmt, Assign):
+                raise LoweringError(
+                    f"unsupported leaf statement {type(stmt).__name__}"
+                )
+            assigns.append(stmt)
+        return assigns
+    raise LoweringError(f"unsupported leaf statement {type(leaf_stmt).__name__}")
+
+
+def _build_tree(
+    outer: List[Forall],
+    leaf: LeafNode,
+    machine: Machine,
+    output: str,
+    graph,
+) -> PlanNode:
+    """Build launch/seq nodes top-down, flattening nested distribution."""
+    level_offsets = []
+    offset = 0
+    for grid in machine.levels:
+        level_offsets.append(offset)
+        offset += grid.dim
+    next_dim = {lvl: 0 for lvl in range(len(machine.levels))}
+
+    def attach_comm(node: PlanNode, forall: Forall):
+        for name in forall.communicated:
+            node.comm.append(name)
+            if name == output:
+                node.flush.append(name)
+
+    def build(idx: int) -> PlanNode:
+        if idx == len(outer):
+            return leaf
+        forall = outer[idx]
+        if forall.distributed:
+            launch = LaunchNode(
+                vars=[], extents=[], machine_dims=[], body=leaf
+            )
+            while idx < len(outer) and outer[idx].distributed:
+                f = outer[idx]
+                level = f.machine_level
+                if level >= len(machine.levels):
+                    raise LoweringError(
+                        f"distribute level {level} exceeds machine hierarchy "
+                        f"of depth {len(machine.levels)}"
+                    )
+                grid = machine.levels[level]
+                local = next_dim[level]
+                if local >= grid.dim:
+                    raise LoweringError(
+                        f"too many distributed loops for machine level "
+                        f"{level} ({grid!r})"
+                    )
+                dim = level_offsets[level] + local
+                next_dim[level] += 1
+                extent = graph.extent(f.var)
+                if extent != machine.shape[dim]:
+                    raise LoweringError(
+                        f"distributed loop {f.var} has extent {extent} but "
+                        f"maps onto machine dimension {dim} of extent "
+                        f"{machine.shape[dim]}; divide the loop to match"
+                    )
+                launch.vars.append(f.var)
+                launch.extents.append(extent)
+                launch.machine_dims.append(dim)
+                attach_comm(launch, f)
+                idx += 1
+            launch.body = build(idx)
+            return launch
+        node = SeqNode(
+            var=forall.var, extent=graph.extent(forall.var), body=leaf
+        )
+        attach_comm(node, forall)
+        node.body = build(idx + 1)
+        return node
+
+    return build(0)

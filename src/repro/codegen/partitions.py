@@ -1,0 +1,172 @@
+"""Deriving Legion-style partitions from a compiled plan.
+
+Section 6.2 of the paper: "Legion partitions are created for each tensor
+denoted to communicate under a loop. The bounds of the hyper-rectangles
+to use in the partitioning API are derived using a standard bounds
+analysis procedure using the extents of index variables."
+
+The runtime resolves rectangles lazily during execution; this module
+exposes the same information eagerly, as explicit partition objects — a
+coloring of each communicated tensor by launch point (and sequential
+iteration, for chunked communication). Useful for inspecting what a
+schedule communicates, validating disjointness/coverage, and for tests
+that reason about partitions directly.
+"""
+
+from __future__ import annotations
+
+from collections import ChainMap
+from dataclasses import dataclass, field
+from itertools import product
+from typing import Dict, List, Optional, Tuple
+
+from repro.codegen.plan import (
+    DistributedPlan,
+    LaunchNode,
+    LeafNode,
+    PlanNode,
+    SeqNode,
+)
+from repro.ir.expr import IndexVar
+from repro.util.geometry import Interval, Rect, bounding_rect
+
+
+@dataclass
+class Partition:
+    """A coloring of one tensor at one communication point.
+
+    ``colors`` maps a color — the values of the distributed loop
+    variables plus any sequential loop the communication is nested
+    under — to the hyper-rectangle of the tensor that color's task
+    iteration touches.
+    """
+
+    tensor: str
+    at_var: Optional[str]
+    color_vars: List[str]
+    colors: Dict[Tuple[int, ...], Rect] = field(default_factory=dict)
+
+    @property
+    def num_colors(self) -> int:
+        return len(self.colors)
+
+    def is_disjoint(self) -> bool:
+        """Whether no two colors overlap (Legion's disjoint partitions).
+
+        Output partitions are typically disjoint; input partitions of
+        broadcast-style schedules are aliased (overlapping), which is
+        exactly why Legion's multiple-partition support matters.
+        """
+        rects = [r for r in self.colors.values() if not r.is_empty]
+        for idx, a in enumerate(rects):
+            for b in rects[idx + 1 :]:
+                if a.overlaps(b):
+                    return False
+        return True
+
+    def covers(self, shape: Tuple[int, ...]) -> bool:
+        """Whether the union of colors covers the whole tensor.
+
+        Checked volumetrically for disjoint partitions; aliased
+        partitions may cover with overlap.
+        """
+        total = sum(r.volume for r in self.colors.values())
+        full = Rect.full(shape).volume
+        if self.is_disjoint():
+            return total == full
+        return total >= full
+
+    def __repr__(self) -> str:
+        return (
+            f"Partition({self.tensor} at {self.at_var}: "
+            f"{self.num_colors} colors)"
+        )
+
+
+def derive_partitions(plan: DistributedPlan) -> List[Partition]:
+    """Compute the partitions a plan's communication points induce."""
+    partitions: List[Partition] = []
+    full_env: Dict[IndexVar, Interval] = {}
+
+    def collect(node: PlanNode):
+        if isinstance(node, LaunchNode):
+            for var, extent in zip(node.vars, node.extents):
+                full_env[var] = Interval.extent(extent)
+            collect(node.body)
+        elif isinstance(node, SeqNode):
+            full_env[node.var] = Interval.extent(node.extent)
+            collect(node.body)
+        elif isinstance(node, LeafNode):
+            for var in node.loop_vars:
+                full_env[var] = Interval.extent(plan.graph.extent(var))
+
+    collect(plan.root)
+
+    def rect_for(name: str, env: Dict[IndexVar, Interval]) -> Optional[Rect]:
+        chained = ChainMap(env, full_env)
+        rects = []
+        for access in plan.accesses[name]:
+            if access.tensor.ndim == 0:
+                rects.append(Rect(()))
+                continue
+            rects.append(
+                Rect(
+                    tuple(
+                        plan.graph.value_of(v, chained) for v in access.indices
+                    )
+                )
+            )
+        return bounding_rect(rects)
+
+    def walk(node: PlanNode, launch_vars: List[Tuple[IndexVar, int]]):
+        if isinstance(node, LaunchNode):
+            vars_here = launch_vars + list(zip(node.vars, node.extents))
+            for name in node.comm:
+                partitions.append(
+                    _partition(name, node.vars[-1], vars_here, rect_for)
+                )
+            walk(node.body, vars_here)
+        elif isinstance(node, SeqNode):
+            vars_here = launch_vars + [(node.var, node.extent)]
+            for name in node.comm:
+                partitions.append(
+                    _partition(name, node.var, vars_here, rect_for)
+                )
+            walk(node.body, launch_vars + [(node.var, node.extent)])
+        elif isinstance(node, LeafNode):
+            for name in node.comm:
+                partitions.append(
+                    _partition(name, None, launch_vars, rect_for)
+                )
+
+    walk(plan.root, [])
+    return partitions
+
+
+def _partition(name, at_var, color_vars, rect_for) -> Partition:
+    partition = Partition(
+        tensor=name,
+        at_var=at_var.name if at_var is not None else None,
+        color_vars=[v.name for v, _ in color_vars],
+    )
+    extents = [extent for _, extent in color_vars]
+    vars_ = [v for v, _ in color_vars]
+    for point in product(*(range(e) for e in extents)):
+        env = {v: Interval.point(p) for v, p in zip(vars_, point)}
+        rect = rect_for(name, env)
+        if rect is not None and not rect.is_empty:
+            partition.colors[point] = rect
+    return partition
+
+
+def partition_report(plan: DistributedPlan) -> str:
+    """Readable summary of every partition a plan creates."""
+    lines = []
+    for part in derive_partitions(plan):
+        kind = "disjoint" if part.is_disjoint() else "aliased"
+        at = f"at {part.at_var}" if part.at_var else "at leaf"
+        lines.append(
+            f"{part.tensor:<10s} {at:<10s} {part.num_colors:4d} colors "
+            f"({kind}, over {', '.join(part.color_vars)})"
+        )
+    return "\n".join(lines)

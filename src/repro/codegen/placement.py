@@ -1,0 +1,117 @@
+"""Lowering tensor distribution notation to placement statements.
+
+Section 5.3 of the paper: placing a tensor into the distribution a
+format describes is itself compiled — the notation ``T X -> Y M``
+translates mechanically into a concrete index notation statement that
+iterates the tensor in the distributed orientation:
+
+1. one index variable per name in ``X ∪ Y``;
+2. a loop nest accessing ``T``, with loops for fixed machine dimensions
+   restricted to their value;
+3. machine-dimension loops reordered outermost;
+4. each partitioned tensor dimension ``divide``-d by its machine
+   dimension, the outer variable ``distribute``-d;
+5. ``T`` communicated beneath the distributed variables.
+
+The paper's example: ``T xy -> x M`` lowers to
+``∀xo ∀xi ∀y T(x, y) s.t. divide(x, xo, xi, gx), distribute(xo),
+communicate(T, xo)``.
+
+The runtime places home instances analytically (it does not need to run
+these statements), but the placement statement is the *specification*
+of that layout: executing it as a kernel materializes the tensor in its
+distributed orientation, and it is what a transfer between formats
+compiles into (see :mod:`repro.core.transfer`).
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.formats.distribution import DimName
+from repro.ir.concrete import Stmt
+from repro.ir.expr import IndexVar
+from repro.ir.tensor import Assignment, TensorVar
+from repro.machine.machine import Machine
+from repro.scheduling.schedule import Schedule
+from repro.util.errors import DistributionError
+
+
+def placement_schedule(
+    tensor: TensorVar,
+    machine: Machine,
+    level: int = 0,
+) -> Schedule:
+    """Build the placement statement for ``tensor``'s distribution.
+
+    Returns a :class:`Schedule` over the identity statement
+    ``T'(...) = T(...)`` (where ``T'`` shares ``T``'s format) whose loop
+    structure is the Section 5.3 translation. Compiling and executing it
+    moves the tensor into its described layout.
+    """
+    fmt = tensor.format
+    if not fmt.distributions:
+        raise DistributionError(
+            f"tensor {tensor.name} has no distribution to place into"
+        )
+    if level >= len(fmt.distributions):
+        raise DistributionError(
+            f"tensor {tensor.name} has no distribution level {level}"
+        )
+    dist = fmt.distributions[level]
+    grid = machine.levels[level]
+    dist.check_machine(grid.shape)
+
+    # Step 1: a variable per name in X ∪ Y.
+    tensor_vars = [IndexVar(f"p_{name}") for name in dist.tensor_dims]
+    placed = TensorVar(f"{tensor.name}__placed", tensor.shape, tensor.format)
+    stmt = Assignment(placed[tuple(tensor_vars)], tensor[tuple(tensor_vars)])
+    sched = Schedule(stmt)
+
+    # Steps 3-4: reorder partitioned dimensions outermost, divide each
+    # by its machine dimension, distribute the outer halves.
+    partitioned: List[Tuple[IndexVar, int]] = []
+    for mdim_idx, mdim in enumerate(dist.machine_dims):
+        if isinstance(mdim, DimName):
+            tdim = dist.tensor_dims.index(mdim.name)
+            partitioned.append((tensor_vars[tdim], grid.shape[mdim_idx]))
+    if partitioned:
+        order = [v for v, _ in partitioned] + [
+            v for v in tensor_vars if v not in {p for p, _ in partitioned}
+        ]
+        sched.reorder(order)
+        outers, locals_ = [], []
+        for var, extent in partitioned:
+            outer = IndexVar(f"{var.name}o")
+            inner = IndexVar(f"{var.name}i")
+            sched.divide(var, outer, inner, extent)
+            outers.append(outer)
+            locals_.append(inner)
+        sched.reorder(outers + locals_)
+        sched.distribute(outers, level=level)
+        # Step 5: communicate the source beneath the distributed loops.
+        sched.communicate(tensor, outers[-1])
+    return sched
+
+
+def placement_statement(tensor: TensorVar, machine: Machine) -> Stmt:
+    """The concrete index notation of the placement (for inspection)."""
+    return placement_schedule(tensor, machine).stmt
+
+
+def describe_placement(tensor: TensorVar, machine: Machine) -> str:
+    """Human-readable placement lowering, used in docs and tests.
+
+    Renders the paper's Section 5.3 form for each distribution level.
+    """
+    fmt = tensor.format
+    if not fmt.distributions:
+        return f"{tensor.name}: undistributed (homed at the machine origin)"
+    lines = []
+    for level, dist in enumerate(fmt.distributions):
+        sched = placement_schedule(tensor, machine, level=level)
+        lines.append(
+            f"level {level}: {tensor.name} {dist.notation()} -> "
+        )
+        lines.append(sched.pretty())
+    return "\n".join(lines)

@@ -1,0 +1,5 @@
+"""The public compiler API: compile schedules into executable kernels."""
+
+from repro.core.kernel import Kernel, compile_kernel
+
+__all__ = ["Kernel", "compile_kernel"]

@@ -1,0 +1,108 @@
+"""Compiled kernels: the user-facing result of the DISTAL pipeline.
+
+``compile_kernel(schedule, machine)`` runs the full pipeline of Figure 3 —
+scheduled concrete index notation, distributed lowering, partition/bounds
+derivation — and returns a :class:`Kernel` that can
+
+* ``execute(inputs)`` — run functionally on real numpy data over the
+  simulated distributed machine (and optionally verify against the
+  ``numpy.einsum`` oracle), and
+* ``simulate(params)`` — run symbolically at paper scale, producing a
+  :class:`~repro.sim.report.SimReport` with time, rates and traffic.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from repro.codegen.lower import lower_to_plan
+from repro.codegen.plan import DistributedPlan
+from repro.ir.tensor import Assignment, reference_einsum
+from repro.machine.machine import Machine
+from repro.runtime.executor import ExecutionResult, Executor
+from repro.scheduling.schedule import Schedule
+from repro.sim.costmodel import CostModel
+from repro.sim.params import LASSEN, MachineParams
+from repro.sim.report import SimReport
+
+
+class Kernel:
+    """A compiled distributed tensor algebra kernel."""
+
+    def __init__(self, plan: DistributedPlan):
+        self.plan = plan
+
+    @property
+    def assignment(self) -> Assignment:
+        return self.plan.assignment
+
+    @property
+    def machine(self) -> Machine:
+        return self.plan.machine
+
+    def pretty(self) -> str:
+        """Readable pseudocode of the generated distributed program."""
+        return self.plan.pretty()
+
+    # ------------------------------------------------------------------
+    # Functional execution.
+    # ------------------------------------------------------------------
+
+    def execute(
+        self,
+        inputs: Dict[str, np.ndarray],
+        verify: bool = False,
+        check_capacity: bool = False,
+    ) -> ExecutionResult:
+        """Run the kernel on real data over the simulated machine.
+
+        With ``verify=True`` the distributed result is checked against the
+        ``numpy.einsum`` oracle; a mismatch raises ``AssertionError``.
+        """
+        executor = Executor(
+            self.plan, materialize=True, check_capacity=check_capacity
+        )
+        result = executor.run(inputs)
+        if verify:
+            expected = reference_einsum(self.assignment, inputs)
+            actual = result.outputs[self.plan.output]
+            np.testing.assert_allclose(
+                actual, expected, rtol=1e-10, atol=1e-10,
+                err_msg=f"kernel output diverges from einsum oracle for "
+                f"{self.assignment!r}",
+            )
+        return result
+
+    # ------------------------------------------------------------------
+    # Symbolic execution + performance simulation.
+    # ------------------------------------------------------------------
+
+    def trace(self, check_capacity: bool = True) -> ExecutionResult:
+        """Symbolic execution: the full phase trace, no data movement."""
+        executor = Executor(
+            self.plan, materialize=False, check_capacity=check_capacity
+        )
+        return executor.run()
+
+    def simulate(
+        self,
+        params: MachineParams = LASSEN,
+        check_capacity: bool = True,
+    ) -> SimReport:
+        """Symbolically execute and time the kernel on the cost model.
+
+        Raises :class:`~repro.util.errors.OutOfMemoryError` when an
+        instance exceeds its memory's capacity (the paper's 3-D algorithm
+        OOMs), unless ``check_capacity=False``.
+        """
+        result = self.trace(check_capacity=check_capacity)
+        model = CostModel(self.machine.cluster, params)
+        return model.time_trace(result.trace)
+
+
+def compile_kernel(schedule: Schedule, machine: Machine) -> Kernel:
+    """Compile a scheduled assignment for a machine (Figure 3 pipeline)."""
+    plan = lower_to_plan(schedule, machine)
+    return Kernel(plan)

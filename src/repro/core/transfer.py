@@ -1,0 +1,82 @@
+"""Data redistribution between distributed layouts.
+
+Section 1 of the paper: "DISTAL lets users specialize computation to the
+way that data is already laid out, or easily transform data between
+distributed layouts to match the computation." A transfer is compiled
+like any kernel: the identity statement ``dst(i...) = src(i...)`` with
+the *destination's* distribution driving the computation placement, so
+the runtime's ownership analysis discovers exactly the copies the layout
+change requires (including multi-owner splits).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.codegen.lower import lower_to_plan
+from repro.core.kernel import Kernel
+from repro.formats.format import Format
+from repro.formats.distribution import DimName
+from repro.ir.expr import IndexVar
+from repro.ir.tensor import Assignment, TensorVar
+from repro.machine.machine import Machine
+from repro.scheduling.schedule import Schedule
+
+
+def transfer_kernel(
+    src: TensorVar,
+    dst_format: Format,
+    machine: Machine,
+    dst_name: Optional[str] = None,
+) -> Kernel:
+    """Compile a kernel that rewrites ``src`` into ``dst_format``.
+
+    The returned kernel's output tensor (named ``dst_name`` or
+    ``<src>_re``) has the new format; executing it produces the array
+    and a trace whose copies are precisely the redistribution traffic.
+    """
+    dst_format.check(src.ndim, machine)
+    dst = TensorVar(
+        dst_name or f"{src.name}_re", src.shape, dst_format, dtype=src.dtype
+    )
+    ivars = [IndexVar(f"t{d}") for d in range(src.ndim)]
+    stmt = Assignment(dst[tuple(ivars)], src[tuple(ivars)])
+    sched = Schedule(stmt)
+
+    # Distribute the copy the way the destination is laid out, so every
+    # task writes only data it owns and reads wherever it lives.
+    if dst_format.distributions:
+        dist = dst_format.distributions[0]
+        grid = machine.levels[0]
+        partitioned = []
+        for mdim_idx, mdim in enumerate(dist.machine_dims):
+            if isinstance(mdim, DimName):
+                tdim = dist.tensor_dims.index(mdim.name)
+                partitioned.append((ivars[tdim], grid.shape[mdim_idx]))
+        if partitioned:
+            order = [v for v, _ in partitioned] + [
+                v for v in ivars if v not in {p for p, _ in partitioned}
+            ]
+            sched.reorder(order)
+            outers, inners = [], []
+            for var, extent in partitioned:
+                outer = IndexVar(f"{var.name}o")
+                inner = IndexVar(f"{var.name}i")
+                sched.divide(var, outer, inner, extent)
+                outers.append(outer)
+                inners.append(inner)
+            sched.reorder(outers + inners)
+            sched.distribute(outers)
+            sched.communicate(src, outers[-1])
+            sched.communicate(dst, outers[-1])
+    plan = lower_to_plan(sched, machine)
+    return Kernel(plan)
+
+
+def redistribution_bytes(
+    src: TensorVar, dst_format: Format, machine: Machine
+) -> int:
+    """Bytes a layout change moves, without executing it functionally."""
+    kernel = transfer_kernel(src, dst_format, machine)
+    result = kernel.trace(check_capacity=False)
+    return result.trace.total_copy_bytes

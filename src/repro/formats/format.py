@@ -1,0 +1,191 @@
+"""Tensor formats: mode storage plus a distribution chain and memory kind.
+
+This work considers dense computations only (as the paper does), so every
+mode is ``Dense``; the interesting half of the format is the distribution —
+one :class:`~repro.formats.distribution.Distribution` per machine hierarchy
+level — and the memory kind the tensor should reside in (Figure 2 pins
+matrices into ``Memory::GPU_MEM``).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import List, Optional, Sequence, Tuple, Union
+
+from repro.machine.cluster import MemoryKind
+from repro.machine.machine import Machine
+from repro.util.errors import DistributionError
+from repro.util.geometry import Rect
+from repro.formats.distribution import Distribution
+
+
+class Mode(enum.Enum):
+    """Per-dimension storage format. Dense is the only kind in this paper;
+    the enum exists because the format language is designed to extend to
+    sparse modes (the paper's future work, SpDISTAL)."""
+
+    DENSE = "dense"
+
+
+class Format:
+    """A tensor format: per-mode storage, distribution chain, memory kind.
+
+    Parameters
+    ----------
+    distributions:
+        One distribution per machine grid level (hierarchical placement,
+        Section 3.2 "Hierarchy"), a single distribution, or a notation
+        string such as ``"xy -> xy0"``.
+    memory:
+        Which memory kind home instances live in. Defaults to system
+        memory; GPU schedules typically pin tensors in ``GPU_FB``.
+    """
+
+    def __init__(
+        self,
+        distributions: Union[str, Distribution, Sequence[Union[str, Distribution]], None] = None,
+        memory: MemoryKind = MemoryKind.SYSTEM_MEM,
+        modes: Optional[Sequence[Mode]] = None,
+    ):
+        if distributions is None:
+            levels: List[Distribution] = []
+        elif isinstance(distributions, (str, Distribution)):
+            levels = [_as_distribution(distributions)]
+        else:
+            levels = [_as_distribution(d) for d in distributions]
+        self.distributions: Tuple[Distribution, ...] = tuple(levels)
+        self.memory = memory
+        self.modes = tuple(modes) if modes is not None else None
+
+    @property
+    def is_distributed(self) -> bool:
+        return bool(self.distributions)
+
+    def check(self, tensor_ndim: int, machine: Machine):
+        """Validate the distribution chain against a tensor and machine."""
+        if not self.distributions:
+            return
+        if len(self.distributions) > len(machine.levels):
+            raise DistributionError(
+                f"format has {len(self.distributions)} distribution levels "
+                f"but the machine has {len(machine.levels)} grid levels"
+            )
+        for dist, grid in zip(self.distributions, machine.levels):
+            if dist.tensor_ndim != tensor_ndim:
+                raise DistributionError(
+                    f"distribution {dist.notation()!r} names "
+                    f"{dist.tensor_ndim} tensor dims; tensor has {tensor_ndim}"
+                )
+            dist.check_machine(grid.shape)
+
+    def owned_rect(
+        self,
+        machine: Machine,
+        machine_coords: Sequence[int],
+        tensor_shape: Sequence[int],
+    ) -> Optional[Rect]:
+        """Home sub-rectangle at a full machine coordinate, or ``None``.
+
+        Hierarchical chains compose: level 0 carves the tensor by the node
+        grid, level 1 carves each node piece by the local grid, and so on.
+        Machine levels beyond the chain replicate (every local processor of
+        a node views the node's piece).
+        """
+        rect = Rect.full(tensor_shape)
+        if not self.distributions:
+            # Undistributed tensors are homed at the machine origin.
+            if any(c != 0 for c in machine_coords):
+                return None
+            return rect
+        per_level = machine.level_coords(machine_coords)
+        for dist, grid, coords in zip(
+            self.distributions, machine.levels, per_level
+        ):
+            nxt = dist.owned_rect(coords, rect, grid.shape)
+            if nxt is None:
+                return None
+            rect = nxt
+        return rect
+
+    def owner_pattern(
+        self,
+        machine: Machine,
+        needed: Rect,
+        tensor_shape: Sequence[int],
+    ) -> Optional[List[Optional[int]]]:
+        """Machine-coordinate pattern of a home piece covering ``needed``.
+
+        Concrete coordinates for partitioned/fixed machine dimensions,
+        ``None`` where any coordinate holds a replica (broadcast dims and
+        levels beyond the distribution chain). Returns ``None`` when no
+        single home piece covers the request (use :meth:`owner_pieces`).
+        """
+        if not self.distributions:
+            return [0] * machine.dim
+        pattern: List[Optional[int]] = []
+        rect = Rect.full(tensor_shape)
+        for dist, grid in zip(self.distributions, machine.levels):
+            pats = dist.owners_covering(needed, rect, grid.shape)
+            if not pats:
+                return None
+            pat = pats[0]
+            pattern.extend(pat)
+            concrete = [p if p is not None else 0 for p in pat]
+            rect = dist.owned_rect(concrete, rect, grid.shape)
+            if rect is None:
+                return None
+        pattern.extend([None] * (machine.dim - len(pattern)))
+        return pattern
+
+    def owner_pieces(
+        self,
+        machine: Machine,
+        needed: Rect,
+        tensor_shape: Sequence[int],
+    ) -> List[Tuple[Tuple[Optional[int], ...], Rect]]:
+        """Decompose a request spanning several home pieces.
+
+        Works level by level for hierarchical chains: the request is
+        split by the node-level partitioning, then each piece is split
+        again by the within-node partitioning, and so on.
+        """
+        if not self.distributions:
+            return [(tuple([0] * machine.dim), needed)]
+        # (pattern prefix, request piece, rect owned so far)
+        state = [((), needed, Rect.full(tensor_shape))]
+        used_dims = 0
+        for dist, grid in zip(self.distributions, machine.levels):
+            used_dims += grid.dim
+            next_state = []
+            for prefix, request, rect in state:
+                for pattern, piece in dist.cover_pieces(
+                    request, rect, grid.shape
+                ):
+                    concrete = [p if p is not None else 0 for p in pattern]
+                    sub_rect = dist.owned_rect(concrete, rect, grid.shape)
+                    if sub_rect is None:
+                        continue
+                    next_state.append(
+                        (prefix + tuple(pattern), piece, sub_rect)
+                    )
+            state = next_state
+        pad = machine.dim - used_dims
+        return [
+            (tuple(list(prefix) + [None] * pad), piece)
+            for prefix, piece, _rect in state
+        ]
+
+    def notation(self) -> str:
+        """Human-readable distribution chain."""
+        if not self.distributions:
+            return "(undistributed)"
+        return "; ".join(d.notation() for d in self.distributions)
+
+    def __repr__(self) -> str:
+        return f"Format({self.notation()!r}, memory={self.memory.value})"
+
+
+def _as_distribution(value: Union[str, Distribution]) -> Distribution:
+    if isinstance(value, Distribution):
+        return value
+    return Distribution.parse(value)

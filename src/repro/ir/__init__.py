@@ -1,0 +1,44 @@
+"""Compiler IRs: tensor index notation and concrete index notation.
+
+The computation language (Section 2) is *tensor index notation*: assignments
+whose right-hand sides add and multiply tensor accesses, with reductions
+implied by variables that appear only on the right. It lowers to *concrete
+index notation* (Section 5.1): an explicit loop tree whose ``s.t.`` clauses
+record applied scheduling relations. The provenance graph ties the two
+together: every derived index variable knows how to reconstruct the value
+(or interval of values) of the variables it was derived from, which is the
+bounds analysis that drives partitioning, communication and leaf slicing.
+"""
+
+from repro.ir.expr import Access, Add, Expr, IndexVar, Literal, Mul, index_vars
+from repro.ir.tensor import Assignment, TensorVar, reference_einsum
+from repro.ir.concrete import Assign, Forall, Sequence, Stmt
+from repro.ir.provenance import (
+    FuseRel,
+    RotateRel,
+    SplitRel,
+    VarGraph,
+)
+from repro.ir.lower_tin import lower_to_concrete
+
+__all__ = [
+    "Access",
+    "Add",
+    "Assign",
+    "Assignment",
+    "Expr",
+    "Forall",
+    "FuseRel",
+    "IndexVar",
+    "Literal",
+    "Mul",
+    "RotateRel",
+    "Sequence",
+    "SplitRel",
+    "Stmt",
+    "TensorVar",
+    "VarGraph",
+    "index_vars",
+    "lower_to_concrete",
+    "reference_einsum",
+]

@@ -1,0 +1,28 @@
+"""Lowering tensor index notation to concrete index notation.
+
+Statements lower into a loop nest "based on a left-to-right traversal of
+the variables" (Section 5.1): free variables in left-hand-side order, then
+reduction variables in first-appearance order, around a single assignment.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.ir.concrete import Assign, Forall, Stmt
+from repro.ir.provenance import VarGraph
+from repro.ir.tensor import Assignment
+
+
+def lower_to_concrete(assignment: Assignment) -> Tuple[Stmt, VarGraph]:
+    """Build the default concrete-index-notation loop nest and its
+    provenance graph (pre-scheduling, every variable is a root)."""
+    body: Stmt = Assign(
+        lhs=assignment.lhs,
+        rhs=assignment.rhs,
+        reduce=bool(assignment.reduction_vars) or assignment.accumulate,
+    )
+    for var in reversed(assignment.all_vars):
+        body = Forall(var=var, body=body)
+    graph = VarGraph(dict(assignment.domains()))
+    return body, graph

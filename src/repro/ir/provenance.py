@@ -1,0 +1,267 @@
+"""The variable-derivation (provenance) graph and interval reconstruction.
+
+Scheduling commands derive new index variables from old ones: ``split``
+and ``divide`` decompose a variable into an outer/inner pair, ``collapse``
+fuses two variables, and ``rotate`` re-times a variable by its distributed
+peers. The provenance graph records these relations so that, given concrete
+values (or whole ranges) for the *loop* variables actually present in the
+scheduled loop nest, the compiler can reconstruct the interval of values
+taken by any original tensor-indexing variable.
+
+This single routine (:meth:`VarGraph.value_of`) is the paper's "standard
+bounds analysis procedure using the extents of index variables" (Section
+6.2): partitions, communication rectangles, and leaf slices all call it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.ir.expr import IndexVar
+from repro.util.errors import LoweringError, ScheduleError
+from repro.util.geometry import Interval, ceil_div
+
+
+@dataclass(frozen=True)
+class SplitRel:
+    """``parent = outer * tile + inner`` with ``inner`` of extent ``tile``.
+
+    Covers both of the paper's commands: ``split(i, io, ii, chunk)`` fixes
+    the inner extent (``tile = chunk``) and ``divide(i, io, ii, parts)``
+    fixes the outer extent (``tile = ceil(extent/parts)``).
+    """
+
+    parent: IndexVar
+    outer: IndexVar
+    inner: IndexVar
+    tile: int
+    outer_extent: int
+    kind: str  # "split" or "divide", for printing s.t. clauses
+
+
+@dataclass(frozen=True)
+class FuseRel:
+    """``fused = first * extent(second) + second`` (the collapse command)."""
+
+    first: IndexVar
+    second: IndexVar
+    fused: IndexVar
+    second_extent: int
+
+
+@dataclass(frozen=True)
+class RotateRel:
+    """``target = (result + sum(sources)) mod extent(target)``.
+
+    The paper's symmetry-breaking ``rotate(t, I, r)`` (Section 3.3): for any
+    fixed iteration of the other source variables, the same iteration of
+    ``r`` touches a *different* value of ``t`` on every processor, producing
+    systolic communication.
+    """
+
+    target: IndexVar
+    sources: Tuple[IndexVar, ...]
+    result: IndexVar
+
+
+class VarGraph:
+    """Derivation graph over index variables plus their extents."""
+
+    def __init__(self, root_extents: Dict[IndexVar, int]):
+        self._extents: Dict[IndexVar, int] = dict(root_extents)
+        # Relation that *decomposed* a parent (split/divide).
+        self._split_of: Dict[IndexVar, SplitRel] = {}
+        # Relation that *fused* two vars; keyed by each component.
+        self._fuse_of: Dict[IndexVar, FuseRel] = {}
+        # Relation that rotated a target; keyed by the target.
+        self._rotate_of: Dict[IndexVar, RotateRel] = {}
+        self._derived: set = set()
+
+    # ------------------------------------------------------------------
+    # Construction (called by scheduling commands).
+    # ------------------------------------------------------------------
+
+    def knows(self, var: IndexVar) -> bool:
+        return var in self._extents
+
+    def extent(self, var: IndexVar) -> int:
+        if var not in self._extents:
+            raise ScheduleError(f"unknown index variable {var}")
+        return self._extents[var]
+
+    def _add_var(self, var: IndexVar, extent: int):
+        if var in self._extents:
+            raise ScheduleError(f"index variable {var} already exists")
+        self._extents[var] = extent
+
+    def _mark_decomposed(self, var: IndexVar):
+        if var in self._derived:
+            raise ScheduleError(f"index variable {var} was already scheduled away")
+        self._derived.add(var)
+
+    def add_split(
+        self, parent: IndexVar, outer: IndexVar, inner: IndexVar, chunk: int
+    ) -> SplitRel:
+        """Record ``split(parent, outer, inner, chunk)``."""
+        if chunk <= 0:
+            raise ScheduleError(f"split chunk must be positive, got {chunk}")
+        extent = self.extent(parent)
+        rel = SplitRel(
+            parent=parent,
+            outer=outer,
+            inner=inner,
+            tile=chunk,
+            outer_extent=ceil_div(extent, chunk),
+            kind="split",
+        )
+        self._install_split(rel, extent)
+        return rel
+
+    def add_divide(
+        self, parent: IndexVar, outer: IndexVar, inner: IndexVar, parts: int
+    ) -> SplitRel:
+        """Record ``divide(parent, outer, inner, parts)``."""
+        if parts <= 0:
+            raise ScheduleError(f"divide parts must be positive, got {parts}")
+        extent = self.extent(parent)
+        tile = ceil_div(extent, parts)
+        rel = SplitRel(
+            parent=parent,
+            outer=outer,
+            inner=inner,
+            tile=tile,
+            outer_extent=parts,
+            kind="divide",
+        )
+        self._install_split(rel, extent)
+        return rel
+
+    def _install_split(self, rel: SplitRel, parent_extent: int):
+        self._mark_decomposed(rel.parent)
+        self._add_var(rel.outer, rel.outer_extent)
+        self._add_var(rel.inner, rel.tile)
+        self._split_of[rel.parent] = rel
+
+    def add_fuse(
+        self, first: IndexVar, second: IndexVar, fused: IndexVar
+    ) -> FuseRel:
+        """Record ``collapse(first, second, fused)``."""
+        e1, e2 = self.extent(first), self.extent(second)
+        rel = FuseRel(first=first, second=second, fused=fused, second_extent=e2)
+        self._mark_decomposed(first)
+        self._mark_decomposed(second)
+        self._add_var(fused, e1 * e2)
+        self._fuse_of[first] = rel
+        self._fuse_of[second] = rel
+        return rel
+
+    def add_rotate(
+        self, target: IndexVar, sources: Sequence[IndexVar], result: IndexVar
+    ) -> RotateRel:
+        """Record ``rotate(target, sources, result)``."""
+        for src in sources:
+            self.extent(src)  # must exist
+        rel = RotateRel(
+            target=target, sources=tuple(sources), result=result
+        )
+        self._mark_decomposed(target)
+        self._add_var(result, self.extent(target))
+        self._rotate_of[target] = rel
+        return rel
+
+    # ------------------------------------------------------------------
+    # Reconstruction (bounds analysis).
+    # ------------------------------------------------------------------
+
+    def value_of(
+        self,
+        var: IndexVar,
+        env: Dict[IndexVar, Interval],
+        exact: bool = False,
+    ) -> Interval:
+        """Interval of values ``var`` takes under an environment.
+
+        ``env`` maps the loop variables of the scheduled nest to intervals:
+        points for loops already bound (outer/sequential iterations) and
+        full extents for loops not yet entered. Reconstruction walks the
+        derivation relations.
+
+        With ``exact=True``, any step that would over-approximate (a
+        rotation or fusion applied to a partial range) raises instead, so
+        leaf slices are guaranteed exact; communication rectangles may
+        over-approximate safely.
+        """
+        if var in env:
+            return env[var].clip(Interval.extent(self.extent(var)))
+        if var in self._split_of:
+            rel = self._split_of[var]
+            outer = self.value_of(rel.outer, env, exact)
+            inner = self.value_of(rel.inner, env, exact)
+            combined = outer.scale(rel.tile) + inner
+            return combined.clip(Interval.extent(self.extent(var)))
+        if var in self._rotate_of:
+            rel = self._rotate_of[var]
+            extent = self.extent(var)
+            parts = [self.value_of(rel.result, env, exact)]
+            parts += [self.value_of(s, env, exact) for s in rel.sources]
+            if all(p.is_point for p in parts):
+                total = sum(p.value for p in parts)
+                return Interval.point(total % extent)
+            if exact:
+                raise LoweringError(
+                    f"rotated variable {var} needs concrete rotation inputs "
+                    f"for an exact leaf slice"
+                )
+            return Interval.extent(extent)
+        if var in self._fuse_of:
+            rel = self._fuse_of[var]
+            fused = self.value_of(rel.fused, env, exact)
+            extent = self.extent(var)
+            if fused.is_point:
+                if var == rel.first:
+                    return Interval.point(fused.value // rel.second_extent)
+                return Interval.point(fused.value % rel.second_extent)
+            full = Interval.extent(self.extent(rel.fused))
+            if fused == full:
+                return Interval.extent(extent)
+            if exact:
+                raise LoweringError(
+                    f"fused variable {rel.fused} spans a partial range; the "
+                    f"resulting iteration block is not rectangular in {var}"
+                )
+            return Interval.extent(extent)
+        raise ScheduleError(
+            f"cannot reconstruct {var}: not a loop variable and not derived"
+        )
+
+    def is_rotate_result(self, var: IndexVar) -> bool:
+        """Whether ``var`` is the result variable of a rotation.
+
+        Rotation results must be bound to concrete iterations before leaf
+        slices can be exact, so the plan lowering keeps them sequential.
+        """
+        return any(rel.result == var for rel in self._rotate_of.values())
+
+    def leaf_descendants(self, var: IndexVar) -> List[IndexVar]:
+        """The loop variables a (possibly decomposed) variable turns into."""
+        if var in self._split_of:
+            rel = self._split_of[var]
+            return self.leaf_descendants(rel.outer) + self.leaf_descendants(
+                rel.inner
+            )
+        if var in self._rotate_of:
+            return self.leaf_descendants(self._rotate_of[var].result)
+        if var in self._fuse_of:
+            rel = self._fuse_of[var]
+            return self.leaf_descendants(rel.fused)
+        return [var]
+
+    def copy(self) -> "VarGraph":
+        dup = VarGraph({})
+        dup._extents = dict(self._extents)
+        dup._split_of = dict(self._split_of)
+        dup._fuse_of = dict(self._fuse_of)
+        dup._rotate_of = dict(self._rotate_of)
+        dup._derived = set(self._derived)
+        return dup

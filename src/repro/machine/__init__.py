@@ -1,0 +1,31 @@
+"""Machine abstraction (Section 3.1 of the paper).
+
+A distributed machine is modelled as a multi-dimensional grid of abstract
+processors, each with a local memory. The abstraction is hierarchical: a
+machine may be a grid of nodes, each of which is itself a grid of GPUs or CPU
+sockets. The *logical* grid (:class:`Machine`) is mapped onto a *physical*
+:class:`Cluster` of nodes, processors, and memories; the separation lets the
+same schedule target differently shaped hardware.
+"""
+
+from repro.machine.cluster import (
+    Cluster,
+    Memory,
+    MemoryKind,
+    Node,
+    Processor,
+    ProcessorKind,
+)
+from repro.machine.grid import Grid
+from repro.machine.machine import Machine
+
+__all__ = [
+    "Cluster",
+    "Grid",
+    "Machine",
+    "Memory",
+    "MemoryKind",
+    "Node",
+    "Processor",
+    "ProcessorKind",
+]

@@ -1,0 +1,229 @@
+"""Physical cluster description: nodes, processors, memories.
+
+The cluster is the *physical* half of the machine abstraction. A
+:class:`Cluster` is a list of identical nodes; each node holds one or more
+processors (CPU sockets or GPUs), each with an attached local memory. The
+logical grid view (:class:`repro.machine.machine.Machine`) maps grid
+coordinates onto these processors.
+
+Capacities live here; link bandwidths and compute rates live in
+:mod:`repro.sim.params` because they parameterize the cost model, not the
+program semantics.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+GIB = 1024 ** 3
+
+
+class ProcessorKind(enum.Enum):
+    """Kind of abstract processor a task can run on."""
+
+    CPU_SOCKET = "cpu"
+    GPU = "gpu"
+
+
+class MemoryKind(enum.Enum):
+    """Kind of memory a tensor instance can live in.
+
+    Matches the paper's ``Memory::GPU_MEM`` format argument (Figure 2): the
+    format language can pin tensors into GPU framebuffer memory or leave
+    them in node system memory.
+    """
+
+    SYSTEM_MEM = "sysmem"
+    GPU_FB = "gpu_fb"
+
+
+@dataclass
+class Memory:
+    """One physical memory: a node's DRAM or one GPU's framebuffer."""
+
+    name: str
+    kind: MemoryKind
+    capacity_bytes: int
+    node_id: int
+
+    def __hash__(self):
+        return hash(self.name)
+
+    def __eq__(self, other):
+        return isinstance(other, Memory) and self.name == other.name
+
+    def __repr__(self) -> str:
+        return f"Memory({self.name})"
+
+
+@dataclass
+class Processor:
+    """One abstract processor: a CPU socket or a single GPU."""
+
+    proc_id: int
+    kind: ProcessorKind
+    node_id: int
+    local_index: int
+    memory: Memory
+
+    def __hash__(self):
+        return self.proc_id
+
+    def __eq__(self, other):
+        return isinstance(other, Processor) and self.proc_id == other.proc_id
+
+    def __repr__(self) -> str:
+        return f"Proc({self.proc_id}:{self.kind.value}@n{self.node_id})"
+
+
+@dataclass
+class Node:
+    """One cluster node: its processors plus a shared system memory."""
+
+    node_id: int
+    processors: List[Processor] = field(default_factory=list)
+    system_memory: Optional[Memory] = None
+
+
+class Cluster:
+    """A homogeneous cluster of nodes.
+
+    Use the :meth:`cpu_cluster` / :meth:`gpu_cluster` factories for
+    Lassen-like configurations (the paper's testbed: dual-socket Power9
+    nodes with four V100 GPUs each), or the generic constructor for
+    arbitrary shapes in tests.
+    """
+
+    def __init__(self, nodes: List[Node]):
+        if not nodes:
+            raise ValueError("a cluster needs at least one node")
+        self.nodes = nodes
+        self.processors: List[Processor] = []
+        for node in nodes:
+            self.processors.extend(node.processors)
+        counts = {len(node.processors) for node in nodes}
+        if len(counts) != 1:
+            raise ValueError("all nodes must have the same processor count")
+        self.procs_per_node = counts.pop()
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self.nodes)
+
+    @property
+    def num_processors(self) -> int:
+        return len(self.processors)
+
+    @property
+    def processor_kind(self) -> ProcessorKind:
+        return self.processors[0].kind
+
+    def memories(self) -> List[Memory]:
+        """All distinct memories in the cluster."""
+        seen = []
+        for node in self.nodes:
+            if node.system_memory is not None:
+                seen.append(node.system_memory)
+            for proc in node.processors:
+                if proc.memory not in seen:
+                    seen.append(proc.memory)
+        return seen
+
+    @staticmethod
+    def build(
+        num_nodes: int,
+        procs_per_node: int,
+        proc_kind: ProcessorKind,
+        proc_mem_kind: MemoryKind,
+        proc_mem_capacity: int,
+        system_mem_capacity: int = 256 * GIB,
+    ) -> "Cluster":
+        """Generic constructor for a homogeneous cluster."""
+        if num_nodes <= 0 or procs_per_node <= 0:
+            raise ValueError("node and processor counts must be positive")
+        nodes = []
+        proc_id = 0
+        for node_id in range(num_nodes):
+            sysmem = Memory(
+                name=f"n{node_id}/sysmem",
+                kind=MemoryKind.SYSTEM_MEM,
+                capacity_bytes=system_mem_capacity,
+                node_id=node_id,
+            )
+            node = Node(node_id=node_id, system_memory=sysmem)
+            for local in range(procs_per_node):
+                if proc_mem_kind is MemoryKind.SYSTEM_MEM:
+                    mem = sysmem
+                else:
+                    mem = Memory(
+                        name=f"n{node_id}/fb{local}",
+                        kind=proc_mem_kind,
+                        capacity_bytes=proc_mem_capacity,
+                        node_id=node_id,
+                    )
+                node.processors.append(
+                    Processor(
+                        proc_id=proc_id,
+                        kind=proc_kind,
+                        node_id=node_id,
+                        local_index=local,
+                        memory=mem,
+                    )
+                )
+                proc_id += 1
+            nodes.append(node)
+        return Cluster(nodes)
+
+    @staticmethod
+    def cpu_cluster(
+        num_nodes: int,
+        sockets_per_node: int = 2,
+        system_mem_gib: int = 256,
+    ) -> "Cluster":
+        """A Lassen-like CPU cluster; each socket is one abstract processor.
+
+        The paper models "each CPU socket as an abstract DISTAL processor"
+        (Section 7.1.1); Lassen nodes are dual-socket Power9 with 256 GiB.
+        """
+        return Cluster.build(
+            num_nodes=num_nodes,
+            procs_per_node=sockets_per_node,
+            proc_kind=ProcessorKind.CPU_SOCKET,
+            proc_mem_kind=MemoryKind.SYSTEM_MEM,
+            proc_mem_capacity=system_mem_gib * GIB,
+            system_mem_capacity=system_mem_gib * GIB,
+        )
+
+    @staticmethod
+    def gpu_cluster(
+        num_nodes: int,
+        gpus_per_node: int = 4,
+        framebuffer_gib: int = 16,
+        reserved_gib: float = 1.0,
+        system_mem_gib: int = 256,
+    ) -> "Cluster":
+        """A Lassen-like GPU cluster: four 16 GiB V100s per node.
+
+        ``reserved_gib`` models the framebuffer the CUDA context and the
+        runtime's internal pools consume; tensor instances can only use
+        the remainder (this is what pushes replication-heavy algorithms
+        over the edge at scale, Section 7.1.2).
+        """
+        usable = int((framebuffer_gib - reserved_gib) * GIB)
+        return Cluster.build(
+            num_nodes=num_nodes,
+            procs_per_node=gpus_per_node,
+            proc_kind=ProcessorKind.GPU,
+            proc_mem_kind=MemoryKind.GPU_FB,
+            proc_mem_capacity=usable,
+            system_mem_capacity=system_mem_gib * GIB,
+        )
+
+    def __repr__(self) -> str:
+        kind = self.processor_kind.value
+        return (
+            f"Cluster({self.num_nodes} nodes x {self.procs_per_node} "
+            f"{kind} procs)"
+        )

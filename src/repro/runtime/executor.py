@@ -1,0 +1,528 @@
+"""The lockstep plan interpreter.
+
+Executes a :class:`~repro.codegen.plan.DistributedPlan` over all task
+contexts simultaneously, in bulk-synchronous steps — one step per
+``communicate`` iteration, matching the execution-space model of Section
+3.3 (every processor sits at the same relative time). Index task launches
+expand contexts across machine grid points (nested launches expand
+further, which is how hierarchical node/GPU schedules execute); sequential
+loops advance all contexts together; leaves either move real numpy blocks
+(functional mode) or just record work (symbolic mode).
+"""
+
+from __future__ import annotations
+
+from collections import ChainMap
+from dataclasses import dataclass, field
+from itertools import product
+from typing import Dict, List, Optional, Set, Tuple
+
+import numpy as np
+
+from repro.codegen.plan import (
+    DistributedPlan,
+    LaunchNode,
+    LeafNode,
+    PlanNode,
+    SeqNode,
+)
+from repro.ir.concrete import Assign
+from repro.ir.expr import Access, Add, IndexVar, Mul
+from repro.ir.tensor import _terms
+from repro.machine.cluster import Processor
+from repro.runtime.instances import DataEnvironment
+from repro.runtime.trace import Copy, Step, Trace
+from repro.util.errors import LoweringError
+from repro.util.geometry import Interval, Rect, bounding_rect
+
+
+@dataclass
+class _Ctx:
+    """One task context: where it runs and which loop iterations it holds."""
+
+    ctx_id: int
+    coords: Tuple[int, ...]
+    proc: Processor
+    env: Dict[IndexVar, Interval] = field(default_factory=dict)
+
+
+@dataclass
+class ExecutionResult:
+    """Outcome of one kernel execution."""
+
+    trace: Trace
+    outputs: Dict[str, np.ndarray]
+    memory_high_water: Dict[str, int]
+
+
+class Executor:
+    """Interprets a plan functionally and/or symbolically.
+
+    Parameters
+    ----------
+    materialize:
+        When True, tensors are real numpy arrays and leaves compute;
+        when False only the trace (copies, work, memory) is produced.
+    check_capacity:
+        When True, exceeding any memory capacity raises
+        :class:`~repro.util.errors.OutOfMemoryError` — enable for
+        paper-scale simulations, disable for small functional tests.
+    """
+
+    def __init__(
+        self,
+        plan: DistributedPlan,
+        materialize: bool = True,
+        check_capacity: bool = False,
+    ):
+        self.plan = plan
+        self.machine = plan.machine
+        self.graph = plan.graph
+        self.materialize = materialize
+        self.check_capacity = check_capacity
+        self.full_env: Dict[IndexVar, Interval] = {}
+        self._collect_extents(plan.root)
+        self._fetch_output = self._output_is_read()
+
+    # ------------------------------------------------------------------
+    # Setup helpers.
+    # ------------------------------------------------------------------
+
+    def _collect_extents(self, node: PlanNode):
+        if isinstance(node, LaunchNode):
+            for var, extent in zip(node.vars, node.extents):
+                self.full_env[var] = Interval.extent(extent)
+            self._collect_extents(node.body)
+        elif isinstance(node, SeqNode):
+            self.full_env[node.var] = Interval.extent(node.extent)
+            self._collect_extents(node.body)
+        elif isinstance(node, LeafNode):
+            for var in node.loop_vars:
+                self.full_env[var] = Interval.extent(self.graph.extent(var))
+
+    def _output_is_read(self) -> bool:
+        if self.plan.assignment.accumulate:
+            return True
+        leaf = self._leaf(self.plan.root)
+        reads = set()
+        for assign in leaf.assigns:
+            reads |= {a.tensor.name for a in assign.rhs.accesses()}
+        return self.plan.output in reads
+
+    def _leaf(self, node: PlanNode) -> LeafNode:
+        while not isinstance(node, LeafNode):
+            node = node.body
+        return node
+
+    # ------------------------------------------------------------------
+    # Entry point.
+    # ------------------------------------------------------------------
+
+    def run(
+        self, inputs: Optional[Dict[str, np.ndarray]] = None
+    ) -> ExecutionResult:
+        """Execute the plan.
+
+        In functional mode ``inputs`` must provide one array per input
+        tensor; the output array is zero-initialized (reduction semantics)
+        and returned in ``outputs``.
+        """
+        self.env = DataEnvironment(
+            self.plan, check_capacity=self.check_capacity
+        )
+        self.trace = Trace()
+        self.arrays: Dict[str, np.ndarray] = {}
+        if self.materialize:
+            if inputs is None:
+                raise ValueError("functional execution needs input arrays")
+            required = {
+                t.name for t in self.plan.assignment.tensors()
+            } - {self.plan.output}
+            missing = required - set(inputs)
+            if missing:
+                raise ValueError(
+                    f"functional execution is missing input arrays for "
+                    f"{sorted(missing)}"
+                )
+            for name, tensor in self.plan.tensors.items():
+                if name == self.plan.output:
+                    continue
+                if name in inputs:
+                    arr = np.asarray(inputs[name], dtype=tensor.dtype)
+                    if arr.shape != tensor.shape:
+                        raise ValueError(
+                            f"input {name} has shape {arr.shape}, tensor "
+                            f"declares {tensor.shape}"
+                        )
+                    self.arrays[name] = arr
+            out_tensor = self.plan.tensors[self.plan.output]
+            self.arrays[self.plan.output] = np.zeros(
+                out_tensor.shape, dtype=out_tensor.dtype
+            )
+        root_ctx = _Ctx(
+            ctx_id=0,
+            coords=tuple([0] * self.machine.dim),
+            proc=self.machine.proc_at(tuple([0] * self.machine.dim)),
+        )
+        self._exec(self.plan.root, [root_ctx])
+        self.trace.memory_high_water = dict(self.env.high_water)
+        outputs = {}
+        if self.materialize:
+            outputs[self.plan.output] = self.arrays[self.plan.output]
+        return ExecutionResult(
+            trace=self.trace,
+            outputs=outputs,
+            memory_high_water=dict(self.env.high_water),
+        )
+
+    # ------------------------------------------------------------------
+    # Interpreter.
+    # ------------------------------------------------------------------
+
+    def _exec(self, node: PlanNode, ctxs: List[_Ctx]):
+        if isinstance(node, LaunchNode):
+            self._exec_launch(node, ctxs)
+        elif isinstance(node, SeqNode):
+            self._exec_seq(node, ctxs)
+        elif isinstance(node, LeafNode):
+            self._exec_leaf(node, ctxs)
+        else:
+            raise LoweringError(f"unknown plan node {type(node).__name__}")
+
+    def _exec_launch(self, node: LaunchNode, ctxs: List[_Ctx]):
+        new_ctxs: List[_Ctx] = []
+        for ctx in ctxs:
+            for point in product(*(range(e) for e in node.extents)):
+                coords = list(ctx.coords)
+                env = dict(ctx.env)
+                for dim, var, value in zip(node.machine_dims, node.vars, point):
+                    coords[dim] = value
+                    env[var] = Interval.point(value)
+                coords_t = tuple(coords)
+                new_ctxs.append(
+                    _Ctx(
+                        ctx_id=len(new_ctxs),
+                        coords=coords_t,
+                        proc=self.machine.proc_at(coords_t),
+                        env=env,
+                    )
+                )
+        held: Dict[int, Set] = {}
+        if node.comm:
+            step = self.trace.new_step("task-start fetch")
+            plans = {
+                ctx.ctx_id: self._fetch_resolve(node.comm, ctx)
+                for ctx in new_ctxs
+            }
+            for ctx in new_ctxs:
+                held[ctx.ctx_id] = self._fetch_commit(
+                    plans[ctx.ctx_id], ctx, step
+                )
+        self._exec(node.body, new_ctxs)
+        if node.flush:
+            step = self.trace.new_step("task-end reduction")
+            for ctx in new_ctxs:
+                for name in node.flush:
+                    self._flush(name, ctx, step)
+        for ctx in new_ctxs:
+            for name, rect in held.get(ctx.ctx_id, set()):
+                self.env.release(name, ctx.coords, rect)
+
+    def _exec_seq(self, node: SeqNode, ctxs: List[_Ctx]):
+        prev_held: Dict[int, Set] = {ctx.ctx_id: set() for ctx in ctxs}
+        for iteration in range(node.extent):
+            for ctx in ctxs:
+                ctx.env[node.var] = Interval.point(iteration)
+            if node.comm:
+                step = self.trace.new_step(f"{node.var.name}={iteration}")
+                plans = {
+                    ctx.ctx_id: self._fetch_resolve(node.comm, ctx)
+                    for ctx in ctxs
+                }
+                new_held: Dict[int, Set] = {}
+                for ctx in ctxs:
+                    new_held[ctx.ctx_id] = self._fetch_commit(
+                        plans[ctx.ctx_id], ctx, step
+                    )
+                for ctx in ctxs:
+                    stale = prev_held[ctx.ctx_id] - new_held[ctx.ctx_id]
+                    for name, rect in stale:
+                        self.env.release(name, ctx.coords, rect)
+                prev_held = new_held
+            self._exec(node.body, ctxs)
+            if node.flush:
+                step = self.trace.new_step(f"{node.var.name} reduction")
+                for ctx in ctxs:
+                    for name in node.flush:
+                        self._flush(name, ctx, step)
+        for ctx in ctxs:
+            for name, rect in prev_held[ctx.ctx_id]:
+                self.env.release(name, ctx.coords, rect)
+            ctx.env.pop(node.var, None)
+
+    def _exec_leaf(self, node: LeafNode, ctxs: List[_Ctx]):
+        step = self.trace.current
+        plans = {}
+        if node.comm:
+            plans = {
+                ctx.ctx_id: self._fetch_resolve(node.comm, ctx)
+                for ctx in ctxs
+            }
+        for ctx in ctxs:
+            held = set()
+            if node.comm:
+                held = self._fetch_commit(plans[ctx.ctx_id], ctx, step)
+            self._run_leaf_body(node, ctx, step)
+            for name in node.flush:
+                self._flush(name, ctx, step)
+            for name, rect in held:
+                self.env.release(name, ctx.coords, rect)
+
+    # ------------------------------------------------------------------
+    # Communication.
+    # ------------------------------------------------------------------
+
+    def _rect_of(
+        self, ctx: _Ctx, name: str, exact: bool
+    ) -> Optional[Rect]:
+        """Bounding rectangle of a tensor's data needed below this point."""
+        env = ChainMap(ctx.env, self.full_env)
+        rects = []
+        for access in self.plan.accesses[name]:
+            if access.tensor.ndim == 0:
+                rects.append(Rect(()))
+                continue
+            intervals = tuple(
+                self.graph.value_of(v, env, exact) for v in access.indices
+            )
+            rects.append(Rect(intervals))
+        return bounding_rect(rects) if rects else None
+
+    def _fetch_resolve(
+        self, names: List[str], ctx: _Ctx
+    ) -> List[Tuple[str, Rect, List]]:
+        """Plan fetches against the instance state at phase start.
+
+        Resolution and registration are split at *phase* granularity: all
+        contexts resolve against the same pre-phase state, so a chunk
+        needed by many processors resolves to one source (a broadcast)
+        instead of chaining through instances that are still in flight.
+        """
+        plans: List[Tuple[str, Rect, List]] = []
+        for name in names:
+            if name == self.plan.output and not self._fetch_output:
+                continue
+            rect = self._rect_of(ctx, name, exact=False)
+            if rect is None or rect.is_empty:
+                continue
+            sources = self.env.resolve(name, ctx.coords, rect)
+            plans.append((name, rect, sources))
+        return plans
+
+    def _fetch_commit(
+        self, plans: List[Tuple[str, Rect, List]], ctx: _Ctx, step: Step
+    ) -> Set[Tuple[str, Rect]]:
+        """Install planned fetches and emit their copies."""
+        held: Set[Tuple[str, Rect]] = set()
+        for name, rect, sources in plans:
+            if self.env.register(name, ctx.coords, rect):
+                held.add((name, rect))
+            for src_coords, piece in sources:
+                self._emit_copy(step, name, piece, src_coords, ctx)
+        return held
+
+    def _fetch(
+        self, names: List[str], ctx: _Ctx, step: Step
+    ) -> Set[Tuple[str, Rect]]:
+        """Single-context fetch (used where contexts touch disjoint data)."""
+        return self._fetch_commit(self._fetch_resolve(names, ctx), ctx, step)
+
+    def _emit_copy(
+        self,
+        step: Step,
+        name: str,
+        rect: Rect,
+        src_coords: Tuple[int, ...],
+        ctx: _Ctx,
+        reduce: bool = False,
+    ):
+        tensor = self.plan.tensors[name]
+        nbytes = rect.volume * tensor.itemsize
+        if nbytes == 0:
+            return
+        src_proc = self.machine.proc_at(src_coords)
+        if src_proc.proc_id == ctx.proc.proc_id and not reduce:
+            return  # same physical processor (over-decomposition)
+        step.copies.append(
+            Copy(
+                tensor=name,
+                rect=rect,
+                nbytes=nbytes,
+                src_proc=src_proc if not reduce else ctx.proc,
+                dst_proc=ctx.proc if not reduce else src_proc,
+                src_mem=(
+                    self.env.source_memory(name, src_coords, rect)
+                    if not reduce
+                    else ctx.proc.memory
+                ),
+                dst_mem=(
+                    ctx.proc.memory
+                    if not reduce
+                    else self.env.source_memory(name, src_coords, rect)
+                ),
+                src_coords=src_coords if not reduce else ctx.coords,
+                dst_coords=ctx.coords if not reduce else src_coords,
+                reduce=reduce,
+            )
+        )
+
+    def _flush(self, name: str, ctx: _Ctx, step: Step):
+        """Reduce pending non-owned output partials back to their owners."""
+        for rect, owner in self.env.flush_partials(name, ctx.coords):
+            if owner == ctx.coords:
+                continue
+            self.env.stage_reduction(name, owner, rect)
+            self._emit_copy(step, name, rect, owner, ctx, reduce=True)
+
+    # ------------------------------------------------------------------
+    # Leaf execution.
+    # ------------------------------------------------------------------
+
+    def _run_leaf_body(self, node: LeafNode, ctx: _Ctx, step: Step):
+        env = ChainMap(ctx.env, self.full_env)
+        work = step.work_for(ctx.proc)
+        local_arrays: Dict[str, np.ndarray] = {}
+        for assign in node.assigns:
+            rects: Dict[int, Rect] = {}
+            variables = _assign_vars(assign)
+            var_sizes = {}
+            empty = False
+            for var in variables:
+                interval = self.graph.value_of(var, env, exact=True)
+                var_sizes[var] = interval.size
+                if interval.size == 0:
+                    empty = True
+            if empty:
+                continue
+            volume = 1
+            for size in var_sizes.values():
+                volume *= size
+            flops = volume * _ops_per_point(assign)
+            accesses = [assign.lhs] + list(assign.rhs.accesses())
+            nbytes = 0
+            staged = 0
+            gpu_proc = ctx.proc.memory.kind.value == "gpu_fb"
+            for access in accesses:
+                intervals = tuple(
+                    self.graph.value_of(v, env, exact=True)
+                    for v in access.indices
+                )
+                rect = Rect(intervals)
+                rects[id(access)] = rect
+                access_bytes = rect.volume * access.tensor.itemsize
+                nbytes += access_bytes
+                if gpu_proc and access.tensor.format.memory.value == "sysmem":
+                    # Host-resident data computed on a GPU streams over
+                    # PCIe (out-of-core execution, e.g. COSMA's GEMM).
+                    staged += access_bytes
+            work.add(
+                flops, nbytes, node.kernel, node.parallel, staged_bytes=staged
+            )
+            out_rect = rects[id(assign.lhs)]
+            out_name = assign.lhs.tensor.name
+            if out_name == self.plan.output:
+                created = self.env.note_partial(
+                    out_name, ctx.coords, out_rect
+                )
+                del created
+            if self.materialize:
+                self._compute(assign, rects, local_arrays, var_sizes)
+
+    def _compute(
+        self,
+        assign: Assign,
+        rects: Dict[int, Rect],
+        local_arrays: Dict[str, np.ndarray],
+        var_sizes: Dict[IndexVar, int],
+    ):
+        """Evaluate one leaf assignment on real data."""
+        letters: Dict[IndexVar, str] = {}
+
+        def letter(var: IndexVar) -> str:
+            if var not in letters:
+                letters[var] = chr(ord("a") + len(letters))
+            return letters[var]
+
+        def view(access: Access) -> np.ndarray:
+            name = access.tensor.name
+            if name in self.arrays:
+                arr = self.arrays[name]
+            else:
+                if name not in local_arrays:
+                    local_arrays[name] = np.zeros(
+                        access.tensor.shape, dtype=access.tensor.dtype
+                    )
+                arr = local_arrays[name]
+            if access.tensor.ndim == 0:
+                # Indexing a 0-d array with () detaches a scalar; the
+                # array itself is the writable view.
+                return arr
+            return arr[rects[id(access)].as_slices()]
+
+        out_view = view(assign.lhs)
+        if not assign.reduce:
+            out_view[...] = 0.0
+        reduction = [
+            v for v in var_sizes if v not in assign.lhs.indices
+        ]
+        for coeff, accesses in _terms(assign.rhs):
+            if not accesses:
+                mult = 1
+                for var in reduction:
+                    mult *= var_sizes[var]
+                out_view += coeff * mult
+                continue
+            subs = ",".join(
+                "".join(letter(v) for v in acc.indices) for acc in accesses
+            )
+            operands = [view(acc) for acc in accesses]
+            # Output variables not indexing any term operand broadcast
+            # (e.g. the paper's a(i) += b(j) running example); reduction
+            # variables not indexing the term multiply it by the local
+            # iteration count (the loop nest sums it once per point).
+            present = {v for acc in accesses for v in acc.indices}
+            for var in reduction:
+                if var not in present:
+                    coeff = coeff * var_sizes[var]
+            out_sub = "".join(
+                letter(v) for v in assign.lhs.indices if v in present
+            )
+            result = np.einsum(
+                f"{subs}->{out_sub}", *operands, optimize=True
+            )
+            shape = tuple(
+                out_view.shape[d] if v in present else 1
+                for d, v in enumerate(assign.lhs.indices)
+            )
+            out_view += coeff * np.asarray(result).reshape(shape)
+
+
+def _assign_vars(assign: Assign) -> List[IndexVar]:
+    seen: List[IndexVar] = []
+    for access in [assign.lhs] + list(assign.rhs.accesses()):
+        for var in access.indices:
+            if var not in seen:
+                seen.append(var)
+    return seen
+
+
+def _ops_per_point(assign: Assign) -> int:
+    def count(expr) -> int:
+        if isinstance(expr, (Add, Mul)):
+            return 1 + count(expr.lhs) + count(expr.rhs)
+        return 0
+
+    ops = count(assign.rhs)
+    if assign.reduce:
+        ops += 1
+    return max(ops, 1)

@@ -1,0 +1,279 @@
+"""Per-memory instance tables: Legion's coherence analysis, reproduced.
+
+Each tensor has *home* instances placed by its format's distribution
+(replicas included), plus transient *cached* instances created when a task
+needs data its processor does not hold. A request is resolved against the
+instance state by a nearest-valid-source search:
+
+* the requester's own home piece or cache — no copy;
+* otherwise the closest holder, preferring cached neighbours over the
+  distant owner. This is exactly what turns a ``rotate``-d schedule into
+  systolic nearest-neighbour shifts (the neighbour still holds the chunk
+  it used last step) and an un-rotated one into owner broadcasts
+  (Figures 7, 8, 12 of the paper).
+
+All instance bytes are accounted against their memory's capacity; the
+high-water mark is what makes replication-heavy 3-D algorithms exhaust
+GPU framebuffers at scale (Section 7.1.2).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.codegen.plan import DistributedPlan
+from repro.machine.cluster import Memory, MemoryKind
+from repro.machine.machine import Machine
+from repro.util.errors import LoweringError, OutOfMemoryError
+from repro.util.geometry import Rect
+
+Coords = Tuple[int, ...]
+InstanceKey = Tuple[str, Rect]
+
+
+class DataEnvironment:
+    """Instance tables and memory accounting for one kernel execution."""
+
+    def __init__(
+        self,
+        plan: DistributedPlan,
+        check_capacity: bool = False,
+        count_home: bool = True,
+    ):
+        self.plan = plan
+        self.machine: Machine = plan.machine
+        self.check_capacity = check_capacity
+        # Cached (non-home) instances: key -> coords of holders.
+        self._holders: Dict[InstanceKey, Set[Coords]] = {}
+        # Memory accounting.
+        self._usage: Dict[Memory, int] = {}
+        self.high_water: Dict[Memory, int] = {}
+        # Pending non-owned output partials: (coords, tensor) -> rects.
+        self._partials: Dict[Tuple[Coords, str], List[Rect]] = {}
+        if count_home:
+            self._account_home()
+
+    # ------------------------------------------------------------------
+    # Home instances.
+    # ------------------------------------------------------------------
+
+    def _account_home(self):
+        """Charge every distinct home instance to its memory."""
+        seen: Set[Tuple[str, str, Rect]] = set()
+        for name, tensor in self.plan.tensors.items():
+            if not tensor.format.is_distributed and tensor.ndim == 0:
+                continue
+            if not tensor.format.is_distributed:
+                mem = self._memory_for(tuple([0] * self.machine.dim), name)
+                self._add_bytes(mem, tensor.nbytes)
+                continue
+            for point in self.machine.points():
+                rect = tensor.format.owned_rect(
+                    self.machine, point, tensor.shape
+                )
+                if rect is None or rect.is_empty:
+                    continue
+                mem = self._memory_for(point, name)
+                key = (name, mem.name, rect)
+                if key in seen:
+                    continue
+                seen.add(key)
+                self._add_bytes(mem, rect.volume * tensor.itemsize)
+
+    def home_rect(self, name: str, coords: Coords) -> Optional[Rect]:
+        tensor = self.plan.tensors[name]
+        return tensor.format.owned_rect(self.machine, coords, tensor.shape)
+
+    def owns(self, name: str, coords: Coords, rect: Rect) -> bool:
+        """Whether the home piece at ``coords`` covers ``rect``."""
+        home = self.home_rect(name, coords)
+        return home is not None and home.contains(rect)
+
+    # ------------------------------------------------------------------
+    # Memory accounting.
+    # ------------------------------------------------------------------
+
+    def _memory_for(self, coords: Coords, name: str) -> Memory:
+        """The memory an instance occupies at a machine point."""
+        proc = self.machine.proc_at(coords)
+        tensor = self.plan.tensors[name]
+        wants = tensor.format.memory
+        if wants is MemoryKind.GPU_FB and proc.memory.kind is MemoryKind.GPU_FB:
+            return proc.memory
+        if wants is MemoryKind.SYSTEM_MEM:
+            node = self.machine.cluster.nodes[proc.node_id]
+            if node.system_memory is not None:
+                return node.system_memory
+        return proc.memory
+
+    def _add_bytes(self, mem: Memory, n: int):
+        usage = self._usage.get(mem, 0) + n
+        self._usage[mem] = usage
+        if usage > self.high_water.get(mem.name, 0):
+            self.high_water[mem.name] = usage
+        if self.check_capacity and usage > mem.capacity_bytes:
+            raise OutOfMemoryError(mem.name, usage, mem.capacity_bytes)
+
+    def _sub_bytes(self, mem: Memory, n: int):
+        self._usage[mem] = self._usage.get(mem, 0) - n
+
+    def usage_of(self, mem: Memory) -> int:
+        return self._usage.get(mem, 0)
+
+    # ------------------------------------------------------------------
+    # Request resolution.
+    # ------------------------------------------------------------------
+
+    def is_local(self, name: str, coords: Coords, rect: Rect) -> bool:
+        """Requester already holds the data (home or cache)."""
+        if self.owns(name, coords, rect):
+            return True
+        holders = self._holders.get((name, rect))
+        return holders is not None and coords in holders
+
+    def resolve(
+        self, name: str, coords: Coords, rect: Rect
+    ) -> List[Tuple[Coords, Rect]]:
+        """Plan the copies needed to materialize ``rect`` at ``coords``.
+
+        Pure query: sources reflect the instance state at phase start, so
+        a batch of same-phase requests for one chunk all name the same
+        source (the cost model then recognizes the broadcast). Call
+        :meth:`register` afterwards to install the instance.
+        """
+        if rect.is_empty or self.is_local(name, coords, rect):
+            return []
+        return self._find_sources(name, coords, rect)
+
+    def register(self, name: str, coords: Coords, rect: Rect) -> bool:
+        """Install a cached instance at ``coords``; True if newly added.
+
+        The instance occupies the tensor's preferred memory kind at that
+        machine point — GPU framebuffer for framebuffer-pinned formats,
+        node system memory for host-resident (out-of-core) formats.
+        """
+        if rect.is_empty or self.is_local(name, coords, rect):
+            return False
+        tensor = self.plan.tensors[name]
+        mem = self._memory_for(coords, name)
+        self._holders.setdefault((name, rect), set()).add(coords)
+        self._add_bytes(mem, rect.volume * tensor.itemsize)
+        return True
+
+    def source_memory(self, name: str, coords: Coords, rect: Rect) -> Memory:
+        """The memory a source instance occupies at a machine point."""
+        return self._memory_for(coords, name)
+
+    def _find_sources(
+        self, name: str, coords: Coords, rect: Rect
+    ) -> List[Tuple[Coords, Rect]]:
+        """Nearest valid source(s) for a request."""
+        tensor = self.plan.tensors[name]
+        candidates: List[Coords] = []
+        holders = self._holders.get((name, rect))
+        if holders:
+            candidates.extend(holders)
+        pattern = tensor.format.owner_pattern(
+            self.machine, rect, tensor.shape
+        )
+        if pattern is not None:
+            candidates.append(self._concretize(pattern, coords))
+        if candidates:
+            best = min(
+                candidates,
+                key=lambda c: self.machine.torus_distance(c, coords),
+            )
+            return [(best, rect)]
+        # No single source covers the request: split it across home pieces
+        # (redistribution between mismatched formats).
+        pieces = tensor.format.owner_pieces(self.machine, rect, tensor.shape)
+        if not pieces:
+            raise LoweringError(
+                f"no valid instance found for {name} rect {rect}"
+            )
+        return [
+            (self._concretize(pattern, coords), piece)
+            for pattern, piece in pieces
+        ]
+
+    def _concretize(
+        self, pattern: Sequence[Optional[int]], near: Coords
+    ) -> Coords:
+        """Fill a pattern's free dimensions with the requester's coords
+        (the nearest replica)."""
+        out = []
+        for dim, value in enumerate(pattern):
+            if value is not None:
+                out.append(value)
+            else:
+                out.append(near[dim] % self.machine.shape[dim])
+        return tuple(out)
+
+    def release(self, name: str, coords: Coords, rect: Rect):
+        """Evict a cached instance (end of its communicate scope)."""
+        holders = self._holders.get((name, rect))
+        if holders is None or coords not in holders:
+            return
+        holders.discard(coords)
+        if not holders:
+            del self._holders[(name, rect)]
+        tensor = self.plan.tensors[name]
+        mem = self._memory_for(coords, name)
+        self._sub_bytes(mem, rect.volume * tensor.itemsize)
+
+    # ------------------------------------------------------------------
+    # Output partials (reduction write-backs).
+    # ------------------------------------------------------------------
+
+    def note_partial(self, name: str, coords: Coords, rect: Rect) -> bool:
+        """Record a non-owned output write; True if a new partial instance
+        was created (and charged to memory)."""
+        if self.owns(name, coords, rect):
+            return False
+        key = (coords, name)
+        rects = self._partials.setdefault(key, [])
+        if rect in rects:
+            return False
+        rects.append(rect)
+        tensor = self.plan.tensors[name]
+        mem = self._memory_for(coords, name)
+        self._add_bytes(mem, rect.volume * tensor.itemsize)
+        return True
+
+    def stage_reduction(self, name: str, owner: Coords, rect: Rect):
+        """Charge the transient instance an owner materializes to fold an
+        incoming reduction (Legion stages reduction instances before
+        applying them; this pressure is part of what exhausts GPU
+        framebuffers under heavy replication)."""
+        tensor = self.plan.tensors[name]
+        mem = self._memory_for(owner, name)
+        nbytes = rect.volume * tensor.itemsize
+        self._add_bytes(mem, nbytes)
+        self._sub_bytes(mem, nbytes)
+
+    def flush_partials(
+        self, name: str, coords: Coords
+    ) -> List[Tuple[Rect, Coords]]:
+        """Pop pending partials for reduction back to their owners.
+
+        Returns ``(rect, owner coords)`` pairs; frees the partial bytes.
+        """
+        key = (coords, name)
+        rects = self._partials.pop(key, [])
+        tensor = self.plan.tensors[name]
+        mem = self._memory_for(coords, name)
+        out = []
+        for rect in rects:
+            self._sub_bytes(mem, rect.volume * tensor.itemsize)
+            pattern = tensor.format.owner_pattern(
+                self.machine, rect, tensor.shape
+            )
+            if pattern is None:
+                pieces = tensor.format.owner_pieces(
+                    self.machine, rect, tensor.shape
+                )
+                for pat, piece in pieces:
+                    out.append((piece, self._concretize(pat, coords)))
+            else:
+                out.append((rect, self._concretize(pattern, coords)))
+        return out

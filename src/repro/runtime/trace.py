@@ -1,0 +1,137 @@
+"""Execution traces: the lockstep phase record fed to the cost model.
+
+Execution proceeds in *steps* (bulk-synchronous phases): each sequential
+``communicate`` iteration opens a step whose copies are resolved against
+the instance state left by the previous step, then leaf work runs. The
+cost model turns a step's copy batch into collectives (broadcasts,
+shifts, reductions) and its work map into compute time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.machine.cluster import Memory, Processor
+from repro.util.geometry import Rect
+
+
+@dataclass
+class Copy:
+    """One data movement: ``bytes`` of ``tensor`` from ``src`` to ``dst``.
+
+    ``reduce`` marks reduction write-backs (the destination combines
+    rather than overwrites). Copies with equal ``(tensor, rect, src)``
+    within a step form a multicast; reduce copies with equal ``(tensor,
+    rect, dst)`` form a reduction tree.
+    """
+
+    tensor: str
+    rect: Rect
+    nbytes: int
+    src_proc: Processor
+    dst_proc: Processor
+    src_mem: Memory
+    dst_mem: Memory
+    src_coords: Tuple[int, ...] = ()
+    dst_coords: Tuple[int, ...] = ()
+    reduce: bool = False
+
+    @property
+    def inter_node(self) -> bool:
+        return self.src_proc.node_id != self.dst_proc.node_id
+
+
+@dataclass
+class Work:
+    """Leaf compute accumulated on one processor within a step."""
+
+    flops: float = 0.0
+    bytes_touched: float = 0.0
+    # Bytes that must cross PCIe because the data lives in host memory
+    # while the leaf runs on a GPU (out-of-core execution).
+    staged_bytes: float = 0.0
+    kernel: Optional[str] = None
+    parallel: bool = False
+    invocations: int = 0
+
+    def add(
+        self,
+        flops: float,
+        bytes_touched: float,
+        kernel: Optional[str],
+        parallel: bool,
+        staged_bytes: float = 0.0,
+    ):
+        self.flops += flops
+        self.bytes_touched += bytes_touched
+        self.staged_bytes += staged_bytes
+        if kernel is not None:
+            self.kernel = kernel
+        self.parallel = self.parallel or parallel
+        self.invocations += 1
+
+
+@dataclass
+class Step:
+    """One lockstep phase: a copy batch followed by leaf work."""
+
+    label: str
+    copies: List[Copy] = field(default_factory=list)
+    work: Dict[int, Work] = field(default_factory=dict)
+
+    def work_for(self, proc: Processor) -> Work:
+        if proc.proc_id not in self.work:
+            self.work[proc.proc_id] = Work()
+        return self.work[proc.proc_id]
+
+    @property
+    def total_copy_bytes(self) -> int:
+        return sum(c.nbytes for c in self.copies)
+
+    @property
+    def inter_node_bytes(self) -> int:
+        return sum(c.nbytes for c in self.copies if c.inter_node)
+
+    @property
+    def total_flops(self) -> float:
+        return sum(w.flops for w in self.work.values())
+
+
+@dataclass
+class Trace:
+    """The full phase record of one kernel execution."""
+
+    steps: List[Step] = field(default_factory=list)
+    memory_high_water: Dict[str, int] = field(default_factory=dict)
+
+    def new_step(self, label: str) -> Step:
+        step = Step(label=label)
+        self.steps.append(step)
+        return step
+
+    @property
+    def current(self) -> Step:
+        if not self.steps:
+            return self.new_step("start")
+        return self.steps[-1]
+
+    # ------------------------------------------------------------------
+    # Aggregate statistics (used heavily by tests).
+    # ------------------------------------------------------------------
+
+    @property
+    def total_copy_bytes(self) -> int:
+        return sum(s.total_copy_bytes for s in self.steps)
+
+    @property
+    def inter_node_bytes(self) -> int:
+        return sum(s.inter_node_bytes for s in self.steps)
+
+    @property
+    def total_flops(self) -> float:
+        return sum(s.total_flops for s in self.steps)
+
+    @property
+    def copies(self) -> List[Copy]:
+        return [c for s in self.steps for c in s.copies]

@@ -1,0 +1,12 @@
+"""The scheduling language (Sections 2, 3.3 and 5.2).
+
+A :class:`Schedule` wraps a tensor index notation assignment, lowers it to
+concrete index notation, and applies transformations as rewrite rules:
+``split``, ``divide``, ``collapse``, ``reorder``, ``precompute``,
+``parallelize``, ``substitute`` from prior work, and the paper's three new
+distributed primitives ``distribute``, ``communicate`` and ``rotate``.
+"""
+
+from repro.scheduling.schedule import Schedule
+
+__all__ = ["Schedule"]

@@ -1,0 +1,15 @@
+"""Discrete-event performance model of the paper's testbed.
+
+The executor produces a lockstep trace (copy batches + per-processor leaf
+work); this package turns it into time. The model is calibrated to the
+Lassen supercomputer (Section 7 experimental setup): dual-socket Power9
+nodes, four NVLink-connected 16 GiB V100s per node, an EDR InfiniBand
+NIC per node, with Legion's measured GPU-direct bandwidth limitation and
+its 4-of-40-cores runtime tax.
+"""
+
+from repro.sim.params import LASSEN, MachineParams
+from repro.sim.costmodel import CostModel
+from repro.sim.report import SimReport
+
+__all__ = ["CostModel", "LASSEN", "MachineParams", "SimReport"]

@@ -1,0 +1,136 @@
+"""Trace analysis: classify and summarize communication patterns.
+
+The paper's evaluation discussion reasons about *why* algorithms behave
+as they do — systolic vs broadcast traffic, collective fan-outs, 2-D vs
+3-D volume, replication memory. This module extracts those
+characterizations from execution traces so benchmarks, tests and users
+can make the same arguments quantitatively.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.machine.machine import Machine
+from repro.runtime.trace import Trace
+
+
+@dataclass
+class StepSummary:
+    """Communication character of one lockstep phase."""
+
+    label: str
+    copies: int
+    nbytes: int
+    inter_node_bytes: int
+    max_fanout: int
+    max_shift: int
+    reductions: int
+
+
+@dataclass
+class TraceSummary:
+    """Whole-trace communication characterization."""
+
+    steps: List[StepSummary] = field(default_factory=list)
+    total_bytes: int = 0
+    inter_node_bytes: int = 0
+    reduction_bytes: int = 0
+
+    @property
+    def pattern(self) -> str:
+        """Dominant pattern: systolic / broadcast / mixed / none.
+
+        Classified over steady-state phases (the first communication
+        phase is excluded: systolic algorithms begin with an alignment
+        shift of unbounded distance, Figure 11).
+        """
+        steady = [s for s in self.steps if s.copies][1:]
+        if not steady:
+            return "none"
+        shifts = [s for s in steady if s.max_shift <= 1 and s.max_fanout <= 1]
+        casts = [s for s in steady if s.max_fanout > 1]
+        if len(shifts) == len(steady):
+            return "systolic"
+        if len(casts) == len(steady):
+            return "broadcast"
+        return "mixed"
+
+    @property
+    def comm_phases(self) -> int:
+        return sum(1 for s in self.steps if s.copies)
+
+
+def summarize(trace: Trace, machine: Machine) -> TraceSummary:
+    """Characterize a trace's communication structure."""
+    summary = TraceSummary()
+    for step in trace.steps:
+        fanout = Counter()
+        max_shift = 0
+        reductions = 0
+        nbytes = 0
+        inter = 0
+        for copy in step.copies:
+            nbytes += copy.nbytes
+            if copy.inter_node:
+                inter += copy.nbytes
+            if copy.reduce:
+                reductions += 1
+                summary.reduction_bytes += copy.nbytes
+                continue
+            fanout[(copy.tensor, copy.src_coords)] += 1
+            if copy.src_coords and copy.dst_coords:
+                max_shift = max(
+                    max_shift,
+                    machine.torus_distance(copy.src_coords, copy.dst_coords),
+                )
+        summary.steps.append(
+            StepSummary(
+                label=step.label,
+                copies=len(step.copies),
+                nbytes=nbytes,
+                inter_node_bytes=inter,
+                max_fanout=max(fanout.values()) if fanout else 0,
+                max_shift=max_shift,
+                reductions=reductions,
+            )
+        )
+        summary.total_bytes += nbytes
+        summary.inter_node_bytes += inter
+    return summary
+
+
+def per_tensor_bytes(trace: Trace) -> Dict[str, int]:
+    """Bytes moved per tensor (which operand dominates traffic?)."""
+    out: Dict[str, int] = defaultdict(int)
+    for copy in trace.copies:
+        out[copy.tensor] += copy.nbytes
+    return dict(out)
+
+
+def node_traffic_matrix(trace: Trace) -> Dict[Tuple[int, int], int]:
+    """Bytes between node pairs — the paper's Figure 9 icon data."""
+    out: Dict[Tuple[int, int], int] = defaultdict(int)
+    for copy in trace.copies:
+        src, dst = copy.src_proc.node_id, copy.dst_proc.node_id
+        if src != dst:
+            out[(src, dst)] += copy.nbytes
+    return dict(out)
+
+
+def communication_report(trace: Trace, machine: Machine) -> str:
+    """A human-readable communication report for a kernel execution."""
+    summary = summarize(trace, machine)
+    tensors = per_tensor_bytes(trace)
+    lines = [
+        f"pattern       : {summary.pattern}",
+        f"comm phases   : {summary.comm_phases}",
+        f"total bytes   : {summary.total_bytes:,}",
+        f"inter-node    : {summary.inter_node_bytes:,}",
+        f"reduced bytes : {summary.reduction_bytes:,}",
+    ]
+    for name, nbytes in sorted(tensors.items()):
+        lines.append(f"  {name:<12s}: {nbytes:,} bytes")
+    return "\n".join(lines)

@@ -1,0 +1,213 @@
+"""Turning execution traces into time.
+
+Per step (bulk-synchronous phase):
+
+* **Communication.** Copies are grouped into collectives: same source
+  instance to many destinations is a multicast (tree: the source link
+  carries at most ``bcast_relay_factor`` payloads, receivers relay);
+  reductions are inverted trees keyed by destination. Inter-node traffic
+  contends for each node's NIC (in and out separately); intra-node GPU
+  traffic contends for NVLink per processor. GPU-resident data crosses
+  nodes at the measured GPU-direct rate, host-resident at the full NIC
+  rate — the distinction behind the paper's COSMA-vs-DISTAL GPU gap.
+* **Compute.** Per processor, a roofline: FLOPs at the leaf kernel's
+  efficiency or bytes at memory bandwidth, whichever dominates. A step
+  takes as long as its slowest processor (lockstep).
+* **Overlap.** With a runtime that overlaps communication and
+  computation (Legion, COSMA) a step costs ``max(comm, compute)``;
+  blocking systems pay ``comm + compute``. The paper attributes
+  ScaLAPACK's and CTF's CPU shortfall exactly to this (Section 7.1.1).
+"""
+
+from __future__ import annotations
+
+import math
+from collections import defaultdict
+from typing import Dict, List
+
+from repro.machine.cluster import Cluster, MemoryKind, ProcessorKind
+from repro.runtime.trace import Copy, Step, Trace
+from repro.sim.params import MachineParams
+from repro.sim.report import SimReport
+
+GEMM_KERNELS = {"blas_gemm", "cublas_gemm", "gemm"}
+
+
+class CostModel:
+    """Times traces produced by the executor."""
+
+    def __init__(self, cluster: Cluster, params: MachineParams):
+        self.cluster = cluster
+        self.params = params
+        self._procs = {p.proc_id: p for p in cluster.processors}
+
+    # ------------------------------------------------------------------
+    # Public API.
+    # ------------------------------------------------------------------
+
+    def time_trace(self, trace: Trace) -> SimReport:
+        """Total time and derived rates for a full kernel execution."""
+        total = 0.0
+        comm_total = 0.0
+        compute_total = 0.0
+        for step in trace.steps:
+            t_comm = self.comm_time(step.copies)
+            t_compute = self.compute_time(step)
+            if self.params.overlap:
+                t_step = max(t_comm, t_compute)
+            else:
+                t_step = t_comm + t_compute
+            t_step += self.params.task_overhead
+            total += t_step
+            comm_total += t_comm
+            compute_total += t_compute
+        flops = trace.total_flops
+        bytes_touched = sum(
+            w.bytes_touched for s in trace.steps for w in s.work.values()
+        )
+        return SimReport(
+            total_time=total,
+            comm_time=comm_total,
+            compute_time=compute_total,
+            total_flops=flops,
+            bytes_touched=bytes_touched,
+            inter_node_bytes=trace.inter_node_bytes,
+            total_copy_bytes=trace.total_copy_bytes,
+            num_nodes=self.cluster.num_nodes,
+            memory_high_water=dict(trace.memory_high_water),
+        )
+
+    # ------------------------------------------------------------------
+    # Compute.
+    # ------------------------------------------------------------------
+
+    def compute_time(self, step: Step) -> float:
+        worst = 0.0
+        for proc_id, work in step.work.items():
+            proc = self._procs[proc_id]
+            if proc.kind is ProcessorKind.GPU:
+                rate = self.params.gpu_gflops
+                mem_bw = self.params.gpu_mem_bw
+            else:
+                rate = (
+                    self.params.cpu_socket_gflops
+                    * self.params.runtime_core_fraction
+                )
+                mem_bw = self.params.cpu_mem_bw
+            if work.kernel in GEMM_KERNELS:
+                eff = self.params.gemm_efficiency
+            else:
+                eff = self.params.naive_leaf_efficiency
+            if work.staged_bytes > 0 and proc.kind is ProcessorKind.GPU:
+                eff *= self.params.out_of_core_efficiency
+            t_flops = work.flops / (rate * eff) if work.flops else 0.0
+            t_bytes = work.bytes_touched / mem_bw if work.bytes_touched else 0.0
+            t_staged = (
+                work.staged_bytes / self.params.pcie_bw
+                if work.staged_bytes
+                else 0.0
+            )
+            worst = max(worst, t_flops, t_bytes, t_staged)
+        return worst
+
+    # ------------------------------------------------------------------
+    # Communication.
+    # ------------------------------------------------------------------
+
+    def comm_time(self, copies: List[Copy]) -> float:
+        if not copies:
+            return 0.0
+        params = self.params
+        node_out: Dict[int, float] = defaultdict(float)
+        node_in: Dict[int, float] = defaultdict(float)
+        proc_intra_out: Dict[int, float] = defaultdict(float)
+        proc_intra_in: Dict[int, float] = defaultdict(float)
+        max_stages = 1
+
+        multicasts = defaultdict(list)
+        reductions = defaultdict(list)
+        for copy in copies:
+            if copy.reduce:
+                reductions[(copy.tensor, copy.rect, copy.dst_proc.proc_id)].append(copy)
+            else:
+                multicasts[(copy.tensor, copy.rect, copy.src_proc.proc_id)].append(copy)
+
+        def intra_bw(copy: Copy) -> float:
+            src_gpu = copy.src_mem.kind is MemoryKind.GPU_FB
+            dst_gpu = copy.dst_mem.kind is MemoryKind.GPU_FB
+            if src_gpu and dst_gpu:
+                return params.nvlink_bw
+            if src_gpu or dst_gpu:
+                return params.pcie_bw
+            return params.cpu_mem_bw
+
+        def inter_bw(copy: Copy) -> float:
+            gpu_resident = (
+                copy.src_mem.kind is MemoryKind.GPU_FB
+                or copy.dst_mem.kind is MemoryKind.GPU_FB
+            )
+            return params.nic_bw_gpu_direct if gpu_resident else params.nic_bw
+
+        for group in multicasts.values():
+            inter = [c for c in group if c.inter_node]
+            intra = [c for c in group if not c.inter_node]
+            fan_out = len(group)
+            max_stages = max(max_stages, math.ceil(math.log2(fan_out + 1)))
+            scale = params.collective_efficiency
+            if inter:
+                copy = inter[0]
+                src_node = copy.src_proc.node_id
+                relay = min(len(inter), params.bcast_relay_factor)
+                node_out[src_node] += (
+                    scale * relay * copy.nbytes / inter_bw(copy)
+                )
+                # Interior nodes of the broadcast tree retransmit: about
+                # half the receivers forward the payload once.
+                forward = scale * 0.5 * copy.nbytes / inter_bw(copy)
+                for c in inter:
+                    node_in[c.dst_proc.node_id] += (
+                        scale * c.nbytes / inter_bw(c)
+                    )
+                    if len(inter) > 2:
+                        node_out[c.dst_proc.node_id] += forward
+            if intra:
+                copy = intra[0]
+                src = copy.src_proc.proc_id
+                relay = min(len(intra), 2)
+                proc_intra_out[src] += relay * copy.nbytes / intra_bw(copy)
+                for c in intra:
+                    proc_intra_in[c.dst_proc.proc_id] += c.nbytes / intra_bw(c)
+
+        for group in reductions.values():
+            inter = [c for c in group if c.inter_node]
+            intra = [c for c in group if not c.inter_node]
+            fan_in = len(group)
+            max_stages = max(max_stages, math.ceil(math.log2(fan_in + 1)))
+            scale = params.collective_efficiency
+            if inter:
+                copy = inter[0]
+                dst_node = copy.dst_proc.node_id
+                relay = min(len(inter), params.bcast_relay_factor)
+                node_in[dst_node] += scale * relay * copy.nbytes / inter_bw(copy)
+                for c in inter:
+                    node_out[c.src_proc.node_id] += (
+                        scale * c.nbytes / inter_bw(c)
+                    )
+            if intra:
+                copy = intra[0]
+                dst = copy.dst_proc.proc_id
+                relay = min(len(intra), 2)
+                proc_intra_in[dst] += relay * copy.nbytes / intra_bw(copy)
+                for c in intra:
+                    proc_intra_out[c.src_proc.proc_id] += (
+                        c.nbytes / intra_bw(c)
+                    )
+
+        link_times = (
+            list(node_out.values())
+            + list(node_in.values())
+            + list(proc_intra_out.values())
+            + list(proc_intra_in.values())
+        )
+        worst_link = max(link_times) if link_times else 0.0
+        return worst_link + params.latency * max_stages

@@ -1,0 +1,55 @@
+"""Simulation reports: the units the paper's figures plot."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+
+@dataclass
+class SimReport:
+    """Timing and traffic summary of one simulated kernel execution.
+
+    The evaluation's figures plot per-node rates: GFLOP/s per node for
+    compute-bound kernels (Figures 15, 16c, 16d) and GB/s per node for
+    bandwidth-bound ones (Figures 16a, 16b).
+    """
+
+    total_time: float
+    comm_time: float
+    compute_time: float
+    total_flops: float
+    bytes_touched: float
+    inter_node_bytes: float
+    total_copy_bytes: float
+    num_nodes: int
+    memory_high_water: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def gflops_per_node(self) -> float:
+        """GFLOP/s per node (Figures 15a/15b, 16c, 16d)."""
+        if self.total_time <= 0:
+            return 0.0
+        return self.total_flops / self.total_time / self.num_nodes / 1e9
+
+    @property
+    def gbytes_per_node(self) -> float:
+        """GB/s of tensor data processed per node (Figures 16a, 16b)."""
+        if self.total_time <= 0:
+            return 0.0
+        return self.bytes_touched / self.total_time / self.num_nodes / 1e9
+
+    @property
+    def max_memory_bytes(self) -> int:
+        """Largest high-water mark across memories."""
+        if not self.memory_high_water:
+            return 0
+        return max(self.memory_high_water.values())
+
+    def __repr__(self) -> str:
+        return (
+            f"SimReport(t={self.total_time:.4f}s, "
+            f"{self.gflops_per_node:.1f} GF/s/node, "
+            f"{self.gbytes_per_node:.1f} GB/s/node, "
+            f"comm={self.comm_time:.4f}s)"
+        )

@@ -1,0 +1,22 @@
+"""Shared utilities: geometry (intervals/rectangles), errors, naming."""
+
+from repro.util.errors import (
+    DistributionError,
+    LoweringError,
+    OutOfMemoryError,
+    ReproError,
+    ScheduleError,
+    UnsupportedScheduleError,
+)
+from repro.util.geometry import Interval, Rect
+
+__all__ = [
+    "DistributionError",
+    "Interval",
+    "LoweringError",
+    "OutOfMemoryError",
+    "Rect",
+    "ReproError",
+    "ScheduleError",
+    "UnsupportedScheduleError",
+]

@@ -1,0 +1,51 @@
+"""Exception hierarchy for the DISTAL reproduction.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch compiler/runtime failures without catching programming errors.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class DistributionError(ReproError):
+    """An invalid tensor distribution notation statement.
+
+    Raised when a statement violates the validity conditions of Section 3.2:
+    ``|X| = dim T``, ``|Y| = dim M``, no duplicate names, and every machine
+    dimension name must also name a tensor dimension.
+    """
+
+
+class ScheduleError(ReproError):
+    """An illegal scheduling command (unknown variable, bad reorder, ...)."""
+
+
+class UnsupportedScheduleError(ScheduleError):
+    """A schedule that is valid in the paper but outside this implementation.
+
+    The known case is distributing a *range* of a fused (collapsed) variable,
+    which produces non-rectangular iteration blocks.
+    """
+
+
+class LoweringError(ReproError):
+    """Concrete index notation could not be lowered to a runtime plan."""
+
+
+class OutOfMemoryError(ReproError):
+    """A simulated memory exceeded its capacity.
+
+    Mirrors the paper's observation that Johnson's algorithm and the COSMA
+    schedule exhaust GPU framebuffer memory at 32+ nodes (Section 7.1.2).
+    """
+
+    def __init__(self, memory_name, needed_bytes, capacity_bytes):
+        self.memory_name = memory_name
+        self.needed_bytes = needed_bytes
+        self.capacity_bytes = capacity_bytes
+        super().__init__(
+            f"memory {memory_name} over capacity: needs {needed_bytes} bytes, "
+            f"holds at most {capacity_bytes}"
+        )

@@ -1,0 +1,76 @@
+"""Cross-product correctness matrix over algorithms, sizes and grids.
+
+Every matmul algorithm must be correct for divisible and ragged matrix
+sizes on square and rectangular grids — the combinations the paper's
+weak-scaling sweep actually visits.
+"""
+
+import numpy as np
+import pytest
+
+from repro import Cluster, Machine
+from repro.algorithms import cannon, cosma, johnson, pumma, solomonik, summa
+
+SIZES = [16, 21]  # divisible and ragged
+
+
+@pytest.fixture(scope="module")
+def arrays():
+    rng = np.random.default_rng(9)
+    return {
+        n: {"B": rng.random((n, n)), "C": rng.random((n, n))} for n in SIZES
+    }
+
+
+@pytest.mark.parametrize("n", SIZES)
+@pytest.mark.parametrize(
+    "grid", [(2, 2), (4, 2), (2, 4), (3, 3)], ids=str
+)
+@pytest.mark.parametrize(
+    "algorithm", [cannon, pumma, summa], ids=lambda f: f.__name__
+)
+def test_2d_algorithms(algorithm, grid, n, arrays):
+    machine = Machine.flat(*grid)
+    kernel = algorithm(machine, n)
+    kernel.execute(dict(arrays[n]), verify=True)
+
+
+@pytest.mark.parametrize("n", SIZES)
+@pytest.mark.parametrize("grid", [(2, 2, 2), (3, 3, 3)], ids=str)
+def test_johnson_grids(grid, n, arrays):
+    machine = Machine.flat(*grid)
+    kernel = johnson(machine, n)
+    kernel.execute(dict(arrays[n]), verify=True)
+
+
+@pytest.mark.parametrize("n", SIZES)
+@pytest.mark.parametrize("grid", [(2, 2, 2), (4, 4, 2)], ids=str)
+def test_solomonik_grids(grid, n, arrays):
+    machine = Machine.flat(*grid)
+    kernel = solomonik(machine, n)
+    kernel.execute(dict(arrays[n]), verify=True)
+
+
+@pytest.mark.parametrize("n", SIZES)
+@pytest.mark.parametrize("procs", [4, 8, 12])
+def test_cosma_proc_counts(procs, n, arrays):
+    cluster = Cluster.cpu_cluster(procs, sockets_per_node=1)
+    kernel = cosma(cluster, n)
+    kernel.execute(dict(arrays[n]), verify=True)
+
+
+@pytest.mark.parametrize(
+    "algorithm", [cannon, pumma, summa], ids=lambda f: f.__name__
+)
+def test_gpu_memory_variant(algorithm):
+    """Framebuffer-pinned formats work on GPU clusters too."""
+    from repro import Grid, MemoryKind
+
+    rng = np.random.default_rng(10)
+    n = 16
+    cluster = Cluster.gpu_cluster(2, gpus_per_node=2)
+    machine = Machine(cluster, Grid(2, 2))
+    kernel = algorithm(machine, n, memory=MemoryKind.GPU_FB)
+    kernel.execute(
+        {"B": rng.random((n, n)), "C": rng.random((n, n))}, verify=True
+    )

@@ -1,0 +1,64 @@
+"""Tests for the COSMA grid/steps optimizer."""
+
+import pytest
+
+from repro.algorithms.cosma_grid import (
+    comm_volume,
+    divisors,
+    factor_triples,
+    optimize_grid,
+)
+
+
+class TestFactorization:
+    def test_divisors(self):
+        assert divisors(12) == [1, 2, 3, 4, 6, 12]
+        assert divisors(1) == [1]
+        assert divisors(7) == [1, 7]
+
+    def test_factor_triples(self):
+        triples = set(factor_triples(8))
+        assert (2, 2, 2) in triples
+        assert (8, 1, 1) in triples
+        assert all(a * b * c == 8 for a, b, c in triples)
+
+
+class TestCommVolume:
+    def test_2d_grid_no_reduction_term(self):
+        v2d = comm_volume(64, 64, 64, (8, 8, 1))
+        assert v2d == 64 * 64 / 8 + 64 * 64 / 8
+
+    def test_3d_grid_adds_output(self):
+        v3d = comm_volume(64, 64, 64, (4, 4, 4))
+        assert v3d == pytest.approx(64 * 64 / 16 * 3)
+
+
+class TestOptimizer:
+    def test_square_problem_prefers_balance(self):
+        d = optimize_grid(1024, 1024, 1024, 64)
+        assert d.grid == (4, 4, 4)
+
+    def test_tall_skinny_prefers_1d(self):
+        # C is m x n with tiny n: partitioning n or k is wasteful.
+        d = optimize_grid(10_000, 16, 10_000, 16)
+        assert d.gy == 1
+
+    def test_memory_forces_steps(self):
+        # With barely more memory than the output tile, the optimizer
+        # must step the k chunks sequentially.
+        d = optimize_grid(1024, 1024, 1024, 16, memory_words=300_000)
+        assert d.num_steps > 1
+
+    def test_memory_infeasible(self):
+        with pytest.raises(ValueError):
+            optimize_grid(1024, 1024, 1024, 4, memory_words=10)
+
+    def test_unit_processor(self):
+        d = optimize_grid(64, 64, 64, 1)
+        assert d.grid == (1, 1, 1)
+        assert d.num_steps == 1
+
+    def test_respects_dimensions(self):
+        # Cannot split a dimension of 2 over more than 2 processors.
+        d = optimize_grid(2, 2, 1024, 16)
+        assert d.gx <= 2 and d.gy <= 2

@@ -1,0 +1,111 @@
+"""Tests for the higher-order kernels of Section 7.2."""
+
+import numpy as np
+import pytest
+
+from repro import Machine
+from repro.algorithms import innerprod, mttkrp, ttm, ttv
+from repro.util.errors import ScheduleError
+
+N = 12
+
+
+@pytest.fixture
+def cube(rng):
+    return rng.random((N, N, N))
+
+
+class TestTTV:
+    def test_correct(self, rng, cube):
+        kern = ttv(Machine.flat(2, 2), N)
+        kern.execute({"B": cube, "c": rng.random(N)}, verify=True)
+
+    def test_zero_communication(self, rng, cube):
+        # The paper's headline TTV property: no communication at all.
+        kern = ttv(Machine.flat(2, 2), N)
+        res = kern.execute({"B": cube, "c": rng.random(N)})
+        assert res.trace.total_copy_bytes == 0
+
+    def test_needs_2d_machine(self):
+        with pytest.raises(ScheduleError):
+            ttv(Machine.flat(4), N)
+
+    def test_bandwidth_bound_leaf(self, rng, cube):
+        kern = ttv(Machine.flat(2, 2), N)
+        res = kern.execute({"B": cube, "c": rng.random(N)})
+        work = [w for s in res.trace.steps for w in s.work.values()]
+        assert all(w.kernel is None for w in work)
+        assert sum(w.bytes_touched for w in work) > N ** 3 * 8
+
+
+class TestInnerprod:
+    def test_correct(self, rng, cube):
+        kern = innerprod(Machine.flat(2, 2), N)
+        kern.execute({"B": cube, "C": rng.random((N, N, N))}, verify=True)
+
+    def test_global_reduction_tree(self, rng, cube):
+        kern = innerprod(Machine.flat(2, 2), N)
+        res = kern.execute({"B": cube, "C": rng.random((N, N, N))})
+        reduces = [c for c in res.trace.copies if c.reduce]
+        # Three non-origin processors reduce their scalar partials.
+        assert len(reduces) == 3
+        assert all(c.nbytes == 8 for c in reduces)
+
+    def test_only_scalar_communication(self, rng, cube):
+        kern = innerprod(Machine.flat(2, 2), N)
+        res = kern.execute({"B": cube, "C": rng.random((N, N, N))})
+        assert res.trace.total_copy_bytes == 3 * 8
+
+
+class TestTTM:
+    def test_correct(self, rng, cube):
+        kern = ttm(Machine.flat(4), N, r=8)
+        kern.execute({"B": cube, "C": rng.random((N, 8))}, verify=True)
+
+    def test_zero_communication(self, rng, cube):
+        # Section 7.2.2: the TTM schedule has no inter-node communication.
+        kern = ttm(Machine.flat(4), N, r=8)
+        res = kern.execute({"B": cube, "C": rng.random((N, 8))})
+        assert res.trace.total_copy_bytes == 0
+
+    def test_gemm_leaf(self, rng, cube):
+        kern = ttm(Machine.flat(2), N, r=8)
+        res = kern.execute({"B": cube, "C": rng.random((N, 8))})
+        kernels = {
+            w.kernel for s in res.trace.steps for w in s.work.values()
+        }
+        assert "blas_gemm" in kernels
+
+
+class TestMTTKRP:
+    def test_correct(self, rng, cube):
+        kern = mttkrp(Machine.flat(2, 2, 2), N, r=8)
+        kern.execute(
+            {"B": cube, "C": rng.random((N, 8)), "D": rng.random((N, 8))},
+            verify=True,
+        )
+
+    def test_output_reduces_to_face(self, rng, cube):
+        kern = mttkrp(Machine.flat(2, 2, 2), N, r=8)
+        res = kern.execute(
+            {"B": cube, "C": rng.random((N, 8)), "D": rng.random((N, 8))}
+        )
+        reduces = [c for c in res.trace.copies if c.reduce]
+        assert len(reduces) == 6  # all but the (jo=0, ko=0) tasks
+        for c in reduces:
+            assert c.dst_coords[1] == 0 and c.dst_coords[2] == 0
+
+    def test_b_stays_in_place(self, rng, cube):
+        # Ballard et al.: the 3-tensor is never communicated.
+        kern = mttkrp(Machine.flat(2, 2, 2), N, r=8)
+        res = kern.execute(
+            {"B": cube, "C": rng.random((N, 8)), "D": rng.random((N, 8))}
+        )
+        assert not any(c.tensor == "B" for c in res.trace.copies)
+
+    def test_non_cube_grid(self, rng, cube):
+        kern = mttkrp(Machine.flat(4, 2, 1), N, r=8)
+        kern.execute(
+            {"B": cube, "C": rng.random((N, 8)), "D": rng.random((N, 8))},
+            verify=True,
+        )

@@ -1,0 +1,26 @@
+"""Smoke tests for the ``python -m repro.bench`` figure CLI."""
+
+import pytest
+
+from repro.bench.__main__ import main, parse_nodes
+
+
+class TestCli:
+    def test_parse_nodes(self):
+        assert parse_nodes("1,4,16") == [1, 4, 16]
+        assert parse_nodes("8") == [8]
+
+    def test_ttv_runs(self, capsys):
+        assert main(["ttv", "--nodes", "1,4"]) == 0
+        out = capsys.readouterr().out
+        assert "ttv weak scaling" in out
+        assert "Ours" in out
+
+    def test_fig15a_small(self, capsys):
+        assert main(["fig15a", "--nodes", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "ScaLAPACK" in out
+
+    def test_bad_figure_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["not-a-figure"])

@@ -1,0 +1,174 @@
+"""Tests for CIN -> distributed plan lowering (Section 6.2)."""
+
+import pytest
+
+from repro import (
+    Assignment,
+    Format,
+    Grid,
+    Machine,
+    Schedule,
+    TensorVar,
+    index_vars,
+)
+from repro.codegen.lower import lower_to_plan
+from repro.codegen.plan import LaunchNode, LeafNode, SeqNode
+from repro.util.errors import LoweringError
+
+
+def gemm(n=8, fmt="xy -> xy"):
+    f = Format(fmt)
+    A = TensorVar("A", (n, n), f)
+    B = TensorVar("B", (n, n), f)
+    C = TensorVar("C", (n, n), f)
+    i, j, k = index_vars("i j k")
+    return Assignment(A[i, j], B[i, k] * C[k, j]), (A, B, C), (i, j, k)
+
+
+class TestLaunchFlattening:
+    def test_nested_distributed_loops_flatten(self):
+        stmt, _, (i, j, k) = gemm()
+        io, ii, jo, ji = index_vars("io ii jo ji")
+        sched = Schedule(stmt).distribute([i, j], [io, jo], [ii, ji], Grid(2, 2))
+        plan = lower_to_plan(sched, Machine.flat(2, 2))
+        assert isinstance(plan.root, LaunchNode)
+        assert plan.root.vars == [io, jo]
+        assert plan.root.machine_dims == [0, 1]
+
+    def test_extent_mismatch_rejected(self):
+        stmt, _, (i, j, k) = gemm()
+        io, ii, jo, ji = index_vars("io ii jo ji")
+        sched = Schedule(stmt).distribute([i, j], [io, jo], [ii, ji], Grid(2, 2))
+        with pytest.raises(LoweringError):
+            lower_to_plan(sched, Machine.flat(2, 3))
+
+    def test_too_many_distributed_loops(self):
+        stmt, _, (i, j, k) = gemm()
+        io, ii, jo, ji, ko, ki = index_vars("io ii jo ji ko ki")
+        sched = Schedule(stmt).distribute(
+            [i, j, k], [io, jo, ko], [ii, ji, ki], Grid(2, 2, 2)
+        )
+        with pytest.raises(LoweringError):
+            lower_to_plan(sched, Machine.flat(2, 2))
+
+
+class TestLeafBlock:
+    def test_default_all_loops_fold(self):
+        stmt, _, _ = gemm()
+        sched = Schedule(stmt)
+        plan = lower_to_plan(sched, Machine.flat(2, 2))
+        assert isinstance(plan.root, LeafNode)
+        assert len(plan.root.loop_vars) == 3
+
+    def test_communicated_loop_stays_sequential(self):
+        stmt, (A, B, C), (i, j, k) = gemm()
+        io, ii, jo, ji, ko, ki = index_vars("io ii jo ji ko ki")
+        sched = (
+            Schedule(stmt)
+            .distribute([i, j], [io, jo], [ii, ji], Grid(2, 2))
+            .split(k, ko, ki, 4)
+            .reorder([ko, ii, ji, ki])
+            .communicate([B, C], ko)
+        )
+        plan = lower_to_plan(sched, Machine.flat(2, 2))
+        seq = plan.root.body
+        assert isinstance(seq, SeqNode)
+        assert seq.var == ko
+        assert seq.comm == ["B", "C"]
+        assert isinstance(seq.body, LeafNode)
+        assert seq.body.loop_vars == [ii, ji, ki]
+
+    def test_rotate_result_stays_sequential(self):
+        stmt, _, (i, j, k) = gemm()
+        io, ii, jo, ji, ko, ki, kos = index_vars("io ii jo ji ko ki kos")
+        sched = (
+            Schedule(stmt)
+            .distribute([i, j], [io, jo], [ii, ji], Grid(2, 2))
+            .divide(k, ko, ki, 2)
+            .reorder([ko, ii, ji, ki])
+            .rotate(ko, [io, jo], kos)
+        )
+        plan = lower_to_plan(sched, Machine.flat(2, 2))
+        assert isinstance(plan.root.body, SeqNode)
+        assert plan.root.body.var == kos
+
+    def test_substitute_marks_kernel(self):
+        stmt, _, (i, j, k) = gemm()
+        sched = Schedule(stmt).substitute([i, j, k], "blas_gemm")
+        plan = lower_to_plan(sched, Machine.flat(2, 2))
+        assert plan.root.kernel == "blas_gemm"
+
+    def test_substitute_conflict_rejected(self):
+        stmt, (A, B, C), (i, j, k) = gemm()
+        sched = Schedule(stmt).communicate(B, j).substitute([j, k], "gemm")
+        with pytest.raises(LoweringError):
+            lower_to_plan(sched, Machine.flat(2, 2))
+
+
+class TestCommPlacement:
+    def test_default_comm_at_leaf(self):
+        stmt, _, _ = gemm()
+        plan = lower_to_plan(Schedule(stmt), Machine.flat(2, 2))
+        assert set(plan.root.comm) == {"A", "B", "C"}
+        assert plan.root.flush == ["A"]
+
+    def test_explicit_comm_at_launch(self):
+        stmt, (A, B, C), (i, j, k) = gemm()
+        io, ii, jo, ji = index_vars("io ii jo ji")
+        sched = (
+            Schedule(stmt)
+            .distribute([i, j], [io, jo], [ii, ji], Grid(2, 2))
+            .communicate(A, jo)
+        )
+        plan = lower_to_plan(sched, Machine.flat(2, 2))
+        assert plan.root.comm == ["A"]
+        assert plan.root.flush == ["A"]
+        assert set(plan.root.body.comm) == {"B", "C"}
+
+    def test_output_identified(self):
+        stmt, _, _ = gemm()
+        plan = lower_to_plan(Schedule(stmt), Machine.flat(2, 2))
+        assert plan.output == "A"
+
+    def test_pretty_renders(self):
+        stmt, (A, B, C), (i, j, k) = gemm()
+        io, ii, jo, ji, ko, ki = index_vars("io ii jo ji ko ki")
+        sched = (
+            Schedule(stmt)
+            .distribute([i, j], [io, jo], [ii, ji], Grid(2, 2))
+            .split(k, ko, ki, 4)
+            .reorder([ko, ii, ji, ki])
+            .communicate(A, jo)
+            .communicate([B, C], ko)
+        )
+        plan = lower_to_plan(sched, Machine.flat(2, 2))
+        text = plan.pretty()
+        assert "index_launch" in text
+        assert "for ko" in text
+        assert "fetch B chunk" in text
+
+
+class TestHierarchicalLowering:
+    def test_two_level_machine_dims(self):
+        from repro import Cluster
+
+        cl = Cluster.gpu_cluster(4, gpus_per_node=4)
+        machine = Machine(cl, Grid(2, 2), Grid(2, 2))
+        f = Format(["xy -> xy", "xy -> xy"])
+        A = TensorVar("A", (16, 16), f)
+        B = TensorVar("B", (16, 16), f)
+        C = TensorVar("C", (16, 16), f)
+        i, j, k = index_vars("i j k")
+        stmt = Assignment(A[i, j], B[i, k] * C[k, j])
+        io, ii, jo, ji = index_vars("io ii jo ji")
+        iio, iii, jio, jii = index_vars("iio iii jio jii")
+        sched = (
+            Schedule(stmt)
+            .distribute([i, j], [io, jo], [ii, ji], Grid(2, 2))
+            .distribute(
+                [ii, ji], [iio, jio], [iii, jii], Grid(2, 2), level=1
+            )
+        )
+        plan = lower_to_plan(sched, machine)
+        assert isinstance(plan.root, LaunchNode)
+        assert plan.root.machine_dims == [0, 1, 2, 3]

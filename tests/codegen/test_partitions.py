@@ -1,0 +1,64 @@
+"""Tests for Legion-style partition derivation (Section 6.2)."""
+
+import pytest
+
+from repro import Machine
+from repro.algorithms import johnson, summa
+from repro.codegen.partitions import derive_partitions, partition_report
+from repro.util.geometry import Rect
+
+
+@pytest.fixture(scope="module")
+def summa_plan():
+    return summa(Machine.flat(2, 2), 16).plan
+
+
+class TestSummaPartitions:
+    def test_one_partition_per_communicate(self, summa_plan):
+        parts = {p.tensor: p for p in derive_partitions(summa_plan)}
+        assert set(parts) == {"A", "B", "C"}
+
+    def test_output_partition_disjoint_tiles(self, summa_plan):
+        parts = {p.tensor: p for p in derive_partitions(summa_plan)}
+        a = parts["A"]
+        assert a.at_var == "jo"
+        assert a.num_colors == 4
+        assert a.is_disjoint()
+        assert a.covers((16, 16))
+        for rect in a.colors.values():
+            assert rect.shape == (8, 8)
+
+    def test_b_partition_is_aliased_row_panels(self, summa_plan):
+        # B's chunks are shared along rows: an aliased partition whose
+        # colors include the sequential ko index.
+        parts = {p.tensor: p for p in derive_partitions(summa_plan)}
+        b = parts["B"]
+        assert b.at_var == "ko"
+        assert not b.is_disjoint()
+        # Every color is a row-panel of B: 8 rows x chunk columns.
+        for rect in b.colors.values():
+            assert rect.shape[0] == 8
+
+    def test_report_renders(self, summa_plan):
+        text = partition_report(summa_plan)
+        assert "disjoint" in text
+        assert "aliased" in text
+
+
+class TestJohnsonPartitions:
+    def test_task_start_partitions(self):
+        plan = johnson(Machine.flat(2, 2, 2), 16).plan
+        parts = {p.tensor: p for p in derive_partitions(plan)}
+        # All three tensors are communicated at the launch.
+        assert parts["B"].at_var == "ko"
+        # Each of the 8 tasks gets one 8x8 tile of each matrix.
+        for name in ("A", "B", "C"):
+            assert parts[name].num_colors == 8
+            for rect in parts[name].colors.values():
+                assert rect.shape == (8, 8)
+
+    def test_b_aliased_across_j(self):
+        # B(i,k) does not depend on jo: the two jo values share tiles.
+        plan = johnson(Machine.flat(2, 2, 2), 16).plan
+        parts = {p.tensor: p for p in derive_partitions(plan)}
+        assert not parts["B"].is_disjoint()

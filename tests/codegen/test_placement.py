@@ -1,0 +1,90 @@
+"""Tests for Section 5.3's placement-statement lowering."""
+
+import numpy as np
+import pytest
+
+from repro import Format, Machine, TensorVar, compile_kernel
+from repro.codegen.placement import (
+    describe_placement,
+    placement_schedule,
+    placement_statement,
+)
+from repro.util.errors import DistributionError
+
+
+class TestPlacementLowering:
+    def test_row_distribution_example(self):
+        # The paper's example: T xy -> x M lowers to
+        # forall xo forall xi forall y ... divide, distribute, communicate.
+        m = Machine.flat(3)
+        T = TensorVar("T", (9, 4), Format("xy -> x"))
+        sched = placement_schedule(T, m)
+        text = sched.pretty()
+        assert "distribute" in text
+        assert "communicate(T)" in text
+        vars_ = [f.var.name for f in sched.stmt.foralls()]
+        assert vars_[0].endswith("o")  # divided outer loop first
+
+    def test_tiled_distribution(self):
+        m = Machine.flat(2, 2)
+        T = TensorVar("T", (8, 8), Format("xy -> xy"))
+        stmt = placement_statement(T, m)
+        foralls = stmt.foralls()
+        assert sum(1 for f in foralls if f.distributed) == 2
+
+    def test_placement_executes_without_copies_when_matched(self, rng):
+        # Placing a tensor already in its layout moves nothing.
+        m = Machine.flat(2, 2)
+        T = TensorVar("T", (8, 8), Format("xy -> xy"))
+        kern = compile_kernel(placement_schedule(T, m), m)
+        res = kern.execute({"T": rng.random((8, 8))}, verify=True)
+        data_copies = [c for c in res.trace.copies if c.tensor == "T"]
+        assert not data_copies
+
+    def test_undistributed_rejected(self):
+        m = Machine.flat(2)
+        T = TensorVar("T", (8,), Format())
+        with pytest.raises(DistributionError):
+            placement_schedule(T, m)
+
+    def test_describe(self):
+        m = Machine.flat(2, 2)
+        T = TensorVar("T", (8, 8), Format("xy -> xy"))
+        text = describe_placement(T, m)
+        assert "xy -> xy" in text
+        assert "forall" in text
+
+
+class TestTransfers:
+    def test_row_to_column_redistribution(self, rng):
+        from repro.core.transfer import transfer_kernel
+
+        m = Machine.flat(4)
+        src = TensorVar("T", (8, 8), Format("xy -> x"))
+        kern = transfer_kernel(src, Format("yx -> x"), m)
+        data = rng.random((8, 8))
+        res = kern.execute({"T": data}, verify=False)
+        np.testing.assert_allclose(res.outputs["T_re"], data)
+        # Row -> column layout moves most of the matrix.
+        moved = sum(c.nbytes for c in res.trace.copies if c.tensor == "T")
+        assert moved >= 0.5 * data.nbytes
+
+    def test_identity_transfer_free(self, rng):
+        from repro.core.transfer import redistribution_bytes
+
+        m = Machine.flat(4)
+        src = TensorVar("T", (8, 8), Format("xy -> x"))
+        assert redistribution_bytes(src, Format("xy -> x"), m) == 0
+
+    def test_bytes_estimate_matches_execution(self, rng):
+        from repro.core.transfer import (
+            redistribution_bytes,
+            transfer_kernel,
+        )
+
+        m = Machine.flat(4)
+        src = TensorVar("T", (8, 8), Format("xy -> x"))
+        estimated = redistribution_bytes(src, Format("yx -> x"), m)
+        kern = transfer_kernel(src, Format("yx -> x"), m)
+        res = kern.execute({"T": rng.random((8, 8))})
+        assert res.trace.total_copy_bytes == estimated

@@ -1,0 +1,27 @@
+"""Shared fixtures and helpers for the test suite."""
+
+import numpy as np
+import pytest
+
+from repro import Machine
+
+
+@pytest.fixture
+def rng():
+    """A deterministic random generator for reproducible tests."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def machine2x2():
+    return Machine.flat(2, 2)
+
+
+@pytest.fixture
+def machine3x3():
+    return Machine.flat(3, 3)
+
+
+@pytest.fixture
+def machine2x2x2():
+    return Machine.flat(2, 2, 2)

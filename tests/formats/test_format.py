@@ -1,0 +1,90 @@
+"""Tests for formats: distribution chains, memory kinds, owner patterns."""
+
+import pytest
+
+from repro import Cluster, Grid, Machine
+from repro.formats.format import Format
+from repro.machine.cluster import MemoryKind
+from repro.util.errors import DistributionError
+from repro.util.geometry import Interval, Rect
+
+
+class TestFormatBasics:
+    def test_default_undistributed(self):
+        f = Format()
+        assert not f.is_distributed
+        assert f.memory is MemoryKind.SYSTEM_MEM
+        assert f.notation() == "(undistributed)"
+
+    def test_single_level(self):
+        f = Format("xy -> xy")
+        assert f.is_distributed
+        assert f.notation() == "xy -> xy"
+
+    def test_check_tensor_ndim(self):
+        m = Machine.flat(2, 2)
+        with pytest.raises(DistributionError):
+            Format("xy -> xy").check(3, m)
+
+    def test_check_too_many_levels(self):
+        m = Machine.flat(2, 2)
+        with pytest.raises(DistributionError):
+            Format(["xy -> xy", "xy -> x"]).check(2, m)
+
+
+class TestOwnedRect:
+    def test_undistributed_homed_at_origin(self):
+        m = Machine.flat(2, 2)
+        f = Format()
+        assert f.owned_rect(m, (0, 0), (4, 4)) == Rect.full((4, 4))
+        assert f.owned_rect(m, (0, 1), (4, 4)) is None
+
+    def test_tiled(self):
+        m = Machine.flat(2, 2)
+        f = Format("xy -> xy")
+        rect = f.owned_rect(m, (1, 0), (4, 4))
+        assert rect == Rect.of(Interval(2, 4), Interval(0, 2))
+
+    def test_hierarchical_chain(self):
+        # 2x1 nodes, each with 2 GPUs: tile rows over nodes, then rows
+        # again over GPUs within the node (Section 3.2 "Hierarchy").
+        cl = Cluster.gpu_cluster(2, gpus_per_node=2)
+        m = Machine(cl, Grid(2), Grid(2))
+        f = Format(["xy -> x", "xy -> x"], memory=MemoryKind.GPU_FB)
+        rect = f.owned_rect(m, (1, 0), (8, 4))
+        assert rect == Rect.of(Interval(4, 6), Interval(0, 4))
+        rect = f.owned_rect(m, (1, 1), (8, 4))
+        assert rect == Rect.of(Interval(6, 8), Interval(0, 4))
+
+
+class TestOwnerPattern:
+    def test_tiled_pattern(self):
+        m = Machine.flat(2, 2)
+        f = Format("xy -> xy")
+        pat = f.owner_pattern(m, Rect.of(Interval(2, 4), Interval(0, 2)), (4, 4))
+        assert pat == [1, 0]
+
+    def test_broadcast_pattern_has_none(self):
+        m = Machine.flat(2, 2, 2)
+        f = Format("xy -> xy*")
+        pat = f.owner_pattern(m, Rect.of(Interval(0, 2), Interval(0, 2)), (4, 4))
+        assert pat == [0, 0, None]
+
+    def test_undistributed_pattern(self):
+        m = Machine.flat(2, 2)
+        f = Format()
+        assert f.owner_pattern(m, Rect.full((4, 4)), (4, 4)) == [0, 0]
+
+    def test_straddling_returns_none(self):
+        m = Machine.flat(2, 2)
+        f = Format("xy -> xy")
+        pat = f.owner_pattern(m, Rect.of(Interval(1, 3), Interval(0, 2)), (4, 4))
+        assert pat is None
+
+    def test_owner_pieces_cover(self):
+        m = Machine.flat(2, 2)
+        f = Format("xy -> xy")
+        needed = Rect.of(Interval(1, 3), Interval(1, 3))
+        pieces = f.owner_pieces(m, needed, (4, 4))
+        assert len(pieces) == 4
+        assert sum(r.volume for _, r in pieces) == needed.volume

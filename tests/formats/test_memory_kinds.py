@@ -1,0 +1,66 @@
+"""Memory-kind placement: GPU framebuffer vs host system memory.
+
+The format language's memory argument (Figure 2's ``Memory::GPU_MEM``)
+decides where home and cached instances live — which in turn decides
+NIC rates (GPU-direct vs host) and OOM behaviour.
+"""
+
+import pytest
+
+from repro import (
+    Assignment,
+    Cluster,
+    Format,
+    Grid,
+    Machine,
+    MemoryKind,
+    Schedule,
+    TensorVar,
+    index_vars,
+)
+from repro.codegen.lower import lower_to_plan
+from repro.runtime.instances import DataEnvironment
+
+
+def env_for(memory_kind):
+    cluster = Cluster.gpu_cluster(2, gpus_per_node=2)
+    machine = Machine(cluster, Grid(2, 2))
+    f = Format("xy -> xy", memory=memory_kind)
+    A = TensorVar("A", (8, 8), f)
+    B = TensorVar("B", (8, 8), f)
+    i, j = index_vars("i j")
+    stmt = Assignment(A[i, j], B[i, j])
+    plan = lower_to_plan(Schedule(stmt), machine)
+    return DataEnvironment(plan), plan
+
+
+class TestHomePlacement:
+    def test_fb_formats_occupy_framebuffers(self):
+        env, plan = env_for(MemoryKind.GPU_FB)
+        fbs = [
+            m for m in plan.machine.cluster.memories()
+            if m.kind is MemoryKind.GPU_FB
+        ]
+        assert all(env.usage_of(m) > 0 for m in fbs)
+
+    def test_host_formats_occupy_sysmem(self):
+        env, plan = env_for(MemoryKind.SYSTEM_MEM)
+        cluster = plan.machine.cluster
+        for node in cluster.nodes:
+            assert env.usage_of(node.system_memory) > 0
+        fbs = [
+            m for m in cluster.memories() if m.kind is MemoryKind.GPU_FB
+        ]
+        assert all(env.usage_of(m) == 0 for m in fbs)
+
+    def test_cached_instances_follow_format(self):
+        from repro.util.geometry import Interval, Rect
+
+        env, plan = env_for(MemoryKind.SYSTEM_MEM)
+        remote = Rect.of(Interval(4, 8), Interval(0, 4))
+        env.register("B", (0, 0), remote)
+        # The cached copy lands in host memory, not a framebuffer.
+        proc = plan.machine.proc_at((0, 0))
+        node = plan.machine.cluster.nodes[proc.node_id]
+        assert env.usage_of(proc.memory) == 0
+        assert env.usage_of(node.system_memory) > 0

@@ -1,0 +1,90 @@
+"""Analytic communication-volume checks (Section 4.1's asymptotics).
+
+The distributed matmul literature gives closed-form per-processor
+communication volumes; the simulator's traced volumes must match them:
+
+* 2-D algorithms (Cannon/SUMMA): each processor receives one row panel
+  of B and one column panel of C -> ``2 n^2 / sqrt(p)`` words per
+  processor (minus its own tile).
+* Johnson's 3-D: each processor receives one tile of B and one of C
+  (``2 n^2 / p^(2/3)``) and sends one partial of A.
+* Solomonik's 2.5-D with replication c reduces the 2-D volume by
+  ``sqrt(c)`` asymptotically.
+"""
+
+import numpy as np
+import pytest
+
+from repro import Machine
+from repro.algorithms import cannon, johnson, solomonik, summa
+
+WORD = 8
+
+
+def traced_volume(kernel):
+    trace = kernel.trace(check_capacity=False).trace
+    return trace.total_copy_bytes
+
+
+class Test2DVolume:
+    @pytest.mark.parametrize("g", [2, 3, 4])
+    def test_cannon_volume(self, g):
+        n = 24 * g
+        m = Machine.flat(g, g)
+        # Each of g^2 processors fetches (g-1) tiles of B and of C,
+        # each of size (n/g)^2: total = 2 g^2 (g-1) (n/g)^2 words.
+        expected = 2 * g * g * (g - 1) * (n // g) ** 2 * WORD
+        measured = traced_volume(cannon(m, n))
+        assert measured == expected
+
+    @pytest.mark.parametrize("g", [2, 3])
+    def test_summa_equals_cannon_volume(self, g):
+        # Broadcast vs shift changes the pattern, not the volume.
+        n = 24 * g
+        m = Machine.flat(g, g)
+        assert traced_volume(summa(m, n)) == traced_volume(cannon(m, n))
+
+
+class Test3DVolume:
+    def test_johnson_volume(self):
+        g = 2
+        n = 24
+        m = Machine.flat(g, g, g)
+        tile_words = (n // g) ** 2
+        # Fetches: B to the g^3 - g^2 processors off its face, likewise
+        # C; reductions: A partials from the g^3 - g^2 off-face tasks.
+        off_face = g ** 3 - g ** 2
+        expected = 3 * off_face * tile_words * WORD
+        assert traced_volume(johnson(m, n)) == expected
+
+    def test_replication_reduces_volume_per_processor(self):
+        # 2.5D on q=2, c=2 (8 procs) vs Cannon on 4x2 (8 procs): the
+        # replicated version moves less data per unit of compute.
+        n = 32
+        vol_25d = traced_volume(solomonik(Machine.flat(2, 2, 2), n))
+        vol_2d = traced_volume(cannon(Machine.flat(4, 2), n))
+        assert vol_25d <= vol_2d
+
+
+class TestHigherOrderVolume:
+    def test_ttv_and_ttm_zero(self):
+        from repro.algorithms import ttm, ttv
+
+        assert traced_volume(ttv(Machine.flat(2, 2), 16)) == 0
+        assert traced_volume(ttm(Machine.flat(4), 16, r=8)) == 0
+
+    def test_innerprod_exactly_p_minus_one_words(self):
+        from repro.algorithms import innerprod
+
+        m = Machine.flat(2, 2)
+        assert traced_volume(innerprod(m, 16)) == 3 * WORD
+
+    def test_mttkrp_reduction_volume(self):
+        from repro.algorithms import mttkrp
+
+        g, n, r = 2, 16, 4
+        m = Machine.flat(g, g, g)
+        # Off-face tasks each reduce an (n/g) x r partial of A.
+        off_face = g ** 3 - g  # owners are the (io, 0, 0) line
+        expected = off_face * (n // g) * r * WORD
+        assert traced_volume(mttkrp(m, n, r=r)) == expected

@@ -1,0 +1,65 @@
+"""Over- and under-decomposition: grids that don't match processor counts.
+
+Johnson's algorithm on non-cube processor counts over- or
+under-decomposes (Section 7.1.2); the machine wraps grid points onto
+processors round-robin. These tests pin down that execution stays
+correct and that the performance penalty is visible.
+"""
+
+import numpy as np
+import pytest
+
+from repro import Cluster, Grid, Machine
+from repro.algorithms import cannon, johnson, summa
+from repro.sim.params import LASSEN
+
+
+class TestOverDecomposition:
+    def test_grid_larger_than_cluster_correct(self, rng):
+        # A 3x3x3 Johnson grid on 8 processors: 27 grid points wrap
+        # onto 8 processors; results must be unchanged.
+        n = 27
+        cl = Cluster.cpu_cluster(8, sockets_per_node=1)
+        m = Machine(cl, Grid(3, 3, 3))
+        kern = johnson(m, n)
+        inputs = {"B": rng.random((n, n)), "C": rng.random((n, n))}
+        kern.execute(inputs, verify=True)
+
+    def test_over_decomposition_slower(self):
+        # Same processor count, cube grid vs wrapped larger grid: the
+        # wrapped version serializes several tasks per processor.
+        n = 4096
+        cl = Cluster.cpu_cluster(8, sockets_per_node=1)
+        exact = johnson(Machine(cl, Grid(2, 2, 2)), n).simulate(LASSEN)
+        wrapped = johnson(Machine(cl, Grid(3, 3, 3)), n).simulate(LASSEN)
+        assert wrapped.gflops_per_node < exact.gflops_per_node
+
+    def test_summa_grid_wrap_correct(self, rng):
+        n = 24
+        cl = Cluster.cpu_cluster(2, sockets_per_node=1)
+        m = Machine(cl, Grid(2, 2))  # 4 grid points, 2 processors
+        kern = summa(m, n)
+        kern.execute(
+            {"B": rng.random((n, n)), "C": rng.random((n, n))}, verify=True
+        )
+
+
+class TestUnderDecomposition:
+    def test_idle_processors_correct(self, rng):
+        # A 2x2 grid on 8 processors leaves 4 idle; still correct.
+        n = 16
+        cl = Cluster.cpu_cluster(8, sockets_per_node=1)
+        m = Machine(cl, Grid(2, 2))
+        kern = cannon(m, n)
+        res = kern.execute(
+            {"B": rng.random((n, n)), "C": rng.random((n, n))}, verify=True
+        )
+        procs = {p for s in res.trace.steps for p in s.work}
+        assert len(procs) == 4
+
+    def test_idle_processors_waste_throughput(self):
+        n = 8192
+        cl = Cluster.cpu_cluster(8, sockets_per_node=1)
+        full = cannon(Machine(cl, Grid(4, 2)), n).simulate(LASSEN)
+        half = cannon(Machine(cl, Grid(2, 2)), n).simulate(LASSEN)
+        assert half.gflops_per_node < 0.7 * full.gflops_per_node

@@ -1,0 +1,129 @@
+"""End-to-end integration: whole-pipeline behaviours from the paper."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    Assignment,
+    Format,
+    Grid,
+    Machine,
+    Schedule,
+    TensorVar,
+    compile_kernel,
+    index_vars,
+)
+from repro.algorithms import cannon, johnson, solomonik, summa
+from repro.sim.params import LASSEN
+
+
+class TestDataAtRest:
+    """Section 1: 'code can shape to data so that data may stay at rest'."""
+
+    def test_computation_follows_data(self, rng):
+        # Row-distributed data with a row-distributed schedule: zero
+        # copies. The same statement with column-compute: copies appear.
+        n = 12
+        A = TensorVar("A", (n, n), Format("xy -> x"))
+        B = TensorVar("B", (n, n), Format("xy -> x"))
+        i, j = index_vars("i j")
+        io, ii, jo, ji = index_vars("io ii jo ji")
+
+        stmt = Assignment(A[i, j], B[i, j])
+        matched = Schedule(stmt).distribute([i], [io], [ii], Grid(4))
+        res = compile_kernel(matched, Machine.flat(4)).execute(
+            {"B": rng.random((n, n))}
+        )
+        assert res.trace.total_copy_bytes == 0
+
+        stmt2 = Assignment(A[i, j], B[i, j])
+        mismatched = (
+            Schedule(stmt2).reorder([j, i]).distribute([j], [jo], [ji], Grid(4))
+        )
+        res2 = compile_kernel(mismatched, Machine.flat(4)).execute(
+            {"B": rng.random((n, n))}
+        )
+        assert res2.trace.total_copy_bytes > 0
+
+
+class TestAlgorithmEquivalence:
+    """All matmul algorithms compute the same thing (Figure 9)."""
+
+    def test_all_agree(self, rng):
+        n = 24
+        inputs = {"B": rng.random((n, n)), "C": rng.random((n, n))}
+        results = []
+        results.append(
+            summa(Machine.flat(2, 2), n).execute(dict(inputs)).outputs["A"]
+        )
+        results.append(
+            cannon(Machine.flat(2, 2), n).execute(dict(inputs)).outputs["A"]
+        )
+        results.append(
+            johnson(Machine.flat(2, 2, 2), n)
+            .execute(dict(inputs))
+            .outputs["A"]
+        )
+        results.append(
+            solomonik(Machine.flat(2, 2, 2), n)
+            .execute(dict(inputs))
+            .outputs["A"]
+        )
+        for out in results[1:]:
+            np.testing.assert_allclose(out, results[0])
+
+
+class TestCommVolumeAsymptotics:
+    """3-D algorithms move asymptotically less data (Section 4.1)."""
+
+    def test_johnson_beats_2d_in_volume_at_scale(self, rng):
+        n = 64
+        p8_2d = Machine.flat(4, 2)
+        p8_3d = Machine.flat(2, 2, 2)
+        inputs = {"B": rng.random((n, n)), "C": rng.random((n, n))}
+        v2d = summa(p8_2d, n).execute(dict(inputs)).trace.total_copy_bytes
+        v3d = johnson(p8_3d, n).execute(dict(inputs)).trace.total_copy_bytes
+        assert v3d < v2d
+
+    def test_replication_costs_memory(self, rng):
+        n = 64
+        inputs = {"B": rng.random((n, n)), "C": rng.random((n, n))}
+        hw3 = max(
+            johnson(Machine.flat(2, 2, 2), n)
+            .execute(dict(inputs))
+            .memory_high_water.values()
+        )
+        hw2 = max(
+            summa(Machine.flat(4, 2), n)
+            .execute(dict(inputs))
+            .memory_high_water.values()
+        )
+        assert hw3 > hw2
+
+
+class TestSimulationConsistency:
+    def test_weak_scaling_flat_for_comm_free_kernel(self):
+        # A communication-free kernel weak-scales perfectly.
+        from repro.algorithms import ttv
+        from repro.bench.weak_scaling import square_grid, weak_cube_side
+        from repro import Cluster
+
+        rates = []
+        for nodes in (1, 4, 16):
+            cl = Cluster.cpu_cluster(nodes)
+            gx, gy = square_grid(cl.num_processors)
+            m = Machine(cl, Grid(gx, gy))
+            n = weak_cube_side(320, nodes)
+            rates.append(ttv(m, n).simulate(LASSEN).gbytes_per_node)
+        assert max(rates) / min(rates) < 1.1
+
+    def test_more_nodes_more_aggregate_flops(self):
+        from repro import Cluster
+
+        t1 = summa(Machine.flat(2, 2), 4096).simulate(LASSEN)
+        cl = Cluster.cpu_cluster(8, sockets_per_node=2)
+        m = Machine(cl, Grid(4, 4))
+        t16 = summa(m, 8192).simulate(LASSEN)
+        total1 = t1.gflops_per_node * t1.num_nodes
+        total16 = t16.gflops_per_node * t16.num_nodes
+        assert total16 > total1

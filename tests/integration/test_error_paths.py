@@ -1,0 +1,89 @@
+"""Error-path coverage: the compiler must fail loudly and helpfully."""
+
+import pytest
+
+from repro import (
+    Assignment,
+    DistributionError,
+    Format,
+    Grid,
+    Machine,
+    Schedule,
+    ScheduleError,
+    TensorVar,
+    compile_kernel,
+    index_vars,
+)
+from repro.util.errors import LoweringError, OutOfMemoryError, ReproError
+
+
+def gemm(fmt=None):
+    f = Format(fmt) if fmt else Format()
+    A = TensorVar("A", (8, 8), f)
+    B = TensorVar("B", (8, 8), f)
+    C = TensorVar("C", (8, 8), f)
+    i, j, k = index_vars("i j k")
+    return Assignment(A[i, j], B[i, k] * C[k, j]), (i, j, k)
+
+
+class TestErrorHierarchy:
+    def test_all_errors_are_repro_errors(self):
+        for err in (
+            DistributionError,
+            ScheduleError,
+            LoweringError,
+            OutOfMemoryError,
+        ):
+            assert issubclass(err, ReproError)
+
+    def test_oom_carries_details(self):
+        err = OutOfMemoryError("n0/fb0", 100, 50)
+        assert err.memory_name == "n0/fb0"
+        assert err.needed_bytes == 100
+        assert err.capacity_bytes == 50
+        assert "n0/fb0" in str(err)
+
+
+class TestCompileErrors:
+    def test_format_machine_mismatch(self):
+        stmt, _ = gemm("xy -> xy")
+        sched = Schedule(stmt)
+        with pytest.raises(DistributionError):
+            compile_kernel(sched, Machine.flat(2, 2, 2))
+
+    def test_distribute_extent_mismatch(self):
+        stmt, (i, j, k) = gemm("xy -> xy")
+        io, ii, jo, ji = index_vars("io ii jo ji")
+        sched = Schedule(stmt).distribute(
+            [i, j], [io, jo], [ii, ji], Grid(4, 4)
+        )
+        with pytest.raises(LoweringError):
+            compile_kernel(sched, Machine.flat(2, 2))
+
+    def test_schedule_errors_name_the_problem(self):
+        stmt, (i, j, k) = gemm()
+        with pytest.raises(ScheduleError, match="unknown index variable"):
+            Schedule(stmt).split(index_vars("zz")[0], *index_vars("a b"), 2)
+        with pytest.raises(ScheduleError, match="contiguous"):
+            io, ii = index_vars("io ii")
+            Schedule(stmt).split(i, io, ii, 2).reorder([io, j])
+
+    def test_split_zero_chunk(self):
+        stmt, (i, j, k) = gemm()
+        with pytest.raises(ScheduleError):
+            Schedule(stmt).split(i, *index_vars("io ii"), 0)
+
+    def test_rotate_unknown_sources(self):
+        stmt, (i, j, k) = gemm()
+        with pytest.raises(ScheduleError):
+            Schedule(stmt).rotate(k, index_vars("nope"), index_vars("ks")[0])
+
+
+class TestDistributionErrors:
+    def test_arity_mismatch_is_reported(self):
+        from repro.formats.distribution import Distribution
+
+        dist = Distribution.parse("xyz -> xy")
+        T = TensorVar("T", (4, 4), Format(dist))
+        with pytest.raises(DistributionError, match="names 3 tensor dims"):
+            T.format.check(T.ndim, Machine.flat(2, 2))

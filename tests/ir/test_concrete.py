@@ -1,0 +1,90 @@
+"""Tests for concrete index notation structure and printing."""
+
+import pytest
+
+from repro import Assignment, Schedule, TensorVar, index_vars
+from repro.ir.concrete import (
+    Assign,
+    Forall,
+    Sequence,
+    find_forall,
+    loop_order,
+    replace_body,
+)
+from repro.ir.lower_tin import lower_to_concrete
+
+
+def gemm():
+    A = TensorVar("A", (4, 4))
+    B = TensorVar("B", (4, 4))
+    C = TensorVar("C", (4, 4))
+    i, j, k = index_vars("i j k")
+    return Assignment(A[i, j], B[i, k] * C[k, j]), (i, j, k)
+
+
+class TestLowerToConcrete:
+    def test_loop_structure(self):
+        stmt, (i, j, k) = gemm()
+        cin, graph = lower_to_concrete(stmt)
+        assert loop_order(cin) == [i, j, k]
+        assert graph.extent(i) == 4
+
+    def test_leaf_reduce_flag(self):
+        stmt, _ = gemm()
+        cin, _ = lower_to_concrete(stmt)
+        leaf = cin.foralls()[-1].body
+        assert isinstance(leaf, Assign)
+        assert leaf.reduce
+
+    def test_pointwise_not_reduce(self):
+        A = TensorVar("A", (4,))
+        b = TensorVar("b", (4,))
+        i, = index_vars("i")
+        cin, _ = lower_to_concrete(Assignment(A[i], b[i]))
+        assert not cin.foralls()[-1].body.reduce
+
+
+class TestTreeHelpers:
+    def test_find_forall(self):
+        stmt, (i, j, k) = gemm()
+        cin, _ = lower_to_concrete(stmt)
+        assert find_forall(cin, j).var == j
+        assert find_forall(cin, index_vars("zz")[0]) is None
+
+    def test_replace_body(self):
+        stmt, (i, j, k) = gemm()
+        cin, _ = lower_to_concrete(stmt)
+        new_leaf = Assign(stmt.lhs, stmt.rhs, reduce=False)
+        assert replace_body(cin, k, new_leaf)
+        assert cin.foralls()[-1].body is new_leaf
+
+    def test_sequence_foralls(self):
+        stmt, (i, j, k) = gemm()
+        cin, _ = lower_to_concrete(stmt)
+        seq = Sequence([cin])
+        assert [f.var for f in seq.foralls()] == [i, j, k]
+
+
+class TestPretty:
+    def test_plain_nest(self):
+        stmt, _ = gemm()
+        cin, _ = lower_to_concrete(stmt)
+        text = cin.pretty()
+        assert text.splitlines()[0] == "forall i"
+        assert "A(i, j) += (B(i, k) * C(k, j))" in text
+
+    def test_tags_rendered(self):
+        stmt, _ = gemm()
+        sched = Schedule(stmt)
+        i, j, k = stmt.all_vars
+        sched.distribute([i]).communicate("B", k)
+        text = sched.pretty()
+        assert "s.t. distribute" in text
+        assert "communicate(B)" in text
+
+    def test_substitute_rendered(self):
+        stmt, _ = gemm()
+        sched = Schedule(stmt)
+        i, j, k = stmt.all_vars
+        sched.substitute([k], "blas_gemm")
+        assert "substitute(blas_gemm)" in sched.pretty()

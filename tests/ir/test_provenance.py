@@ -1,0 +1,163 @@
+"""Tests for the provenance graph — the bounds-analysis engine."""
+
+import pytest
+
+from repro.ir.expr import index_vars
+from repro.ir.provenance import VarGraph
+from repro.util.errors import LoweringError, ScheduleError
+from repro.util.geometry import Interval
+
+
+def make_graph(**extents):
+    vars_ = index_vars(" ".join(extents))
+    return VarGraph({v: extents[v.name] for v in vars_}), dict(
+        (v.name, v) for v in vars_
+    )
+
+
+class TestSplitDivide:
+    def test_split_extents(self):
+        graph, vs = make_graph(i=10)
+        io, ii = index_vars("io ii")
+        graph.add_split(vs["i"], io, ii, 4)
+        assert graph.extent(io) == 3  # ceil(10/4)
+        assert graph.extent(ii) == 4
+
+    def test_divide_extents(self):
+        graph, vs = make_graph(i=10)
+        io, ii = index_vars("io ii")
+        graph.add_divide(vs["i"], io, ii, 2)
+        assert graph.extent(io) == 2
+        assert graph.extent(ii) == 5
+
+    def test_reconstruction_point(self):
+        graph, vs = make_graph(i=12)
+        io, ii = index_vars("io ii")
+        graph.add_split(vs["i"], io, ii, 4)
+        env = {io: Interval.point(2), ii: Interval.point(1)}
+        assert graph.value_of(vs["i"], env) == Interval.point(9)
+
+    def test_reconstruction_range(self):
+        graph, vs = make_graph(i=12)
+        io, ii = index_vars("io ii")
+        graph.add_split(vs["i"], io, ii, 4)
+        env = {io: Interval.point(1), ii: Interval.extent(4)}
+        assert graph.value_of(vs["i"], env) == Interval(4, 8)
+
+    def test_reconstruction_clips_ragged(self):
+        # 10 over chunks of 4: the last chunk is [8, 10).
+        graph, vs = make_graph(i=10)
+        io, ii = index_vars("io ii")
+        graph.add_split(vs["i"], io, ii, 4)
+        env = {io: Interval.point(2), ii: Interval.extent(4)}
+        assert graph.value_of(vs["i"], env) == Interval(8, 10)
+
+    def test_nested_splits(self):
+        graph, vs = make_graph(i=16)
+        io, ii, iio, iii = index_vars("io ii iio iii")
+        graph.add_split(vs["i"], io, ii, 8)
+        graph.add_split(ii, iio, iii, 2)
+        env = {
+            io: Interval.point(1),
+            iio: Interval.point(3),
+            iii: Interval.extent(2),
+        }
+        assert graph.value_of(vs["i"], env) == Interval(14, 16)
+
+    def test_double_decompose_rejected(self):
+        graph, vs = make_graph(i=10)
+        io, ii, a, b = index_vars("io ii a b")
+        graph.add_split(vs["i"], io, ii, 2)
+        with pytest.raises(ScheduleError):
+            graph.add_split(vs["i"], a, b, 2)
+
+    def test_name_collision_rejected(self):
+        graph, vs = make_graph(i=10, j=10)
+        with pytest.raises(ScheduleError):
+            graph.add_split(vs["i"], vs["j"], index_vars("ii")[0], 2)
+
+
+class TestRotate:
+    def test_point_rotation(self):
+        graph, vs = make_graph(k=3, io=3)
+        kos, = index_vars("kos")
+        graph.add_rotate(vs["k"], [vs["io"]], kos)
+        env = {kos: Interval.point(2), vs["io"]: Interval.point(2)}
+        # k = (2 + 2) mod 3 = 1
+        assert graph.value_of(vs["k"], env) == Interval.point(1)
+
+    def test_range_rotation_approximates(self):
+        graph, vs = make_graph(k=3, io=3)
+        kos, = index_vars("kos")
+        graph.add_rotate(vs["k"], [vs["io"]], kos)
+        env = {kos: Interval.extent(3), vs["io"]: Interval.point(1)}
+        assert graph.value_of(vs["k"], env) == Interval.extent(3)
+
+    def test_range_rotation_exact_raises(self):
+        graph, vs = make_graph(k=3, io=3)
+        kos, = index_vars("kos")
+        graph.add_rotate(vs["k"], [vs["io"]], kos)
+        env = {kos: Interval.extent(3), vs["io"]: Interval.point(1)}
+        with pytest.raises(LoweringError):
+            graph.value_of(vs["k"], env, exact=True)
+
+    def test_is_rotate_result(self):
+        graph, vs = make_graph(k=3, io=3)
+        kos, = index_vars("kos")
+        graph.add_rotate(vs["k"], [vs["io"]], kos)
+        assert graph.is_rotate_result(kos)
+        assert not graph.is_rotate_result(vs["io"])
+
+
+class TestFuse:
+    def test_fused_extent(self):
+        graph, vs = make_graph(i=3, j=4)
+        f, = index_vars("f")
+        graph.add_fuse(vs["i"], vs["j"], f)
+        assert graph.extent(f) == 12
+
+    def test_point_reconstruction(self):
+        graph, vs = make_graph(i=3, j=4)
+        f, = index_vars("f")
+        graph.add_fuse(vs["i"], vs["j"], f)
+        env = {f: Interval.point(7)}
+        assert graph.value_of(vs["i"], env) == Interval.point(1)
+        assert graph.value_of(vs["j"], env) == Interval.point(3)
+
+    def test_full_range_reconstruction(self):
+        graph, vs = make_graph(i=3, j=4)
+        f, = index_vars("f")
+        graph.add_fuse(vs["i"], vs["j"], f)
+        env = {f: Interval.extent(12)}
+        assert graph.value_of(vs["i"], env) == Interval.extent(3)
+
+    def test_partial_range_exact_raises(self):
+        graph, vs = make_graph(i=3, j=4)
+        f, = index_vars("f")
+        graph.add_fuse(vs["i"], vs["j"], f)
+        env = {f: Interval(2, 7)}
+        with pytest.raises(LoweringError):
+            graph.value_of(vs["i"], env, exact=True)
+
+
+class TestMisc:
+    def test_unknown_var(self):
+        graph, vs = make_graph(i=4)
+        with pytest.raises(ScheduleError):
+            graph.extent(index_vars("zz")[0])
+        with pytest.raises(ScheduleError):
+            graph.value_of(index_vars("zz")[0], {})
+
+    def test_leaf_descendants(self):
+        graph, vs = make_graph(i=8)
+        io, ii, iio, iii = index_vars("io ii iio iii")
+        graph.add_split(vs["i"], io, ii, 4)
+        graph.add_split(ii, iio, iii, 2)
+        assert graph.leaf_descendants(vs["i"]) == [io, iio, iii]
+
+    def test_copy_is_independent(self):
+        graph, vs = make_graph(i=8)
+        dup = graph.copy()
+        io, ii = index_vars("io ii")
+        graph.add_split(vs["i"], io, ii, 2)
+        assert not dup.knows(io)

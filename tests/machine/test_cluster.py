@@ -1,0 +1,71 @@
+"""Unit tests for the physical cluster model."""
+
+import pytest
+
+from repro.machine.cluster import (
+    GIB,
+    Cluster,
+    MemoryKind,
+    ProcessorKind,
+)
+
+
+class TestCpuCluster:
+    def test_shape(self):
+        cl = Cluster.cpu_cluster(4)
+        assert cl.num_nodes == 4
+        assert cl.procs_per_node == 2
+        assert cl.num_processors == 8
+        assert cl.processor_kind is ProcessorKind.CPU_SOCKET
+
+    def test_sockets_share_system_memory(self):
+        cl = Cluster.cpu_cluster(2)
+        node = cl.nodes[0]
+        mems = {proc.memory for proc in node.processors}
+        assert len(mems) == 1
+        assert node.processors[0].memory.kind is MemoryKind.SYSTEM_MEM
+
+    def test_node_ids(self):
+        cl = Cluster.cpu_cluster(3)
+        assert [p.node_id for p in cl.processors] == [0, 0, 1, 1, 2, 2]
+
+
+class TestGpuCluster:
+    def test_shape(self):
+        cl = Cluster.gpu_cluster(2)
+        assert cl.procs_per_node == 4
+        assert cl.num_processors == 8
+        assert cl.processor_kind is ProcessorKind.GPU
+
+    def test_framebuffers_distinct(self):
+        cl = Cluster.gpu_cluster(1)
+        mems = {proc.memory for proc in cl.processors}
+        assert len(mems) == 4
+        for mem in mems:
+            assert mem.kind is MemoryKind.GPU_FB
+
+    def test_capacity_reserve(self):
+        cl = Cluster.gpu_cluster(1, framebuffer_gib=16, reserved_gib=1.0)
+        fb = cl.processors[0].memory
+        assert fb.capacity_bytes == 15 * GIB
+
+    def test_memories_include_sysmem(self):
+        cl = Cluster.gpu_cluster(1)
+        kinds = {m.kind for m in cl.memories()}
+        assert kinds == {MemoryKind.SYSTEM_MEM, MemoryKind.GPU_FB}
+
+
+class TestValidation:
+    def test_empty_cluster(self):
+        with pytest.raises(ValueError):
+            Cluster([])
+
+    def test_bad_counts(self):
+        with pytest.raises(ValueError):
+            Cluster.build(
+                num_nodes=0,
+                procs_per_node=1,
+                proc_kind=ProcessorKind.CPU_SOCKET,
+                proc_mem_kind=MemoryKind.SYSTEM_MEM,
+                proc_mem_capacity=GIB,
+            )

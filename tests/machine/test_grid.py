@@ -1,0 +1,53 @@
+"""Unit tests for processor grids."""
+
+import pytest
+
+from repro.machine.grid import Grid
+
+
+class TestGrid:
+    def test_basic(self):
+        g = Grid(4, 2)
+        assert g.dim == 2
+        assert g.size == 8
+        assert g.shape == (4, 2)
+        assert g.x == 4 and g.y == 2
+
+    def test_3d(self):
+        g = Grid(2, 3, 4)
+        assert g.z == 4
+        assert g.size == 24
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            Grid()
+        with pytest.raises(ValueError):
+            Grid(0, 2)
+        with pytest.raises(ValueError):
+            Grid(-1)
+
+    def test_points_row_major(self):
+        g = Grid(2, 2)
+        assert list(g.points()) == [(0, 0), (0, 1), (1, 0), (1, 1)]
+
+    def test_linearize_roundtrip(self):
+        g = Grid(3, 4, 5)
+        for idx, point in enumerate(g.points()):
+            assert g.linearize(point) == idx
+            assert g.delinearize(idx) == point
+
+    def test_linearize_bounds(self):
+        g = Grid(2, 2)
+        with pytest.raises(ValueError):
+            g.linearize((2, 0))
+        with pytest.raises(ValueError):
+            g.linearize((0,))
+        with pytest.raises(ValueError):
+            g.delinearize(4)
+
+    def test_torus_distance(self):
+        g = Grid(4, 4)
+        assert g.torus_distance((0, 0), (1, 0)) == 1
+        assert g.torus_distance((0, 0), (3, 0)) == 1  # wraparound
+        assert g.torus_distance((0, 0), (2, 2)) == 4
+        assert g.torus_distance((1, 1), (1, 1)) == 0

@@ -1,0 +1,81 @@
+"""Unit tests for the logical machine (grid views of clusters)."""
+
+import pytest
+
+from repro.machine.cluster import Cluster
+from repro.machine.grid import Grid
+from repro.machine.machine import Machine
+
+
+class TestFlatMachine:
+    def test_flat_helper(self):
+        m = Machine.flat(2, 3)
+        assert m.shape == (2, 3)
+        assert m.size == 6
+        assert m.cluster.num_processors == 6
+
+    def test_proc_at_row_major(self):
+        m = Machine.flat(2, 2)
+        ids = [m.proc_at(p).proc_id for p in m.points()]
+        assert ids == [0, 1, 2, 3]
+
+    def test_distinct_points_distinct_procs(self):
+        m = Machine.flat(3, 3)
+        procs = {m.proc_at(p).proc_id for p in m.points()}
+        assert len(procs) == 9
+
+    def test_over_decomposition_wraps(self):
+        # A 3x3 grid on 4 processors: points wrap round-robin.
+        cl = Cluster.cpu_cluster(4, sockets_per_node=1)
+        m = Machine(cl, Grid(3, 3))
+        ids = [m.proc_at(p).proc_id for p in m.points()]
+        assert ids == [0, 1, 2, 3, 0, 1, 2, 3, 0]
+
+    def test_under_decomposition_leaves_idle(self):
+        cl = Cluster.cpu_cluster(8, sockets_per_node=1)
+        m = Machine(cl, Grid(2, 3))
+        used = {m.proc_at(p).proc_id for p in m.points()}
+        assert len(used) == 6  # two processors idle
+
+    def test_flat_grid_on_multi_proc_nodes(self):
+        # 4 nodes x 4 GPUs viewed as one flat 4x4 grid: consecutive
+        # grid points in the last dimension land on the same node.
+        cl = Cluster.gpu_cluster(4)
+        m = Machine(cl, Grid(4, 4))
+        row0 = [m.proc_at((0, j)).node_id for j in range(4)]
+        assert row0 == [0, 0, 0, 0]
+
+
+class TestHierarchicalMachine:
+    def test_level_coords(self):
+        cl = Cluster.gpu_cluster(4)
+        m = Machine(cl, Grid(2, 2), Grid(2, 2))
+        assert m.dim == 4
+        assert m.shape == (2, 2, 2, 2)
+        assert m.level_coords((1, 0, 0, 1)) == [(1, 0), (0, 1)]
+
+    def test_outer_level_picks_node(self):
+        cl = Cluster.gpu_cluster(4)
+        m = Machine(cl, Grid(2, 2), Grid(2, 2))
+        assert m.proc_at((0, 0, 0, 0)).node_id == 0
+        assert m.proc_at((1, 1, 0, 0)).node_id == 3
+
+    def test_inner_level_picks_local_proc(self):
+        cl = Cluster.gpu_cluster(2)
+        m = Machine(cl, Grid(2,), Grid(4,))
+        locals_ = [m.proc_at((0, g)).local_index for g in range(4)]
+        assert locals_ == [0, 1, 2, 3]
+
+    def test_inner_grid_too_large(self):
+        cl = Cluster.gpu_cluster(2, gpus_per_node=2)
+        with pytest.raises(ValueError):
+            Machine(cl, Grid(2,), Grid(4,))
+
+    def test_torus_distance_concatenated(self):
+        m = Machine.flat(4, 4)
+        assert m.torus_distance((0, 0), (3, 3)) == 2  # wraps both dims
+
+    def test_needs_grid(self):
+        cl = Cluster.cpu_cluster(1)
+        with pytest.raises(ValueError):
+            Machine(cl)

@@ -1,0 +1,74 @@
+"""Generality property: random einsums compile and run correctly.
+
+The paper claims DISTAL creates "implementations of any dense tensor
+algebra expression". Combined with the auto-scheduler, that becomes a
+testable property: generate random tensor index notation statements,
+schedule them automatically, execute them distributed, and compare to
+the numpy oracle.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import (
+    Assignment,
+    Machine,
+    TensorVar,
+    compile_kernel,
+    index_vars,
+)
+from repro.core.autoschedule import auto_schedule
+from repro.ir.expr import Access, Expr
+
+VARS = index_vars("i j k l")
+EXTENTS = {v: e for v, e in zip(VARS, (5, 6, 4, 3))}
+
+
+@st.composite
+def random_einsum(draw):
+    """A random assignment: product(s) of random accesses."""
+    n_out = draw(st.integers(0, 2))
+    out_vars = draw(
+        st.permutations(VARS).map(lambda p: list(p)[:n_out])
+    )
+    n_inputs = draw(st.integers(1, 3))
+    accesses = []
+    for idx in range(n_inputs):
+        n_dims = draw(st.integers(1, 3))
+        dims = draw(
+            st.permutations(VARS).map(lambda p: list(p)[:n_dims])
+        )
+        shape = tuple(EXTENTS[v] for v in dims)
+        tensor = TensorVar(f"T{idx}", shape)
+        accesses.append(Access(tensor, tuple(dims)))
+    rhs: Expr = accesses[0]
+    for access in accesses[1:]:
+        rhs = rhs * access
+    # Optionally a second additive term reusing the first access.
+    if draw(st.booleans()) and len(accesses) >= 2:
+        rhs = rhs + accesses[0]
+    out_shape = tuple(EXTENTS[v] for v in out_vars)
+    out = TensorVar("OUT", out_shape)
+    return Assignment(Access(out, tuple(out_vars)), rhs)
+
+
+class TestRandomEinsums:
+    @given(random_einsum(), st.sampled_from([(2, 2), (4,), (2, 2, 2)]))
+    @settings(
+        deadline=None,
+        max_examples=60,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    def test_auto_scheduled_execution_matches_oracle(self, stmt, grid):
+        machine = Machine.flat(*grid)
+        result = auto_schedule(stmt, machine)
+        kern = compile_kernel(result.schedule, machine)
+        rng = np.random.default_rng(0)
+        inputs = {
+            t.name: rng.random(t.shape)
+            for t in stmt.tensors()
+            if t.name != "OUT"
+        }
+        kern.execute(inputs, verify=True)

@@ -1,0 +1,124 @@
+"""Property-based checks on the cost model.
+
+Physical sanity: time is monotone in bytes, overlap never loses,
+collectives never beat their own payloads, and the simulator is
+deterministic.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import Cluster, Machine
+from repro.algorithms import summa
+from repro.runtime.trace import Copy, Step, Trace
+from repro.sim.costmodel import CostModel
+from repro.sim.params import LASSEN
+from repro.util.geometry import Interval, Rect
+
+lax = settings(
+    deadline=None,
+    max_examples=30,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+def make_copies(cluster, spec):
+    """spec: list of (src, dst, nbytes, reduce)."""
+    out = []
+    for idx, (src, dst, nbytes, reduce) in enumerate(spec):
+        sp = cluster.processors[src % cluster.num_processors]
+        dp = cluster.processors[dst % cluster.num_processors]
+        if sp.proc_id == dp.proc_id:
+            continue
+        out.append(
+            Copy(
+                tensor=f"T{idx}",
+                rect=Rect.of(Interval(0, max(nbytes // 8, 1))),
+                nbytes=nbytes,
+                src_proc=sp,
+                dst_proc=dp,
+                src_mem=sp.memory,
+                dst_mem=dp.memory,
+                reduce=reduce,
+            )
+        )
+    return out
+
+
+copy_spec = st.lists(
+    st.tuples(
+        st.integers(0, 7),
+        st.integers(0, 7),
+        st.integers(1_000, 100_000_000),
+        st.booleans(),
+    ),
+    min_size=1,
+    max_size=12,
+)
+
+
+class TestCommTimeProperties:
+    @given(copy_spec)
+    @lax
+    def test_time_nonnegative_and_finite(self, spec):
+        cluster = Cluster.cpu_cluster(8, sockets_per_node=1)
+        model = CostModel(cluster, LASSEN)
+        t = model.comm_time(make_copies(cluster, spec))
+        assert t >= 0.0
+        assert np.isfinite(t)
+
+    @given(copy_spec, st.integers(2, 5))
+    @lax
+    def test_monotone_in_bytes(self, spec, factor):
+        cluster = Cluster.cpu_cluster(8, sockets_per_node=1)
+        model = CostModel(cluster, LASSEN)
+        small = make_copies(cluster, spec)
+        big = make_copies(
+            cluster,
+            [(s, d, n * factor, r) for s, d, n, r in spec],
+        )
+        assert model.comm_time(big) >= model.comm_time(small)
+
+    @given(copy_spec)
+    @lax
+    def test_subset_never_slower(self, spec):
+        cluster = Cluster.cpu_cluster(8, sockets_per_node=1)
+        model = CostModel(cluster, LASSEN)
+        full = make_copies(cluster, spec)
+        half = full[: max(1, len(full) // 2)]
+        assert model.comm_time(half) <= model.comm_time(full) + 1e-12
+
+    @given(copy_spec)
+    @lax
+    def test_overlap_never_loses(self, spec):
+        cluster = Cluster.cpu_cluster(8, sockets_per_node=1)
+        trace = Trace()
+        step = trace.new_step("s")
+        step.copies.extend(make_copies(cluster, spec))
+        step.work_for(cluster.processors[0]).add(1e10, 0, "blas_gemm", False)
+        t_overlap = CostModel(cluster, LASSEN).time_trace(trace).total_time
+        t_block = (
+            CostModel(cluster, LASSEN.with_(overlap=False))
+            .time_trace(trace)
+            .total_time
+        )
+        assert t_overlap <= t_block + 1e-12
+
+
+class TestDeterminism:
+    def test_simulation_is_deterministic(self):
+        m = Machine.flat(4, 2)
+        reports = [summa(m, 4096).simulate(LASSEN) for _ in range(2)]
+        assert reports[0].total_time == reports[1].total_time
+        assert reports[0].total_copy_bytes == reports[1].total_copy_bytes
+
+    def test_functional_and_symbolic_agree_on_traffic(self, rng):
+        m = Machine.flat(3, 3)
+        kern = summa(m, 18)
+        f = kern.execute(
+            {"B": rng.random((18, 18)), "C": rng.random((18, 18))}
+        )
+        s = kern.trace(check_capacity=False)
+        assert f.trace.total_copy_bytes == s.trace.total_copy_bytes

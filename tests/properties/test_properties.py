@@ -1,0 +1,200 @@
+"""Property-based tests (hypothesis) on core invariants.
+
+The central contract: **schedules affect performance, never
+correctness** (Section 3.3). Random expressions, random distributions and
+random schedules must all produce the einsum oracle's result.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import (
+    Assignment,
+    Format,
+    Grid,
+    Machine,
+    Schedule,
+    TensorVar,
+    compile_kernel,
+    index_vars,
+)
+from repro.formats.distribution import Distribution
+from repro.util.geometry import Interval, Rect, split_evenly
+
+lax = settings(
+    deadline=None,
+    max_examples=40,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+class TestGeometryProperties:
+    @given(
+        st.integers(0, 200),
+        st.integers(1, 20),
+    )
+    @lax
+    def test_split_evenly_partitions(self, extent, pieces):
+        """Blocked partitioning covers the domain exactly once."""
+        covered = []
+        for idx in range(pieces):
+            piece = split_evenly(extent, pieces, idx)
+            covered.extend(range(piece.lo, piece.hi))
+        assert covered == list(range(extent))
+
+    @given(
+        st.integers(-50, 50), st.integers(-50, 50),
+        st.integers(-50, 50), st.integers(-50, 50),
+    )
+    @lax
+    def test_intersection_is_largest_common(self, a, b, c, d):
+        x = Interval(a, a + abs(b))
+        y = Interval(c, c + abs(d))
+        inter = x.intersect(y)
+        for v in range(-60, 120):
+            in_both = x.contains_value(v) and y.contains_value(v)
+            assert in_both == inter.contains_value(v)
+
+    @given(st.integers(1, 30), st.integers(1, 30), st.integers(1, 8))
+    @lax
+    def test_minkowski_sum_sound(self, s1, s2, samples):
+        x = Interval(0, s1)
+        y = Interval(10, 10 + s2)
+        total = x + y
+        rng = np.random.default_rng(s1 * 31 + s2)
+        for _ in range(samples):
+            xv = int(rng.integers(x.lo, x.hi))
+            yv = int(rng.integers(y.lo, y.hi))
+            assert total.contains_value(xv + yv)
+
+
+class TestDistributionProperties:
+    @given(
+        st.integers(1, 12),  # tensor rows
+        st.integers(1, 12),  # tensor cols
+        st.integers(1, 4),   # machine x
+        st.integers(1, 4),   # machine y
+        st.sampled_from(["xy -> xy", "xy -> x", "xy -> y"]),
+    )
+    @lax
+    def test_partition_covers_tensor_exactly_once(
+        self, rows, cols, mx, my, notation
+    ):
+        """Every tensor coordinate is owned by exactly one color."""
+        dist = Distribution.parse(notation)
+        mshape = (mx, my)[: dist.machine_ndim]
+        full = Rect.full((rows, cols))
+        seen = np.zeros((rows, cols), dtype=int)
+        counted = set()
+        for point in _points(mshape):
+            rect = dist.owned_rect(point, full, mshape)
+            if rect is None or rect.is_empty:
+                continue
+            key = tuple(rect.lo) + tuple(rect.hi)
+            if key in counted:
+                continue  # replicas of the same piece
+            counted.add(key)
+            seen[rect.as_slices()] += 1
+        assert (seen == 1).all()
+
+    @given(st.integers(1, 10), st.integers(1, 5), st.integers(0, 4))
+    @lax
+    def test_owner_covering_is_owner(self, extent, pieces, block):
+        if block >= pieces:
+            block = pieces - 1
+        dist = Distribution.parse("x -> x")
+        piece = split_evenly(extent, pieces, block)
+        if piece.is_empty:
+            return
+        owners = dist.owners_covering(
+            Rect.of(piece), Rect.full((extent,)), (pieces,)
+        )
+        assert owners == [(block,)]
+
+
+def _points(shape):
+    from itertools import product
+
+    return product(*(range(d) for d in shape))
+
+
+# ----------------------------------------------------------------------
+# The big one: random schedules never change results.
+# ----------------------------------------------------------------------
+
+def _random_matmul_schedule(draw, n, grid):
+    A = TensorVar("A", (n, n), Format("xy -> xy"))
+    B = TensorVar("B", (n, n), Format("xy -> xy"))
+    C = TensorVar("C", (n, n), Format("xy -> xy"))
+    i, j, k = index_vars("i j k")
+    stmt = Assignment(A[i, j], B[i, k] * C[k, j])
+    io, ii, jo, ji = index_vars("io ii jo ji")
+    sched = Schedule(stmt).distribute(
+        [i, j], [io, jo], [ii, ji], Grid(*grid)
+    )
+    style = draw(st.sampled_from(["none", "split", "divide", "rotate"]))
+    ko, ki, kos = index_vars("ko ki kos")
+    comm_inputs_at = None
+    if style == "split":
+        chunk = draw(st.sampled_from([2, 3, n]))
+        sched = sched.split(k, ko, ki, chunk).reorder([ko, ii, ji, ki])
+        comm_inputs_at = ko
+    elif style == "divide":
+        sched = sched.divide(k, ko, ki, grid[0]).reorder([ko, ii, ji, ki])
+        comm_inputs_at = ko
+    elif style == "rotate":
+        sched = (
+            sched.divide(k, ko, ki, grid[0])
+            .reorder([ko, ii, ji, ki])
+            .rotate(ko, [io, jo], kos)
+        )
+        comm_inputs_at = kos
+    if draw(st.booleans()):
+        sched = sched.communicate(A, jo)
+    if comm_inputs_at is not None and draw(st.booleans()):
+        sched = sched.communicate([B, C], comm_inputs_at)
+    return sched
+
+
+class TestScheduleNeverChangesResults:
+    @given(st.data())
+    @settings(
+        deadline=None,
+        max_examples=25,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    def test_random_matmul_schedules(self, data):
+        draw = data.draw
+        grid = draw(st.sampled_from([(2, 2), (3, 2), (2, 3), (3, 3)]))
+        n = draw(st.sampled_from([6, 12, 13]))
+        if n < max(grid):
+            n = max(grid) * 2
+        sched = _random_matmul_schedule(draw, n, grid)
+        machine = Machine.flat(*grid)
+        kern = compile_kernel(sched, machine)
+        rng = np.random.default_rng(42)
+        inputs = {"B": rng.random((n, n)), "C": rng.random((n, n))}
+        kern.execute(inputs, verify=True)
+
+    @given(
+        st.sampled_from([(2, 2), (4, 1), (1, 4)]),
+        st.sampled_from([8, 9, 10]),
+        st.sampled_from(["xy -> xy", "yx -> xy", "xy -> x*"]),
+    )
+    @lax
+    def test_any_data_distribution_works(self, grid, n, notation):
+        """Computation adapts to however the data is laid out."""
+        fa = Format(notation)
+        A = TensorVar("A", (n, n), fa)
+        B = TensorVar("B", (n, n), fa)
+        i, j = index_vars("i j")
+        stmt = Assignment(A[i, j], B[i, j])
+        io, ii, jo, ji = index_vars("io ii jo ji")
+        sched = Schedule(stmt).distribute(
+            [i, j], [io, jo], [ii, ji], Grid(*grid)
+        )
+        kern = compile_kernel(sched, Machine.flat(*grid))
+        rng = np.random.default_rng(7)
+        kern.execute({"B": rng.random((n, n))}, verify=True)

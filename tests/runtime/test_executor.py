@@ -1,0 +1,191 @@
+"""Executor tests: functional correctness across schedule shapes."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    Assignment,
+    Format,
+    Grid,
+    Machine,
+    Schedule,
+    TensorVar,
+    compile_kernel,
+    index_vars,
+)
+
+
+def run(stmt, sched_fn, machine, inputs, **kw):
+    sched = sched_fn(Schedule(stmt))
+    kern = compile_kernel(sched, machine)
+    return kern.execute(inputs, verify=True, **kw)
+
+
+class TestFunctionalShapes:
+    def test_unscheduled_runs_on_origin(self, rng):
+        A = TensorVar("A", (6, 6))
+        B = TensorVar("B", (6, 6))
+        i, j = index_vars("i j")
+        stmt = Assignment(A[i, j], B[i, j])
+        res = run(stmt, lambda s: s, Machine.flat(2), {"B": rng.random((6, 6))})
+        assert res.trace.total_flops > 0
+
+    def test_elementwise_add(self, rng):
+        f = Format("xy -> xy")
+        A = TensorVar("A", (8, 8), f)
+        B = TensorVar("B", (8, 8), f)
+        C = TensorVar("C", (8, 8), f)
+        i, j = index_vars("i j")
+        io, ii, jo, ji = index_vars("io ii jo ji")
+        stmt = Assignment(A[i, j], B[i, j] + C[i, j])
+        res = run(
+            stmt,
+            lambda s: s.distribute([i, j], [io, jo], [ii, ji], Grid(2, 2)),
+            Machine.flat(2, 2),
+            {"B": rng.random((8, 8)), "C": rng.random((8, 8))},
+        )
+        # Matching distributions: zero communication.
+        assert res.trace.total_copy_bytes == 0
+
+    def test_non_divisible_extents(self, rng):
+        # 7 does not divide by a 2x2 grid: ragged tiles must still work.
+        f = Format("xy -> xy")
+        A = TensorVar("A", (7, 5), f)
+        B = TensorVar("B", (7, 9), f)
+        C = TensorVar("C", (9, 5), f)
+        i, j, k = index_vars("i j k")
+        io, ii, jo, ji = index_vars("io ii jo ji")
+        stmt = Assignment(A[i, j], B[i, k] * C[k, j])
+        run(
+            stmt,
+            lambda s: s.distribute([i, j], [io, jo], [ii, ji], Grid(2, 2)),
+            Machine.flat(2, 2),
+            {"B": rng.random((7, 9)), "C": rng.random((9, 5))},
+        )
+
+    def test_rectangular_matmul(self, rng):
+        f = Format("xy -> xy")
+        A = TensorVar("A", (6, 10), f)
+        B = TensorVar("B", (6, 4), f)
+        C = TensorVar("C", (4, 10), f)
+        i, j, k = index_vars("i j k")
+        io, ii, jo, ji = index_vars("io ii jo ji")
+        stmt = Assignment(A[i, j], B[i, k] * C[k, j])
+        run(
+            stmt,
+            lambda s: s.distribute([i, j], [io, jo], [ii, ji], Grid(3, 2)),
+            Machine.flat(3, 2),
+            {"B": rng.random((6, 4)), "C": rng.random((4, 10))},
+        )
+
+    def test_mismatched_data_and_compute_distribution(self, rng):
+        # Data tiled 2x2 but computation distributed row-wise over 4:
+        # the runtime must redistribute transparently (schedules never
+        # affect correctness).
+        f = Format("xy -> xy")
+        A = TensorVar("A", (8, 8), Format("xy -> x"))
+        B = TensorVar("B", (8, 8), f)
+        i, j = index_vars("i j")
+        io, ii = index_vars("io ii")
+        stmt = Assignment(A[i, j], B[i, j])
+        machine4 = Machine.flat(4)
+
+        # B's format names 2 machine dims but the machine is 1-D, so use
+        # a row distribution for B on this machine instead.
+        B2 = TensorVar("B", (8, 8), Format("xy -> y"))
+        stmt2 = Assignment(A[i, j], B2[i, j])
+        res = run(
+            stmt2,
+            lambda s: s.distribute([i], [io], [ii], Grid(4)),
+            machine4,
+            {"B": rng.random((8, 8))},
+        )
+        # Row-compute over column-distributed B forces redistribution.
+        assert res.trace.total_copy_bytes > 0
+
+    def test_accumulate_into_output(self, rng):
+        # Multiple terms: A = B*C + B means two einsum terms per leaf.
+        f = Format("xy -> xy")
+        A = TensorVar("A", (8, 8), f)
+        B = TensorVar("B", (8, 8), f)
+        C = TensorVar("C", (8, 8), f)
+        i, j, k = index_vars("i j k")
+        io, ii, jo, ji = index_vars("io ii jo ji")
+        stmt = Assignment(A[i, j], B[i, k] * C[k, j] + B[i, j])
+        run(
+            stmt,
+            lambda s: s.distribute([i, j], [io, jo], [ii, ji], Grid(2, 2)),
+            Machine.flat(2, 2),
+            {"B": rng.random((8, 8)), "C": rng.random((8, 8))},
+        )
+
+
+class TestTraceShape:
+    def test_work_recorded_per_proc(self, rng):
+        f = Format("xy -> xy")
+        A = TensorVar("A", (8, 8), f)
+        B = TensorVar("B", (8, 8), f)
+        i, j = index_vars("i j")
+        io, ii, jo, ji = index_vars("io ii jo ji")
+        stmt = Assignment(A[i, j], B[i, j])
+        res = run(
+            stmt,
+            lambda s: s.distribute([i, j], [io, jo], [ii, ji], Grid(2, 2)),
+            Machine.flat(2, 2),
+            {"B": rng.random((8, 8))},
+        )
+        procs_with_work = {
+            pid for s in res.trace.steps for pid in s.work
+        }
+        assert len(procs_with_work) == 4
+
+    def test_flops_match_iteration_space(self, rng):
+        n = 8
+        f = Format("xy -> xy")
+        A = TensorVar("A", (n, n), f)
+        B = TensorVar("B", (n, n), f)
+        C = TensorVar("C", (n, n), f)
+        i, j, k = index_vars("i j k")
+        io, ii, jo, ji = index_vars("io ii jo ji")
+        stmt = Assignment(A[i, j], B[i, k] * C[k, j])
+        res = run(
+            stmt,
+            lambda s: s.distribute([i, j], [io, jo], [ii, ji], Grid(2, 2)),
+            Machine.flat(2, 2),
+            {"B": rng.random((n, n)), "C": rng.random((n, n))},
+        )
+        assert res.trace.total_flops == 2 * n ** 3
+
+    def test_symbolic_matches_functional_trace(self, rng):
+        # Symbolic execution must produce the same phases as functional.
+        from repro.algorithms import summa
+
+        m = Machine.flat(2, 2)
+        kern = summa(m, 16)
+        func = kern.execute(
+            {"B": rng.random((16, 16)), "C": rng.random((16, 16))}
+        )
+        symb = kern.trace(check_capacity=False)
+        assert len(func.trace.steps) == len(symb.trace.steps)
+        assert func.trace.total_copy_bytes == symb.trace.total_copy_bytes
+        assert func.trace.total_flops == symb.trace.total_flops
+
+
+class TestInputValidation:
+    def test_missing_inputs(self):
+        A = TensorVar("A", (4,))
+        b = TensorVar("b", (4,))
+        i, = index_vars("i")
+        stmt = Assignment(A[i], b[i])
+        kern = compile_kernel(Schedule(stmt), Machine.flat(2))
+        with pytest.raises((KeyError, ValueError)):
+            kern.execute({})
+
+    def test_wrong_shape(self, rng):
+        A = TensorVar("A", (4,))
+        b = TensorVar("b", (4,))
+        i, = index_vars("i")
+        stmt = Assignment(A[i], b[i])
+        kern = compile_kernel(Schedule(stmt), Machine.flat(2))
+        with pytest.raises(ValueError):
+            kern.execute({"b": rng.random(5)})

@@ -1,0 +1,154 @@
+"""Tests for instance tables, ownership, and memory accounting."""
+
+import pytest
+
+from repro import (
+    Assignment,
+    Format,
+    Machine,
+    Schedule,
+    TensorVar,
+    index_vars,
+)
+from repro.codegen.lower import lower_to_plan
+from repro.machine.cluster import Cluster, MemoryKind
+from repro.machine.grid import Grid
+from repro.machine.machine import Machine as MachineCls
+from repro.runtime.instances import DataEnvironment
+from repro.util.errors import OutOfMemoryError
+from repro.util.geometry import Interval, Rect
+
+
+def make_env(machine=None, fmt="xy -> xy", n=8, check_capacity=False):
+    machine = machine or Machine.flat(2, 2)
+    f = Format(fmt)
+    A = TensorVar("A", (n, n), f)
+    B = TensorVar("B", (n, n), f)
+    C = TensorVar("C", (n, n), f)
+    i, j, k = index_vars("i j k")
+    stmt = Assignment(A[i, j], B[i, k] * C[k, j])
+    plan = lower_to_plan(Schedule(stmt), machine)
+    return DataEnvironment(plan, check_capacity=check_capacity), plan
+
+
+class TestOwnership:
+    def test_home_rect(self):
+        env, _ = make_env()
+        rect = env.home_rect("B", (1, 0))
+        assert rect == Rect.of(Interval(4, 8), Interval(0, 4))
+
+    def test_owns(self):
+        env, _ = make_env()
+        tile = Rect.of(Interval(4, 8), Interval(0, 4))
+        assert env.owns("B", (1, 0), tile)
+        assert not env.owns("B", (0, 0), tile)
+
+    def test_home_accounting(self):
+        env, plan = make_env()
+        # Each of 4 processors homes three 4x4 tiles (A, B, C).
+        total = sum(env.usage_of(m) for m in plan.machine.cluster.memories())
+        assert total == 3 * 8 * 8 * 8  # three 8x8 doubles in total
+
+
+class TestAcquireRelease:
+    def test_local_home_needs_no_copy(self):
+        env, _ = make_env()
+        tile = Rect.of(Interval(0, 4), Interval(0, 4))
+        assert env.resolve("B", (0, 0), tile) == []
+
+    def test_remote_fetch_from_owner(self):
+        env, _ = make_env()
+        tile = Rect.of(Interval(4, 8), Interval(0, 4))
+        sources = env.resolve("B", (0, 0), tile)
+        assert sources == [((1, 0), tile)]
+
+    def test_register_then_local(self):
+        env, _ = make_env()
+        tile = Rect.of(Interval(4, 8), Interval(0, 4))
+        assert env.register("B", (0, 0), tile)
+        assert env.is_local("B", (0, 0), tile)
+        assert not env.register("B", (0, 0), tile)  # already held
+
+    def test_cached_becomes_source(self):
+        env, _ = make_env(machine=Machine.flat(4, 1))
+        tile = Rect.of(Interval(0, 2), Interval(0, 8))
+        env.register("B", (2, 0), tile)
+        # (3, 0) is distance 1 from the cache at (2, 0) but distance 1
+        # from the owner (0,0) via wraparound; nearest selection may pick
+        # either — both are valid sources at equal distance.
+        sources = env.resolve("B", (3, 0), tile)
+        assert sources[0][0] in [(2, 0), (0, 0)]
+
+    def test_release_frees_bytes(self):
+        env, plan = make_env()
+        proc = plan.machine.proc_at((0, 0))
+        before = env.usage_of(proc.memory)
+        tile = Rect.of(Interval(4, 8), Interval(0, 4))
+        env.register("B", (0, 0), tile)
+        assert env.usage_of(proc.memory) == before + 4 * 4 * 8
+        env.release("B", (0, 0), tile)
+        assert env.usage_of(proc.memory) == before
+
+    def test_multi_piece_fetch(self):
+        env, _ = make_env()
+        # A rect straddling all four tiles decomposes into four pieces.
+        middle = Rect.of(Interval(2, 6), Interval(2, 6))
+        sources = env.resolve("B", (0, 0), middle)
+        assert len(sources) == 4
+        assert sum(piece.volume for _, piece in sources) == middle.volume
+
+
+class TestPartials:
+    def test_note_and_flush(self):
+        env, _ = make_env()
+        foreign = Rect.of(Interval(4, 8), Interval(4, 8))
+        assert env.note_partial("A", (0, 0), foreign)
+        assert not env.note_partial("A", (0, 0), foreign)  # dedup
+        flushed = env.flush_partials("A", (0, 0))
+        assert flushed == [(foreign, (1, 1))]
+        assert env.flush_partials("A", (0, 0)) == []
+
+    def test_owned_write_is_not_partial(self):
+        env, _ = make_env()
+        own = Rect.of(Interval(0, 4), Interval(0, 4))
+        assert not env.note_partial("A", (0, 0), own)
+
+
+class TestCapacity:
+    def test_oom_raises(self):
+        cl = Cluster.build(
+            num_nodes=4,
+            procs_per_node=1,
+            proc_kind=Cluster.cpu_cluster(1).processor_kind,
+            proc_mem_kind=MemoryKind.SYSTEM_MEM,
+            proc_mem_capacity=3 * 4 * 4 * 8,  # just the home tiles
+            system_mem_capacity=3 * 4 * 4 * 8,
+        )
+        machine = MachineCls(cl, Grid(2, 2))
+        env, _ = make_env(machine=machine, check_capacity=True)
+        tile = Rect.of(Interval(4, 8), Interval(0, 4))
+        with pytest.raises(OutOfMemoryError):
+            env.register("B", (0, 0), tile)
+
+    def test_high_water_tracked(self):
+        env, plan = make_env()
+        proc = plan.machine.proc_at((0, 0))
+        tile = Rect.of(Interval(4, 8), Interval(0, 4))
+        env.register("B", (0, 0), tile)
+        env.release("B", (0, 0), tile)
+        assert env.high_water[proc.memory.name] >= 3 * 16 * 8 + 16 * 8
+
+
+class TestReplicatedHomes:
+    def test_broadcast_dims_hold_replicas(self):
+        machine = Machine.flat(2, 2)
+        f = Format("x -> x*")
+        c = TensorVar("c", (8,), f)
+        A = TensorVar("A", (8,), f)
+        i, = index_vars("i")
+        stmt = Assignment(A[i], c[i])
+        plan = lower_to_plan(Schedule(stmt), machine)
+        env = DataEnvironment(plan)
+        for y in range(2):
+            rect = env.home_rect("c", (0, y))
+            assert rect == Rect.of(Interval(0, 4))

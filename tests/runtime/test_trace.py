@@ -1,0 +1,73 @@
+"""Unit tests for trace records and aggregation."""
+
+import pytest
+
+from repro.machine.cluster import Cluster
+from repro.runtime.trace import Copy, Step, Trace, Work
+from repro.util.geometry import Interval, Rect
+
+
+@pytest.fixture
+def cluster():
+    return Cluster.cpu_cluster(2, sockets_per_node=1)
+
+
+def copy(cluster, src, dst, nbytes=80, reduce=False):
+    sp, dp = cluster.processors[src], cluster.processors[dst]
+    return Copy(
+        tensor="T",
+        rect=Rect.of(Interval(0, nbytes // 8)),
+        nbytes=nbytes,
+        src_proc=sp,
+        dst_proc=dp,
+        src_mem=sp.memory,
+        dst_mem=dp.memory,
+        reduce=reduce,
+    )
+
+
+class TestCopy:
+    def test_inter_node(self, cluster):
+        assert copy(cluster, 0, 1).inter_node
+        one_node = Cluster.cpu_cluster(1)
+        assert not copy(one_node, 0, 1).inter_node
+
+
+class TestWork:
+    def test_accumulation(self):
+        w = Work()
+        w.add(100.0, 10.0, "blas_gemm", False)
+        w.add(50.0, 5.0, None, True, staged_bytes=3.0)
+        assert w.flops == 150.0
+        assert w.bytes_touched == 15.0
+        assert w.staged_bytes == 3.0
+        assert w.kernel == "blas_gemm"  # None does not clear it
+        assert w.parallel
+        assert w.invocations == 2
+
+
+class TestStepAndTrace:
+    def test_step_aggregates(self, cluster):
+        step = Step(label="s")
+        step.copies.append(copy(cluster, 0, 1, nbytes=100))
+        step.work_for(cluster.processors[0]).add(7.0, 0.0, None, False)
+        assert step.total_copy_bytes == 100
+        assert step.inter_node_bytes == 100
+        assert step.total_flops == 7.0
+
+    def test_trace_aggregates(self, cluster):
+        trace = Trace()
+        s1 = trace.new_step("a")
+        s1.copies.append(copy(cluster, 0, 1, nbytes=100))
+        s2 = trace.new_step("b")
+        s2.copies.append(copy(cluster, 1, 0, nbytes=60))
+        s2.work_for(cluster.processors[1]).add(3.0, 0.0, None, False)
+        assert trace.total_copy_bytes == 160
+        assert trace.total_flops == 3.0
+        assert len(trace.copies) == 2
+
+    def test_current_creates_on_demand(self):
+        trace = Trace()
+        step = trace.current
+        assert trace.steps == [step]
+        assert trace.current is step

@@ -1,0 +1,190 @@
+"""Tests for the scheduling language rewrites."""
+
+import pytest
+
+from repro import Assignment, Grid, Schedule, TensorVar, index_vars
+from repro.ir.concrete import Assign, Forall
+from repro.util.errors import ScheduleError
+
+
+def gemm(n=8):
+    A = TensorVar("A", (n, n))
+    B = TensorVar("B", (n, n))
+    C = TensorVar("C", (n, n))
+    i, j, k = index_vars("i j k")
+    return Assignment(A[i, j], B[i, k] * C[k, j]), (A, B, C), (i, j, k)
+
+
+class TestDefaultLowering:
+    def test_loop_order(self):
+        stmt, _, (i, j, k) = gemm()
+        sched = Schedule(stmt)
+        assert sched.loop_vars() == [i, j, k]
+
+    def test_leaf_is_reduce_assign(self):
+        stmt, _, _ = gemm()
+        sched = Schedule(stmt)
+        leaf = sched.stmt.foralls()[-1].body
+        assert isinstance(leaf, Assign)
+        assert leaf.reduce
+
+
+class TestSplitDivideReorder:
+    def test_split_inserts_pair(self):
+        stmt, _, (i, j, k) = gemm()
+        io, ii = index_vars("io ii")
+        sched = Schedule(stmt).split(i, io, ii, 4)
+        assert sched.loop_vars() == [io, ii, j, k]
+
+    def test_divide(self):
+        stmt, _, (i, j, k) = gemm()
+        ko, ki = index_vars("ko ki")
+        sched = Schedule(stmt).divide(k, ko, ki, 2)
+        assert sched.loop_vars() == [i, j, ko, ki]
+        assert sched.graph.extent(ko) == 2
+
+    def test_reorder(self):
+        stmt, _, (i, j, k) = gemm()
+        sched = Schedule(stmt).reorder([k, j, i])
+        assert sched.loop_vars() == [k, j, i]
+
+    def test_reorder_segment(self):
+        stmt, _, (i, j, k) = gemm()
+        sched = Schedule(stmt).reorder([k, j])
+        assert sched.loop_vars() == [i, k, j]
+
+    def test_reorder_non_contiguous_rejected(self):
+        stmt, _, (i, j, k) = gemm()
+        io, ii = index_vars("io ii")
+        sched = Schedule(stmt).split(i, io, ii, 4)
+        # io and j are not adjacent (ii sits between them).
+        with pytest.raises(ScheduleError):
+            sched.reorder([j, io])
+
+    def test_reorder_unknown_var(self):
+        stmt, _, _ = gemm()
+        with pytest.raises(ScheduleError):
+            Schedule(stmt).reorder(index_vars("zz yy"))
+
+    def test_tags_travel_with_reorder(self):
+        stmt, (A, B, C), (i, j, k) = gemm()
+        sched = Schedule(stmt).communicate(B, k).reorder([k, j, i])
+        foralls = sched.stmt.foralls()
+        assert foralls[0].var == k
+        assert foralls[0].communicated == ["B"]
+
+
+class TestCollapse:
+    def test_collapse_fuses(self):
+        stmt, _, (i, j, k) = gemm()
+        f, = index_vars("f")
+        sched = Schedule(stmt).collapse(i, j, f)
+        assert sched.loop_vars() == [f, k]
+        assert sched.graph.extent(f) == 64
+
+    def test_collapse_needs_nesting(self):
+        stmt, _, (i, j, k) = gemm()
+        f, = index_vars("f")
+        with pytest.raises(ScheduleError):
+            Schedule(stmt).collapse(i, k, f)
+
+
+class TestDistribute:
+    def test_mark_form(self):
+        stmt, _, (i, j, k) = gemm()
+        sched = Schedule(stmt).distribute([i, j])
+        foralls = sched.stmt.foralls()
+        assert foralls[0].distributed and foralls[1].distributed
+        assert not foralls[2].distributed
+
+    def test_compound_form(self):
+        stmt, _, (i, j, k) = gemm()
+        io, ii, jo, ji = index_vars("io ii jo ji")
+        sched = Schedule(stmt).distribute(
+            [i, j], [io, jo], [ii, ji], Grid(2, 2)
+        )
+        assert sched.loop_vars() == [io, jo, ii, ji, k]
+        assert sched.stmt.foralls()[0].distributed
+        assert sched.stmt.foralls()[1].distributed
+
+    def test_compound_needs_matching_arity(self):
+        stmt, _, (i, j, k) = gemm()
+        io, ii = index_vars("io ii")
+        with pytest.raises(ScheduleError):
+            Schedule(stmt).distribute([i, j], [io], [ii], Grid(2))
+
+    def test_machine_level_recorded(self):
+        stmt, _, (i, j, k) = gemm()
+        sched = Schedule(stmt).distribute([i], level=1)
+        assert sched.stmt.foralls()[0].machine_level == 1
+
+
+class TestCommunicate:
+    def test_tags_forall(self):
+        stmt, (A, B, C), (i, j, k) = gemm()
+        sched = Schedule(stmt).communicate([B, C], k)
+        assert sched.stmt.foralls()[2].communicated == ["B", "C"]
+        assert sched.communicated_at() == {"B": k, "C": k}
+
+    def test_double_communicate_rejected(self):
+        stmt, (A, B, C), (i, j, k) = gemm()
+        sched = Schedule(stmt).communicate(B, k)
+        with pytest.raises(ScheduleError):
+            sched.communicate(B, i)
+
+    def test_unknown_tensor_rejected(self):
+        stmt, _, (i, j, k) = gemm()
+        with pytest.raises(ScheduleError):
+            Schedule(stmt).communicate("nope", k)
+
+
+class TestRotate:
+    def test_rotate_replaces_loop(self):
+        stmt, _, (i, j, k) = gemm()
+        kos, = index_vars("kos")
+        sched = Schedule(stmt).distribute([i, j]).rotate(k, [i, j], kos)
+        assert sched.loop_vars() == [i, j, kos]
+        assert sched.graph.is_rotate_result(kos)
+
+    def test_rotate_unknown_target(self):
+        stmt, _, _ = gemm()
+        zz, kos = index_vars("zz kos")
+        with pytest.raises(ScheduleError):
+            Schedule(stmt).rotate(zz, [], kos)
+
+
+class TestSubstitute:
+    def test_marks_innermost(self):
+        stmt, _, (i, j, k) = gemm()
+        sched = Schedule(stmt).substitute([j, k], "blas_gemm")
+        assert sched.stmt.foralls()[1].substituted == "blas_gemm"
+
+    def test_rejects_non_innermost(self):
+        stmt, _, (i, j, k) = gemm()
+        with pytest.raises(ScheduleError):
+            Schedule(stmt).substitute([i, j], "blas_gemm")
+
+
+class TestPrecompute:
+    def test_splits_leaf(self):
+        from repro.ir.concrete import Sequence
+
+        A = TensorVar("A", (8,))
+        b = TensorVar("b", (8,))
+        c = TensorVar("c", (8,))
+        w = TensorVar("w", (8,))
+        i, = index_vars("i")
+        sub = b[i] * c[i]
+        stmt = Assignment(A[i], sub)
+        sched = Schedule(stmt).precompute(sub, w, [i])
+        leaf = sched.stmt.foralls()[-1].body
+        assert isinstance(leaf, Sequence)
+        assert len(leaf.stmts) == 2
+        assert leaf.stmts[0].lhs.tensor.name == "w"
+
+    def test_pretty_mentions_commands(self):
+        stmt, _, (i, j, k) = gemm()
+        sched = Schedule(stmt).distribute([i]).communicate("B", k)
+        text = sched.pretty()
+        assert "distribute" in text
+        assert "communicate(B)" in text

@@ -1,0 +1,62 @@
+"""Tests for the trace-analysis helpers."""
+
+import numpy as np
+import pytest
+
+from repro import Machine
+from repro.algorithms import cannon, johnson, summa
+from repro.sim.analysis import (
+    communication_report,
+    node_traffic_matrix,
+    per_tensor_bytes,
+    summarize,
+)
+
+
+@pytest.fixture(scope="module")
+def traces():
+    rng = np.random.default_rng(3)
+    n = 24
+    inputs = {"B": rng.random((n, n)), "C": rng.random((n, n))}
+    m2 = Machine.flat(3, 3)
+    m3 = Machine.flat(2, 2, 2)
+    return {
+        "cannon": (cannon(m2, n).execute(dict(inputs)).trace, m2),
+        "summa": (summa(m2, n).execute(dict(inputs)).trace, m2),
+        "johnson": (johnson(m3, n).execute(dict(inputs)).trace, m3),
+    }
+
+
+class TestPatternClassification:
+    def test_cannon_is_systolic(self, traces):
+        trace, machine = traces["cannon"]
+        assert summarize(trace, machine).pattern == "systolic"
+
+    def test_summa_is_broadcast(self, traces):
+        trace, machine = traces["summa"]
+        assert summarize(trace, machine).pattern == "broadcast"
+
+    def test_johnson_counts_reductions(self, traces):
+        trace, machine = traces["johnson"]
+        summary = summarize(trace, machine)
+        assert summary.reduction_bytes > 0
+
+
+class TestAggregates:
+    def test_per_tensor_bytes(self, traces):
+        trace, _ = traces["summa"]
+        tensors = per_tensor_bytes(trace)
+        assert set(tensors) == {"B", "C"}
+        assert tensors["B"] == tensors["C"]  # symmetric traffic
+
+    def test_traffic_matrix_symmetry(self, traces):
+        trace, _ = traces["cannon"]
+        matrix = node_traffic_matrix(trace)
+        assert matrix
+        assert all(src != dst for src, dst in matrix)
+
+    def test_report_renders(self, traces):
+        trace, machine = traces["summa"]
+        text = communication_report(trace, machine)
+        assert "pattern" in text
+        assert "broadcast" in text

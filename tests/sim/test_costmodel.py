@@ -1,0 +1,163 @@
+"""Cost model unit tests: collectives, rooflines, overlap."""
+
+import pytest
+
+from repro.machine.cluster import Cluster
+from repro.runtime.trace import Copy, Step, Trace, Work
+from repro.sim.costmodel import CostModel
+from repro.sim.params import LASSEN
+from repro.util.geometry import Interval, Rect
+
+
+def copy_between(cluster, src, dst, nbytes, tensor="T", reduce=False):
+    sp = cluster.processors[src]
+    dp = cluster.processors[dst]
+    return Copy(
+        tensor=tensor,
+        rect=Rect.of(Interval(0, nbytes // 8)),
+        nbytes=nbytes,
+        src_proc=sp,
+        dst_proc=dp,
+        src_mem=sp.memory,
+        dst_mem=dp.memory,
+        reduce=reduce,
+    )
+
+
+@pytest.fixture
+def cpu4():
+    return Cluster.cpu_cluster(4, sockets_per_node=1)
+
+
+class TestCommTime:
+    def test_empty(self, cpu4):
+        model = CostModel(cpu4, LASSEN)
+        assert model.comm_time([]) == 0.0
+
+    def test_p2p_bandwidth(self, cpu4):
+        model = CostModel(cpu4, LASSEN)
+        nbytes = 250_000_000  # 0.25 GB over 25 GB/s -> 10 ms
+        t = model.comm_time([copy_between(cpu4, 0, 1, nbytes)])
+        assert t == pytest.approx(0.01, rel=0.1)
+
+    def test_parallel_p2p_not_serialized(self, cpu4):
+        model = CostModel(cpu4, LASSEN)
+        nbytes = 250_000_000
+        # Disjoint pairs: same time as a single copy.
+        copies = [
+            copy_between(cpu4, 0, 1, nbytes, tensor="T1"),
+            copy_between(cpu4, 2, 3, nbytes, tensor="T2"),
+        ]
+        t_pair = model.comm_time(copies)
+        t_single = model.comm_time(copies[:1])
+        assert t_pair == pytest.approx(t_single, rel=0.01)
+
+    def test_common_source_contends(self, cpu4):
+        model = CostModel(cpu4, LASSEN)
+        nbytes = 250_000_000
+        # Distinct tensors from the same source serialize on its NIC.
+        copies = [
+            copy_between(cpu4, 0, 1, nbytes, tensor="T1"),
+            copy_between(cpu4, 0, 2, nbytes, tensor="T2"),
+            copy_between(cpu4, 0, 3, nbytes, tensor="T3"),
+        ]
+        t = model.comm_time(copies)
+        assert t >= 3 * 0.009
+
+    def test_broadcast_cheaper_than_distinct_sends(self, cpu4):
+        model = CostModel(cpu4, LASSEN)
+        nbytes = 250_000_000
+        bcast = [
+            copy_between(cpu4, 0, d, nbytes, tensor="T") for d in (1, 2, 3)
+        ]
+        distinct = [
+            copy_between(cpu4, 0, d, nbytes, tensor=f"T{d}") for d in (1, 2, 3)
+        ]
+        assert model.comm_time(bcast) < model.comm_time(distinct)
+
+    def test_reduction_tree(self, cpu4):
+        model = CostModel(cpu4, LASSEN)
+        nbytes = 250_000_000
+        reds = [
+            copy_between(cpu4, s, 0, nbytes, reduce=True) for s in (1, 2, 3)
+        ]
+        # Tree reduction: bounded by the relay factor, not fan-in.
+        assert model.comm_time(reds) < 3 * 0.01 + 1e-3
+
+    def test_gpu_direct_slower(self):
+        gpu = Cluster.gpu_cluster(2, gpus_per_node=1)
+        cpu = Cluster.cpu_cluster(2, sockets_per_node=1)
+        nbytes = 250_000_000
+        t_gpu = CostModel(gpu, LASSEN).comm_time(
+            [copy_between(gpu, 0, 1, nbytes)]
+        )
+        t_cpu = CostModel(cpu, LASSEN).comm_time(
+            [copy_between(cpu, 0, 1, nbytes)]
+        )
+        # 18 GB/s GPU-direct vs 25 GB/s host NIC (Section 7.1.2).
+        assert t_gpu == pytest.approx(t_cpu * 25 / 18, rel=0.05)
+
+    def test_nvlink_intra_node(self):
+        gpu = Cluster.gpu_cluster(1, gpus_per_node=4)
+        model = CostModel(gpu, LASSEN)
+        nbytes = 250_000_000
+        t = model.comm_time([copy_between(gpu, 0, 1, nbytes)])
+        # NVLink at 60 GB/s, not the NIC.
+        assert t == pytest.approx(nbytes / LASSEN.nvlink_bw, rel=0.1)
+
+
+class TestComputeTime:
+    def _step_with_work(self, cluster, flops=0.0, nbytes=0.0, kernel=None):
+        step = Step(label="w")
+        w = step.work_for(cluster.processors[0])
+        w.add(flops, nbytes, kernel, False)
+        return step
+
+    def test_gemm_rate(self, cpu4):
+        model = CostModel(cpu4, LASSEN)
+        step = self._step_with_work(cpu4, flops=1e12, kernel="blas_gemm")
+        expected = 1e12 / (
+            LASSEN.cpu_socket_gflops
+            * LASSEN.runtime_core_fraction
+            * LASSEN.gemm_efficiency
+        )
+        assert model.compute_time(step) == pytest.approx(expected)
+
+    def test_bandwidth_roofline(self, cpu4):
+        model = CostModel(cpu4, LASSEN)
+        # 1 flop per 1000 bytes: clearly bandwidth bound.
+        step = self._step_with_work(cpu4, flops=1e6, nbytes=1e9)
+        assert model.compute_time(step) == pytest.approx(
+            1e9 / LASSEN.cpu_mem_bw
+        )
+
+    def test_naive_leaf_slower_than_gemm(self, cpu4):
+        model = CostModel(cpu4, LASSEN)
+        gemm = self._step_with_work(cpu4, flops=1e12, kernel="blas_gemm")
+        naive = self._step_with_work(cpu4, flops=1e12, kernel=None)
+        assert model.compute_time(naive) > model.compute_time(gemm)
+
+
+class TestOverlap:
+    def _trace(self, cluster):
+        trace = Trace()
+        step = trace.new_step("s")
+        step.copies.append(copy_between(cluster, 0, 1, 250_000_000))
+        w = step.work_for(cluster.processors[1])
+        w.add(5e9, 0.0, "blas_gemm", False)
+        return trace
+
+    def test_overlap_takes_max(self, cpu4):
+        trace = self._trace(cpu4)
+        t_overlap = CostModel(cpu4, LASSEN).time_trace(trace).total_time
+        t_blocking = CostModel(
+            cpu4, LASSEN.with_(overlap=False)
+        ).time_trace(trace).total_time
+        assert t_blocking > t_overlap
+
+    def test_report_rates(self, cpu4):
+        trace = self._trace(cpu4)
+        report = CostModel(cpu4, LASSEN).time_trace(trace)
+        assert report.total_flops == 5e9
+        assert report.gflops_per_node > 0
+        assert report.num_nodes == 4

@@ -1,0 +1,162 @@
+"""Unit tests for interval and rectangle arithmetic."""
+
+import pytest
+
+from repro.util.geometry import (
+    Interval,
+    Rect,
+    bounding_rect,
+    ceil_div,
+    split_evenly,
+)
+
+
+class TestInterval:
+    def test_point(self):
+        p = Interval.point(5)
+        assert p.lo == 5 and p.hi == 6
+        assert p.is_point
+        assert p.value == 5
+        assert p.size == 1
+
+    def test_extent(self):
+        e = Interval.extent(10)
+        assert e.lo == 0 and e.hi == 10
+        assert e.size == 10
+        assert not e.is_point
+
+    def test_empty_normalization(self):
+        e = Interval(5, 3)
+        assert e.is_empty
+        assert e.size == 0
+
+    def test_value_of_non_point_raises(self):
+        with pytest.raises(ValueError):
+            Interval(0, 3).value
+
+    def test_contains(self):
+        outer = Interval(0, 10)
+        assert outer.contains(Interval(2, 5))
+        assert outer.contains(Interval(0, 10))
+        assert not outer.contains(Interval(5, 11))
+        assert outer.contains(Interval(7, 7))  # empty always contained
+
+    def test_contains_value(self):
+        ival = Interval(3, 7)
+        assert ival.contains_value(3)
+        assert ival.contains_value(6)
+        assert not ival.contains_value(7)
+        assert not ival.contains_value(2)
+
+    def test_intersect(self):
+        assert Interval(0, 5).intersect(Interval(3, 9)) == Interval(3, 5)
+        assert Interval(0, 3).intersect(Interval(5, 9)).is_empty
+
+    def test_shift(self):
+        assert Interval(2, 4).shift(10) == Interval(12, 14)
+
+    def test_scale(self):
+        # scale gives the interval of factor * x, not factor * bounds.
+        assert Interval(1, 3).scale(4) == Interval(4, 9)
+        with pytest.raises(ValueError):
+            Interval(0, 1).scale(0)
+
+    def test_minkowski_add(self):
+        # x in [1,3), y in [10,12) -> x+y in [11, 14)
+        assert Interval(1, 3) + Interval(10, 12) == Interval(11, 14)
+
+    def test_add_empty(self):
+        assert (Interval(1, 1) + Interval(0, 5)).is_empty
+
+    def test_iter(self):
+        assert list(Interval(2, 5)) == [2, 3, 4]
+
+    def test_split_reconstruction(self):
+        # io in [1,2), ii in [0,4) with tile 4 -> i in [4, 8)
+        combined = Interval.point(1).scale(4) + Interval.extent(4)
+        assert combined == Interval(4, 8)
+
+
+class TestRect:
+    def test_full(self):
+        r = Rect.full((3, 4))
+        assert r.volume == 12
+        assert r.shape == (3, 4)
+        assert r.dim == 2
+
+    def test_zero_dim_rect(self):
+        r = Rect(())
+        assert r.volume == 1
+        assert not r.is_empty
+
+    def test_contains(self):
+        outer = Rect.full((10, 10))
+        inner = Rect.of(Interval(2, 5), Interval(0, 10))
+        assert outer.contains(inner)
+        assert not inner.contains(outer)
+
+    def test_contains_point(self):
+        r = Rect.of(Interval(2, 5), Interval(1, 3))
+        assert r.contains_point((2, 1))
+        assert not r.contains_point((5, 1))
+
+    def test_intersect_and_overlaps(self):
+        a = Rect.of(Interval(0, 5), Interval(0, 5))
+        b = Rect.of(Interval(3, 8), Interval(4, 9))
+        inter = a.intersect(b)
+        assert inter == Rect.of(Interval(3, 5), Interval(4, 5))
+        assert a.overlaps(b)
+        c = Rect.of(Interval(6, 8), Interval(0, 5))
+        assert not a.overlaps(c)
+
+    def test_as_slices(self):
+        r = Rect.of(Interval(1, 3), Interval(2, 6))
+        assert r.as_slices() == (slice(1, 3), slice(2, 6))
+
+    def test_empty_volume(self):
+        r = Rect.of(Interval(3, 3), Interval(0, 5))
+        assert r.is_empty
+        assert r.volume == 0
+
+    def test_dimension_mismatch(self):
+        with pytest.raises(ValueError):
+            Rect.full((2,)).intersect(Rect.full((2, 2)))
+
+
+class TestHelpers:
+    def test_ceil_div(self):
+        assert ceil_div(10, 3) == 4
+        assert ceil_div(9, 3) == 3
+        assert ceil_div(0, 3) == 0
+        with pytest.raises(ValueError):
+            ceil_div(1, 0)
+
+    def test_split_evenly_exact(self):
+        pieces = [split_evenly(12, 3, i) for i in range(3)]
+        assert pieces == [Interval(0, 4), Interval(4, 8), Interval(8, 12)]
+
+    def test_split_evenly_ragged(self):
+        # 10 elements over 3 pieces: 4, 4, 2.
+        pieces = [split_evenly(10, 3, i) for i in range(3)]
+        assert [p.size for p in pieces] == [4, 4, 2]
+        assert pieces[2] == Interval(8, 10)
+
+    def test_split_evenly_more_pieces_than_elements(self):
+        pieces = [split_evenly(2, 4, i) for i in range(4)]
+        assert [p.size for p in pieces] == [1, 1, 0, 0]
+
+    def test_split_evenly_bad_index(self):
+        with pytest.raises(ValueError):
+            split_evenly(10, 3, 3)
+
+    def test_bounding_rect(self):
+        rects = [
+            Rect.of(Interval(0, 2), Interval(5, 6)),
+            Rect.of(Interval(4, 8), Interval(0, 3)),
+        ]
+        assert bounding_rect(rects) == Rect.of(Interval(0, 8), Interval(0, 6))
+
+    def test_bounding_rect_ignores_empty(self):
+        rects = [Rect.of(Interval(3, 3)), Rect.of(Interval(1, 2))]
+        assert bounding_rect(rects) == Rect.of(Interval(1, 2))
+        assert bounding_rect([Rect.of(Interval(3, 3))]) is None
