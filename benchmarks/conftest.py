@@ -11,6 +11,12 @@ import os
 import pytest
 
 
+def pytest_collection_modifyitems(items):
+    """Everything under benchmarks/ is a paper-scale sweep."""
+    for item in items:
+        item.add_marker(pytest.mark.bench)
+
+
 def node_counts(extra=()):
     """The weak-scaling node axis for benchmarks."""
     if os.environ.get("REPRO_FULL_SWEEP"):

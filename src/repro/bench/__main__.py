@@ -5,6 +5,7 @@ Usage::
     python -m repro.bench fig15a [--nodes 1,4,16,64,256]
     python -m repro.bench fig15b
     python -m repro.bench ttv|innerprod|ttm|mttkrp [--gpu]
+    python -m repro.bench weak512 [--gpu]
     python -m repro.bench headline
     python -m repro.bench all
 
@@ -25,6 +26,7 @@ from repro.bench.figures import (
     format_table,
     headline_speedups,
 )
+from repro.bench.weak_scaling import EXTENDED_NODE_COUNTS, matmul_weak_scaling
 
 HIGHER_ORDER = ("ttv", "innerprod", "ttm", "mttkrp")
 
@@ -40,7 +42,9 @@ def main(argv=None) -> int:
     )
     parser.add_argument(
         "figure",
-        choices=["fig15a", "fig15b", "headline", "all", *HIGHER_ORDER],
+        choices=[
+            "fig15a", "fig15b", "weak512", "headline", "all", *HIGHER_ORDER,
+        ],
     )
     parser.add_argument(
         "--nodes",
@@ -73,6 +77,13 @@ def main(argv=None) -> int:
             print(format_table(
                 rows, f"Figure 16: {kernel} weak scaling ({label})"
             ))
+    if args.figure in ("weak512", "all"):
+        counts = args.nodes or EXTENDED_NODE_COUNTS
+        label = "GPU" if args.gpu else "CPU"
+        print(format_table(
+            matmul_weak_scaling(node_counts=counts, gpu=args.gpu),
+            f"Weak scaling to {counts[-1]} nodes ({label})",
+        ))
     if args.figure in ("headline", "all"):
         ratios = headline_speedups(node_counts=[nodes[-1]])
         print(f"== Headline speedups at {nodes[-1]} nodes ==")

@@ -1,0 +1,165 @@
+"""Keyed plan/trace cache for benchmark sweeps.
+
+The paper's figures re-simulate the same configurations over and over:
+``headline_speedups`` re-runs Figure 15a's top node count, every figure
+shares baselines across sweeps, and the benchmark suite executes several
+figures in one process. Symbolic execution is deterministic — a kernel's
+:class:`~repro.sim.report.SimReport` is a pure function of the plan, the
+machine, and the cost-model parameters — so results are memoized under a
+structural key:
+
+``(kernel fingerprint, machine shape, cluster signature, tensor sizes,
+params, check_capacity)``
+
+where the *kernel fingerprint* is the plan's printed form (loop
+structure, extents, communication points, leaf kernels — i.e. the
+schedule) plus every tensor's shape/dtype/format. Out-of-memory
+outcomes are cached too: a configuration that OOMs re-raises
+:class:`~repro.util.errors.OutOfMemoryError` on every hit, so OOM rows
+in a sweep are as cheap as successful ones.
+
+Baseline models (ScaLAPACK, CTF, reference COSMA) build traces from
+closed-form formulas rather than kernels; :func:`cached_baseline`
+memoizes those per ``(function, cluster signature, arguments)``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Tuple
+
+from repro.machine.cluster import Cluster
+from repro.sim.params import LASSEN, MachineParams
+from repro.sim.report import SimReport
+from repro.util.errors import OutOfMemoryError
+
+
+def cluster_signature(cluster: Cluster) -> Tuple:
+    """Structural identity of a cluster (homogeneous by construction)."""
+    proc = cluster.processors[0]
+    node = cluster.nodes[0]
+    return (
+        cluster.num_nodes,
+        cluster.procs_per_node,
+        proc.kind.value,
+        proc.memory.kind.value,
+        proc.memory.capacity_bytes,
+        node.system_memory.capacity_bytes
+        if node.system_memory is not None
+        else None,
+    )
+
+
+def kernel_fingerprint(kernel) -> Tuple:
+    """Structural identity of a compiled kernel.
+
+    The plan's pretty-printed form pins the schedule (loop nest, launch
+    dims, communication points, substituted leaf kernels, extents); the
+    tensor table pins sizes, dtypes, and data distributions; the machine
+    shape and cluster signature pin the placement.
+    """
+    plan = kernel.plan
+    tensors = tuple(
+        (
+            name,
+            t.shape,
+            str(t.dtype),
+            t.format.notation(),
+            t.format.memory.value,
+        )
+        for name, t in sorted(plan.tensors.items())
+    )
+    return (
+        plan.pretty(),
+        plan.machine.shape,
+        cluster_signature(plan.machine.cluster),
+        tensors,
+    )
+
+
+def params_key(params: MachineParams) -> Tuple:
+    return tuple(sorted(params.__dict__.items()))
+
+
+class SimulationCache:
+    """Memoizes ``Kernel.simulate`` results (including OOM outcomes)."""
+
+    def __init__(self):
+        self._store: Dict[Tuple, Tuple[str, object]] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def simulate(
+        self,
+        kernel,
+        params: MachineParams = LASSEN,
+        check_capacity: bool = True,
+    ) -> SimReport:
+        """``kernel.simulate(params, check_capacity)``, memoized."""
+        key = (
+            kernel_fingerprint(kernel),
+            params_key(params),
+            check_capacity,
+        )
+        hit = self._store.get(key)
+        if hit is not None:
+            self.hits += 1
+            outcome, payload = hit
+            if outcome == "oom":
+                raise OutOfMemoryError(*payload)
+            return payload
+        self.misses += 1
+        try:
+            report = kernel.simulate(params, check_capacity=check_capacity)
+        except OutOfMemoryError as err:
+            self._store[key] = ("oom", _oom_args(err))
+            raise
+        self._store[key] = ("ok", report)
+        return report
+
+    def clear(self):
+        self._store.clear()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._store)
+
+
+#: Process-global cache used by the figure generators and benchmarks.
+SIM_CACHE = SimulationCache()
+
+_BASELINE_STORE: Dict[Tuple, Tuple[str, object]] = {}
+
+
+def cached_baseline(
+    fn: Callable[..., SimReport], cluster: Cluster, *args, **kwargs
+) -> SimReport:
+    """Memoized call of a closed-form baseline model.
+
+    Baselines are deterministic in ``(cluster, arguments)``; OOM
+    outcomes are cached and re-raised like :class:`SimulationCache`.
+    """
+    key = (
+        fn.__module__,
+        fn.__qualname__,
+        cluster_signature(cluster),
+        args,
+        tuple(sorted(kwargs.items())),
+    )
+    hit = _BASELINE_STORE.get(key)
+    if hit is not None:
+        outcome, payload = hit
+        if outcome == "oom":
+            raise OutOfMemoryError(*payload)
+        return payload
+    try:
+        report = fn(cluster, *args, **kwargs)
+    except OutOfMemoryError as err:
+        _BASELINE_STORE[key] = ("oom", _oom_args(err))
+        raise
+    _BASELINE_STORE[key] = ("ok", report)
+    return report
+
+
+def _oom_args(err: OutOfMemoryError) -> Tuple:
+    return (err.memory_name, err.needed_bytes, err.capacity_bytes)

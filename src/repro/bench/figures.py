@@ -3,11 +3,18 @@
 Each ``fig*`` function returns rows ``{"system", "nodes", "value",
 "unit", "note"}`` — one per plotted point. ``value`` is ``None`` with
 ``note="OOM"`` where the paper's corresponding run exhausted memory.
+
+All simulations go through the process-global plan/trace cache
+(:mod:`repro.bench.cache`): identical configurations — the same kernel
+fingerprint, machine shape, sizes, and cost-model parameters — are
+simulated once per process, so overlapping sweeps (e.g.
+:func:`headline_speedups` re-running Figure 15a's top node count) cost
+one dictionary lookup.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional
+from typing import Dict, List, Optional
 
 from repro.algorithms.higher_order import innerprod, mttkrp, ttm, ttv
 from repro.algorithms.matmul import (
@@ -27,10 +34,14 @@ from repro.baselines.ctf import (
     ctf_ttv,
 )
 from repro.baselines.scalapack import scalapack_matmul
+from repro.bench.cache import SIM_CACHE, cached_baseline
 from repro.bench.weak_scaling import (
+    Row,
     cube_grid,
     factor3,
+    figure_row as _row,
     grid_25d,
+    run_point as _run,
     square_grid,
     weak_cube_side,
     weak_matrix_size,
@@ -42,26 +53,6 @@ from repro.sim.params import LASSEN
 from repro.util.errors import OutOfMemoryError
 
 DEFAULT_NODE_COUNTS = [1, 2, 4, 8, 16, 32, 64, 128, 256]
-
-Row = Dict[str, object]
-
-
-def _row(system: str, nodes: int, value: Optional[float], unit: str,
-         note: str = "") -> Row:
-    return {
-        "system": system,
-        "nodes": nodes,
-        "value": value,
-        "unit": unit,
-        "note": note,
-    }
-
-
-def _run(system: str, nodes: int, unit: str, thunk: Callable[[], float]) -> Row:
-    try:
-        return _row(system, nodes, thunk(), unit)
-    except OutOfMemoryError:
-        return _row(system, nodes, None, unit, note="OOM")
 
 
 def _solomonik_gflops(
@@ -84,14 +75,16 @@ def _solomonik_gflops(
         machine = Machine(cluster, Grid(q, q, c))
         try:
             kern = solomonik(machine, n, memory=memory)
-            return kern.simulate(LASSEN).gflops_per_node
+            return SIM_CACHE.simulate(kern, LASSEN).gflops_per_node
         except OutOfMemoryError as err:
             last_error = err
             continue
     gx, gy = square_grid(p)
     machine = Machine(cluster, Grid(gx, gy))
     try:
-        return cannon(machine, n, memory=memory).simulate(LASSEN).gflops_per_node
+        return SIM_CACHE.simulate(
+            cannon(machine, n, memory=memory), LASSEN
+        ).gflops_per_node
     except OutOfMemoryError:
         raise last_error if last_error is not None else OutOfMemoryError(
             "gpu_fb", 0, 0
@@ -121,17 +114,22 @@ def fig15a_cpu_matmul(
         m3 = Machine(cluster, Grid(*g3))
 
         def sim(kernel) -> float:
-            return kernel.simulate(LASSEN).gflops_per_node
+            return SIM_CACHE.simulate(kernel, LASSEN).gflops_per_node
 
         rows.append(_run("COSMA", nodes, unit,
-                         lambda: cosma_reference_matmul(cluster, n).gflops_per_node))
+                         lambda: cached_baseline(
+                             cosma_reference_matmul, cluster, n
+                         ).gflops_per_node))
         rows.append(_run("COSMA (Restricted CPUs)", nodes, unit,
-                         lambda: cosma_reference_matmul(
-                             cluster, n, restricted_cpus=True).gflops_per_node))
+                         lambda: cached_baseline(
+                             cosma_reference_matmul, cluster, n,
+                             restricted_cpus=True).gflops_per_node))
         rows.append(_run("CTF", nodes, unit,
-                         lambda: ctf_matmul(cluster, n).gflops_per_node))
+                         lambda: cached_baseline(
+                             ctf_matmul, cluster, n).gflops_per_node))
         rows.append(_run("ScaLAPACK", nodes, unit,
-                         lambda: scalapack_matmul(cluster, n).gflops_per_node))
+                         lambda: cached_baseline(
+                             scalapack_matmul, cluster, n).gflops_per_node))
         rows.append(_run("Our Cannon", nodes, unit,
                          lambda: sim(cannon(m2, n))))
         rows.append(_run("Our SUMMA", nodes, unit,
@@ -177,10 +175,12 @@ def fig15b_gpu_matmul(
         m3 = Machine(cluster, Grid(*g3))
 
         def sim(kernel) -> float:
-            return kernel.simulate(LASSEN).gflops_per_node
+            return SIM_CACHE.simulate(kernel, LASSEN).gflops_per_node
 
         rows.append(_run("COSMA", nodes, unit,
-                         lambda: cosma_reference_matmul(cluster, n).gflops_per_node))
+                         lambda: cached_baseline(
+                             cosma_reference_matmul, cluster, n
+                         ).gflops_per_node))
         rows.append(_run("Our Cannon", nodes, unit,
                          lambda: sim(cannon(m2, n, memory=fb))))
         rows.append(_run("Our SUMMA", nodes, unit,
@@ -236,7 +236,7 @@ def fig16_higher_order(
         m3 = Machine(cluster, Grid(*factor3(p)))
 
         def metric(kern) -> float:
-            rep = kern.simulate(LASSEN)
+            rep = SIM_CACHE.simulate(kern, LASSEN)
             return rep.gbytes_per_node if bandwidth_bound else rep.gflops_per_node
 
         if kernel == "ttv":
@@ -244,25 +244,32 @@ def fig16_higher_order(
                              lambda: metric(ttv(m2, n, memory=fb))))
             if not gpu:
                 rows.append(_run("CTF", nodes, unit,
-                                 lambda: ctf_ttv(cluster, n).gbytes_per_node))
+                                 lambda: cached_baseline(
+                                     ctf_ttv, cluster, n).gbytes_per_node))
         elif kernel == "innerprod":
             rows.append(_run("Ours", nodes, unit,
                              lambda: metric(innerprod(m2, n, memory=fb))))
             if not gpu:
                 rows.append(_run("CTF", nodes, unit,
-                                 lambda: ctf_innerprod(cluster, n).gbytes_per_node))
+                                 lambda: cached_baseline(
+                                     ctf_innerprod, cluster, n
+                                 ).gbytes_per_node))
         elif kernel == "ttm":
             rows.append(_run("Ours", nodes, unit,
                              lambda: metric(ttm(m1, n, r=rank, memory=fb))))
             if not gpu:
                 rows.append(_run("CTF", nodes, unit,
-                                 lambda: ctf_ttm(cluster, n, rank).gflops_per_node))
+                                 lambda: cached_baseline(
+                                     ctf_ttm, cluster, n, rank
+                                 ).gflops_per_node))
         elif kernel == "mttkrp":
             rows.append(_run("Ours", nodes, unit,
                              lambda: metric(mttkrp(m3, n, r=rank, memory=fb))))
             if not gpu:
                 rows.append(_run("CTF", nodes, unit,
-                                 lambda: ctf_mttkrp(cluster, n, rank).gflops_per_node))
+                                 lambda: cached_baseline(
+                                     ctf_mttkrp, cluster, n, rank
+                                 ).gflops_per_node))
         else:
             raise ValueError(f"unknown higher-order kernel {kernel!r}")
     return rows

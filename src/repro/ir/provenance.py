@@ -16,7 +16,7 @@ bounds analysis procedure using the extents of index variables" (Section
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.ir.expr import IndexVar
 from repro.util.errors import LoweringError, ScheduleError
@@ -234,6 +234,18 @@ class VarGraph:
         raise ScheduleError(
             f"cannot reconstruct {var}: not a loop variable and not derived"
         )
+
+    def split_rel(self, var: IndexVar) -> Optional[SplitRel]:
+        """The relation that decomposed ``var``, if any (batch evaluator)."""
+        return self._split_of.get(var)
+
+    def rotate_rel(self, var: IndexVar) -> Optional[RotateRel]:
+        """The relation that rotated ``var``, if any (batch evaluator)."""
+        return self._rotate_of.get(var)
+
+    def fuse_rel(self, var: IndexVar) -> Optional[FuseRel]:
+        """The relation that fused ``var`` away, if any (batch evaluator)."""
+        return self._fuse_of.get(var)
 
     def is_rotate_result(self, var: IndexVar) -> bool:
         """Whether ``var`` is the result variable of a rotation.

@@ -40,6 +40,10 @@ class Machine:
             raise ValueError("Machine needs at least one Grid level")
         self.cluster = cluster
         self.levels: Tuple[Grid, ...] = tuple(grids)
+        # Grid-point placement is deterministic and the machine immutable,
+        # so the coordinate -> processor map is memoized (the executor
+        # calls proc_at once per context and once per emitted copy).
+        self._proc_cache: dict = {}
         if len(self.levels) > 1:
             inner_size = 1
             for grid in self.levels[1:]:
@@ -118,16 +122,25 @@ class Machine:
         hierarchical machines place the outer level over nodes and inner
         levels within a node. Over-decomposition wraps round-robin.
         """
+        key = tuple(coords)
+        cached = self._proc_cache.get(key)
+        if cached is not None:
+            return cached
         per_level = self.level_coords(coords)
         if len(self.levels) == 1:
             linear = self.levels[0].linearize(per_level[0])
-            return self.cluster.processors[linear % self.cluster.num_processors]
-        node_linear = self.levels[0].linearize(per_level[0])
-        node = self.cluster.nodes[node_linear % self.cluster.num_nodes]
-        local_linear = 0
-        for grid, lc in zip(self.levels[1:], per_level[1:]):
-            local_linear = local_linear * grid.size + grid.linearize(lc)
-        return node.processors[local_linear % len(node.processors)]
+            proc = self.cluster.processors[
+                linear % self.cluster.num_processors
+            ]
+        else:
+            node_linear = self.levels[0].linearize(per_level[0])
+            node = self.cluster.nodes[node_linear % self.cluster.num_nodes]
+            local_linear = 0
+            for grid, lc in zip(self.levels[1:], per_level[1:]):
+                local_linear = local_linear * grid.size + grid.linearize(lc)
+            proc = node.processors[local_linear % len(node.processors)]
+        self._proc_cache[key] = proc
+        return proc
 
     def torus_distance(
         self, a: Sequence[int], b: Sequence[int]

@@ -8,6 +8,22 @@ expand contexts across machine grid points (nested launches expand
 further, which is how hierarchical node/GPU schedules execute); sequential
 loops advance all contexts together; leaves either move real numpy blocks
 (functional mode) or just record work (symbolic mode).
+
+Two interpretation strategies share one state machine:
+
+* the **batched** fast path (default for symbolic execution) evaluates
+  bounds for every context of a phase at once with the vectorized
+  evaluator in :mod:`repro.runtime.batchbounds`, groups contexts by
+  identical ``(tensor, rect)`` request, and resolves each group against
+  the pre-phase instance state once (:meth:`DataEnvironment.resolve_batch`);
+* the **scalar** path (``batched=False``, and always used for leaf
+  computation in functional mode) interprets one context at a time, as
+  the original executor did.
+
+Both paths mutate the instance state in the same per-context order, so
+they produce byte-for-byte identical traces — the same copies, flops,
+bytes, and memory high-water marks (asserted by the parity tests in
+``tests/runtime/test_batched_executor.py``).
 """
 
 from __future__ import annotations
@@ -29,7 +45,8 @@ from repro.codegen.plan import (
 from repro.ir.concrete import Assign
 from repro.ir.expr import Access, Add, IndexVar, Mul
 from repro.ir.tensor import _terms
-from repro.machine.cluster import Processor
+from repro.machine.cluster import MemoryKind, Processor
+from repro.runtime.batchbounds import CtxBlock, batch_rects
 from repro.runtime.instances import DataEnvironment
 from repro.runtime.trace import Copy, Step, Trace
 from repro.util.errors import LoweringError
@@ -44,6 +61,45 @@ class _Ctx:
     coords: Tuple[int, ...]
     proc: Processor
     env: Dict[IndexVar, Interval] = field(default_factory=dict)
+
+
+@dataclass
+class _LeafBatch:
+    """Vectorized accounting of one leaf assignment over a context batch.
+
+    Pure data: per-context flops/bytes columns computed in one shot by
+    :meth:`Executor._leaf_work_batch`; applied to the trace one context
+    at a time (in context order) so state mutations match the scalar
+    interpreter exactly.
+    """
+
+    empty: np.ndarray
+    flops: np.ndarray
+    nbytes: np.ndarray
+    staged: np.ndarray
+    lhs_name: str
+    lhs_ndim: int
+    lhs_los: Optional[np.ndarray]  # (ndim, n) endpoint columns
+    lhs_his: Optional[np.ndarray]
+    _rect_cache: Dict[Tuple[int, ...], Rect] = field(default_factory=dict)
+
+    def lhs_rect(self, i: int) -> Rect:
+        """The output rectangle of context ``i`` (deduplicated)."""
+        if self.lhs_ndim == 0:
+            return Rect(())
+        lo = self.lhs_los[:, i]
+        hi = self.lhs_his[:, i]
+        key = tuple(lo) + tuple(hi)
+        rect = self._rect_cache.get(key)
+        if rect is None:
+            rect = Rect(
+                tuple(
+                    Interval(int(lo[d]), int(hi[d]))
+                    for d in range(self.lhs_ndim)
+                )
+            )
+            self._rect_cache[key] = rect
+        return rect
 
 
 @dataclass
@@ -67,6 +123,11 @@ class Executor:
         When True, exceeding any memory capacity raises
         :class:`~repro.util.errors.OutOfMemoryError` — enable for
         paper-scale simulations, disable for small functional tests.
+    batched:
+        When True, fetch resolution (and, in symbolic mode, leaf
+        accounting) runs on the vectorized batch path. Defaults to
+        symbolic-only; pass False to force the scalar reference
+        interpreter (used by the parity tests).
     """
 
     def __init__(
@@ -74,12 +135,14 @@ class Executor:
         plan: DistributedPlan,
         materialize: bool = True,
         check_capacity: bool = False,
+        batched: Optional[bool] = None,
     ):
         self.plan = plan
         self.machine = plan.machine
         self.graph = plan.graph
         self.materialize = materialize
         self.check_capacity = check_capacity
+        self.batched = (not materialize) if batched is None else batched
         self.full_env: Dict[IndexVar, Interval] = {}
         self._collect_extents(plan.root)
         self._fetch_output = self._output_is_read()
@@ -164,7 +227,8 @@ class Executor:
             coords=tuple([0] * self.machine.dim),
             proc=self.machine.proc_at(tuple([0] * self.machine.dim)),
         )
-        self._exec(self.plan.root, [root_ctx])
+        ctxs = [root_ctx]
+        self._exec(self.plan.root, ctxs, self._make_block(ctxs))
         self.trace.memory_high_water = dict(self.env.high_water)
         outputs = {}
         if self.materialize:
@@ -179,13 +243,25 @@ class Executor:
     # Interpreter.
     # ------------------------------------------------------------------
 
-    def _exec(self, node: PlanNode, ctxs: List[_Ctx]):
+    def _make_block(self, ctxs: List[_Ctx]) -> Optional[CtxBlock]:
+        if not self.batched:
+            return None
+        gpu = np.fromiter(
+            (c.proc.memory.kind is MemoryKind.GPU_FB for c in ctxs),
+            bool,
+            len(ctxs),
+        )
+        return CtxBlock(ctxs, gpu)
+
+    def _exec(
+        self, node: PlanNode, ctxs: List[_Ctx], block: Optional[CtxBlock]
+    ):
         if isinstance(node, LaunchNode):
             self._exec_launch(node, ctxs)
         elif isinstance(node, SeqNode):
-            self._exec_seq(node, ctxs)
+            self._exec_seq(node, ctxs, block)
         elif isinstance(node, LeafNode):
-            self._exec_leaf(node, ctxs)
+            self._exec_leaf(node, ctxs, block)
         else:
             raise LoweringError(f"unknown plan node {type(node).__name__}")
 
@@ -207,18 +283,16 @@ class Executor:
                         env=env,
                     )
                 )
+        block = self._make_block(new_ctxs)
         held: Dict[int, Set] = {}
         if node.comm:
             step = self.trace.new_step("task-start fetch")
-            plans = {
-                ctx.ctx_id: self._fetch_resolve(node.comm, ctx)
-                for ctx in new_ctxs
-            }
+            plans = self._phase_plans(node.comm, new_ctxs, block)
             for ctx in new_ctxs:
                 held[ctx.ctx_id] = self._fetch_commit(
                     plans[ctx.ctx_id], ctx, step
                 )
-        self._exec(node.body, new_ctxs)
+        self._exec(node.body, new_ctxs, block)
         if node.flush:
             step = self.trace.new_step("task-end reduction")
             for ctx in new_ctxs:
@@ -228,17 +302,21 @@ class Executor:
             for name, rect in held.get(ctx.ctx_id, set()):
                 self.env.release(name, ctx.coords, rect)
 
-    def _exec_seq(self, node: SeqNode, ctxs: List[_Ctx]):
+    def _exec_seq(
+        self, node: SeqNode, ctxs: List[_Ctx], block: Optional[CtxBlock]
+    ):
         prev_held: Dict[int, Set] = {ctx.ctx_id: set() for ctx in ctxs}
         for iteration in range(node.extent):
+            # One shared (frozen) point interval per iteration, not one
+            # allocation per context.
+            point = Interval.point(iteration)
             for ctx in ctxs:
-                ctx.env[node.var] = Interval.point(iteration)
+                ctx.env[node.var] = point
+            if block is not None:
+                block.bind(node.var, iteration)
             if node.comm:
                 step = self.trace.new_step(f"{node.var.name}={iteration}")
-                plans = {
-                    ctx.ctx_id: self._fetch_resolve(node.comm, ctx)
-                    for ctx in ctxs
-                }
+                plans = self._phase_plans(node.comm, ctxs, block)
                 new_held: Dict[int, Set] = {}
                 for ctx in ctxs:
                     new_held[ctx.ctx_id] = self._fetch_commit(
@@ -249,7 +327,7 @@ class Executor:
                     for name, rect in stale:
                         self.env.release(name, ctx.coords, rect)
                 prev_held = new_held
-            self._exec(node.body, ctxs)
+            self._exec(node.body, ctxs, block)
             if node.flush:
                 step = self.trace.new_step(f"{node.var.name} reduction")
                 for ctx in ctxs:
@@ -259,20 +337,27 @@ class Executor:
             for name, rect in prev_held[ctx.ctx_id]:
                 self.env.release(name, ctx.coords, rect)
             ctx.env.pop(node.var, None)
+        if block is not None:
+            block.unbind(node.var)
 
-    def _exec_leaf(self, node: LeafNode, ctxs: List[_Ctx]):
+    def _exec_leaf(
+        self, node: LeafNode, ctxs: List[_Ctx], block: Optional[CtxBlock]
+    ):
         step = self.trace.current
-        plans = {}
+        plans = None
         if node.comm:
-            plans = {
-                ctx.ctx_id: self._fetch_resolve(node.comm, ctx)
-                for ctx in ctxs
-            }
-        for ctx in ctxs:
+            plans = self._phase_plans(node.comm, ctxs, block)
+        batch = None
+        if block is not None and not self.materialize:
+            batch = self._leaf_work_batch(node, block)
+        for idx, ctx in enumerate(ctxs):
             held = set()
-            if node.comm:
+            if plans is not None:
                 held = self._fetch_commit(plans[ctx.ctx_id], ctx, step)
-            self._run_leaf_body(node, ctx, step)
+            if batch is None:
+                self._run_leaf_body(node, ctx, step)
+            else:
+                self._apply_leaf_batch(node, batch, idx, ctx, step)
             for name in node.flush:
                 self._flush(name, ctx, step)
             for name, rect in held:
@@ -298,16 +383,53 @@ class Executor:
             rects.append(Rect(intervals))
         return bounding_rect(rects) if rects else None
 
-    def _fetch_resolve(
-        self, names: List[str], ctx: _Ctx
-    ) -> List[Tuple[str, Rect, List]]:
-        """Plan fetches against the instance state at phase start.
+    def _phase_plans(
+        self, names: List[str], ctxs: List[_Ctx], block: Optional[CtxBlock]
+    ) -> Dict[int, List[Tuple[str, Rect, List]]]:
+        """Plan fetches for every context of a phase at once.
 
         Resolution and registration are split at *phase* granularity: all
         contexts resolve against the same pre-phase state, so a chunk
         needed by many processors resolves to one source (a broadcast)
         instead of chaining through instances that are still in flight.
+
+        On the batch path, contexts are grouped by identical ``(tensor,
+        rect)`` request and each group is resolved once; the returned
+        per-context plans are identical to the scalar path's (same
+        entries, same order), so :meth:`_fetch_commit` behaves the same
+        either way.
         """
+        if block is None:
+            return {
+                ctx.ctx_id: self._fetch_resolve(names, ctx) for ctx in ctxs
+            }
+        plans: Dict[int, List[Tuple[str, Rect, List]]] = {
+            ctx.ctx_id: [] for ctx in ctxs
+        }
+        for name in names:
+            if name == self.plan.output and not self._fetch_output:
+                continue
+            _rect_of, groups = batch_rects(
+                block,
+                self.graph,
+                self.plan.accesses[name],
+                self.full_env,
+                exact=False,
+            )
+            for rect, members in groups:
+                if rect.is_empty:
+                    continue
+                sources = self.env.resolve_batch(
+                    name, rect, [ctxs[i].coords for i in members]
+                )
+                for i, srcs in zip(members, sources):
+                    plans[ctxs[i].ctx_id].append((name, rect, srcs))
+        return plans
+
+    def _fetch_resolve(
+        self, names: List[str], ctx: _Ctx
+    ) -> List[Tuple[str, Rect, List]]:
+        """Scalar reference: plan one context's fetches at phase start."""
         plans: List[Tuple[str, Rect, List]] = []
         for name in names:
             if name == self.plan.output and not self._fetch_output:
@@ -330,12 +452,6 @@ class Executor:
             for src_coords, piece in sources:
                 self._emit_copy(step, name, piece, src_coords, ctx)
         return held
-
-    def _fetch(
-        self, names: List[str], ctx: _Ctx, step: Step
-    ) -> Set[Tuple[str, Rect]]:
-        """Single-context fetch (used where contexts touch disjoint data)."""
-        return self._fetch_commit(self._fetch_resolve(names, ctx), ctx, step)
 
     def _emit_copy(
         self,
@@ -387,6 +503,95 @@ class Executor:
     # ------------------------------------------------------------------
     # Leaf execution.
     # ------------------------------------------------------------------
+
+    def _leaf_work_batch(
+        self, node: LeafNode, block: CtxBlock
+    ) -> List[_LeafBatch]:
+        """Vectorized symbolic leaf accounting for a whole context batch.
+
+        Pure computation (no trace/instance mutation): per-assign columns
+        of flops, touched bytes, and PCIe-staged bytes, mirroring
+        :meth:`_run_leaf_body` element-wise.
+        """
+        graph, full_env, n = self.graph, self.full_env, block.n
+        out: List[_LeafBatch] = []
+        for assign in node.assigns:
+            empty = np.zeros(n, dtype=bool)
+            var_sizes: Dict[IndexVar, np.ndarray] = {}
+            for var in _assign_vars(assign):
+                lo, hi = block.values_of(graph, var, full_env, exact=True)
+                size = np.broadcast_to(np.asarray(hi - lo), (n,))
+                var_sizes[var] = size
+                empty = empty | (size == 0)
+            volume = np.ones(n, dtype=np.int64)
+            for size in var_sizes.values():
+                volume = volume * size
+            flops = volume * _ops_per_point(assign)
+            accesses = [assign.lhs] + list(assign.rhs.accesses())
+            nbytes = np.zeros(n, dtype=np.int64)
+            staged = np.zeros(n, dtype=np.int64)
+            lhs_los = lhs_his = None
+            for access in accesses:
+                ndim = access.tensor.ndim
+                if ndim == 0:
+                    vol = np.ones(n, dtype=np.int64)
+                    los = his = None
+                else:
+                    los = np.empty((ndim, n), dtype=np.int64)
+                    his = np.empty((ndim, n), dtype=np.int64)
+                    for d, v in enumerate(access.indices):
+                        lo, hi = block.values_of(
+                            graph, v, full_env, exact=True
+                        )
+                        los[d, :] = lo
+                        his[d, :] = hi
+                    vol = np.prod(his - los, axis=0)
+                abytes = vol * access.tensor.itemsize
+                nbytes = nbytes + abytes
+                if access.tensor.format.memory is MemoryKind.SYSTEM_MEM:
+                    # Host-resident data computed on a GPU streams over
+                    # PCIe (out-of-core execution, e.g. COSMA's GEMM).
+                    staged = staged + abytes * block.gpu
+                if access is assign.lhs:
+                    lhs_los, lhs_his = los, his
+            out.append(
+                _LeafBatch(
+                    empty=empty,
+                    flops=flops,
+                    nbytes=nbytes,
+                    staged=staged,
+                    lhs_name=assign.lhs.tensor.name,
+                    lhs_ndim=assign.lhs.tensor.ndim,
+                    lhs_los=lhs_los,
+                    lhs_his=lhs_his,
+                )
+            )
+        return out
+
+    def _apply_leaf_batch(
+        self,
+        node: LeafNode,
+        batch: List[_LeafBatch],
+        idx: int,
+        ctx: _Ctx,
+        step: Step,
+    ):
+        """Apply one context's precomputed leaf accounting to the trace."""
+        work = step.work_for(ctx.proc)
+        for entry in batch:
+            if entry.empty[idx]:
+                continue
+            work.add(
+                int(entry.flops[idx]),
+                int(entry.nbytes[idx]),
+                node.kernel,
+                node.parallel,
+                staged_bytes=int(entry.staged[idx]),
+            )
+            if entry.lhs_name == self.plan.output:
+                self.env.note_partial(
+                    entry.lhs_name, ctx.coords, entry.lhs_rect(idx)
+                )
 
     def _run_leaf_body(self, node: LeafNode, ctx: _Ctx, step: Step):
         env = ChainMap(ctx.env, self.full_env)

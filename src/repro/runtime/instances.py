@@ -30,6 +30,9 @@ from repro.util.geometry import Rect
 Coords = Tuple[int, ...]
 InstanceKey = Tuple[str, Rect]
 
+# Cache-miss sentinel (``None`` is a valid cached value).
+_MISS = object()
+
 
 class DataEnvironment:
     """Instance tables and memory accounting for one kernel execution."""
@@ -50,6 +53,15 @@ class DataEnvironment:
         self.high_water: Dict[Memory, int] = {}
         # Pending non-owned output partials: (coords, tensor) -> rects.
         self._partials: Dict[Tuple[Coords, str], List[Rect]] = {}
+        # Memo tables for queries that are static for one execution: home
+        # rectangles and instance memories per (tensor, machine point),
+        # owner patterns/pieces per (tensor, rect). The formats and the
+        # machine never change mid-run, so these never invalidate; they
+        # turn the executor's per-phase re-derivations into dict hits.
+        self._home_cache: Dict[Tuple[str, Coords], Optional[Rect]] = {}
+        self._memory_cache: Dict[Tuple[str, Coords], Memory] = {}
+        self._pattern_cache: Dict[InstanceKey, Optional[Sequence]] = {}
+        self._pieces_cache: Dict[InstanceKey, List] = {}
         if count_home:
             self._account_home()
 
@@ -81,8 +93,14 @@ class DataEnvironment:
                 self._add_bytes(mem, rect.volume * tensor.itemsize)
 
     def home_rect(self, name: str, coords: Coords) -> Optional[Rect]:
+        key = (name, coords)
+        cached = self._home_cache.get(key, _MISS)
+        if cached is not _MISS:
+            return cached
         tensor = self.plan.tensors[name]
-        return tensor.format.owned_rect(self.machine, coords, tensor.shape)
+        rect = tensor.format.owned_rect(self.machine, coords, tensor.shape)
+        self._home_cache[key] = rect
+        return rect
 
     def owns(self, name: str, coords: Coords, rect: Rect) -> bool:
         """Whether the home piece at ``coords`` covers ``rect``."""
@@ -95,6 +113,15 @@ class DataEnvironment:
 
     def _memory_for(self, coords: Coords, name: str) -> Memory:
         """The memory an instance occupies at a machine point."""
+        key = (name, coords)
+        cached = self._memory_cache.get(key)
+        if cached is not None:
+            return cached
+        mem = self._memory_for_uncached(coords, name)
+        self._memory_cache[key] = mem
+        return mem
+
+    def _memory_for_uncached(self, coords: Coords, name: str) -> Memory:
         proc = self.machine.proc_at(coords)
         tensor = self.plan.tensors[name]
         wants = tensor.format.memory
@@ -164,36 +191,100 @@ class DataEnvironment:
         """The memory a source instance occupies at a machine point."""
         return self._memory_for(coords, name)
 
-    def _find_sources(
-        self, name: str, coords: Coords, rect: Rect
-    ) -> List[Tuple[Coords, Rect]]:
-        """Nearest valid source(s) for a request."""
-        tensor = self.plan.tensors[name]
-        candidates: List[Coords] = []
+    def resolve_batch(
+        self, name: str, rect: Rect, coords_list: Sequence[Coords]
+    ) -> List[List[Tuple[Coords, Rect]]]:
+        """Resolve one ``(tensor, rect)`` request for a batch of requesters.
+
+        The batched executor groups same-phase contexts by identical
+        request rectangle; this resolves the whole group against the same
+        pre-phase state. The shared work — holder lookup, owner pattern,
+        owner pieces — happens once per group; only the per-requester
+        parts (locality check, nearest-source selection, replica
+        concretization) run per context. Each element of the result is
+        exactly what :meth:`resolve` would return for that requester.
+        """
+        if rect.is_empty:
+            return [[] for _ in coords_list]
         holders = self._holders.get((name, rect))
-        if holders:
-            candidates.extend(holders)
+        holder_list: List[Coords] = list(holders) if holders else []
+        pattern = self._owner_pattern(name, rect)
+        out: List[List[Tuple[Coords, Rect]]] = []
+        for coords in coords_list:
+            if self.owns(name, coords, rect) or (
+                holders is not None and coords in holders
+            ):
+                out.append([])
+                continue
+            out.append(
+                self._sources_from(name, rect, coords, holder_list, pattern)
+            )
+        return out
+
+    def _owner_pattern(self, name: str, rect: Rect):
+        key = (name, rect)
+        cached = self._pattern_cache.get(key, _MISS)
+        if cached is not _MISS:
+            return cached
+        tensor = self.plan.tensors[name]
         pattern = tensor.format.owner_pattern(
             self.machine, rect, tensor.shape
         )
-        if pattern is not None:
-            candidates.append(self._concretize(pattern, coords))
-        if candidates:
-            best = min(
-                candidates,
-                key=lambda c: self.machine.torus_distance(c, coords),
-            )
-            return [(best, rect)]
-        # No single source covers the request: split it across home pieces
-        # (redistribution between mismatched formats).
+        self._pattern_cache[key] = pattern
+        return pattern
+
+    def _owner_pieces(self, name: str, rect: Rect) -> List:
+        key = (name, rect)
+        cached = self._pieces_cache.get(key)
+        if cached is not None:
+            return cached
+        tensor = self.plan.tensors[name]
         pieces = tensor.format.owner_pieces(self.machine, rect, tensor.shape)
         if not pieces:
             raise LoweringError(
                 f"no valid instance found for {name} rect {rect}"
             )
+        self._pieces_cache[key] = pieces
+        return pieces
+
+    def _find_sources(
+        self, name: str, coords: Coords, rect: Rect
+    ) -> List[Tuple[Coords, Rect]]:
+        """Nearest valid source(s) for a request."""
+        holders = self._holders.get((name, rect))
+        return self._sources_from(
+            name,
+            rect,
+            coords,
+            list(holders) if holders else [],
+            self._owner_pattern(name, rect),
+        )
+
+    def _sources_from(
+        self,
+        name: str,
+        rect: Rect,
+        coords: Coords,
+        holder_list: List[Coords],
+        pattern,
+    ) -> List[Tuple[Coords, Rect]]:
+        """Source selection shared by the scalar and batched resolvers.
+
+        ``holder_list`` and ``pattern`` are the request's shared state,
+        looked up once per call (scalar) or once per group (batched).
+        """
+        candidates = holder_list
+        if pattern is not None:
+            candidates = holder_list + [self._concretize(pattern, coords)]
+        if candidates:
+            distance = self.machine.torus_distance
+            best = min(candidates, key=lambda c: distance(c, coords))
+            return [(best, rect)]
+        # No single source covers the request: split it across home pieces
+        # (redistribution between mismatched formats).
         return [
-            (self._concretize(pattern, coords), piece)
-            for pattern, piece in pieces
+            (self._concretize(pat, coords), piece)
+            for pat, piece in self._owner_pieces(name, rect)
         ]
 
     def _concretize(

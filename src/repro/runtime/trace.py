@@ -5,6 +5,14 @@ Execution proceeds in *steps* (bulk-synchronous phases): each sequential
 the instance state left by the previous step, then leaf work runs. The
 cost model turns a step's copy batch into collectives (broadcasts,
 shifts, reductions) and its work map into compute time.
+
+For the cost model's vectorized hot path, each step also exposes a
+**columnar** view of its copy batch (:class:`CopyColumns`): one numpy
+column per field (payload bytes, endpoint processors and nodes, locality
+and residency flags) plus a precomputed collective-group id per copy.
+The columns are derived once per step and cached; ``step.copies`` stays
+the canonical record (tests and analyses construct and append ``Copy``
+objects directly).
 """
 
 from __future__ import annotations
@@ -12,7 +20,9 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
-from repro.machine.cluster import Memory, Processor
+import numpy as np
+
+from repro.machine.cluster import Memory, MemoryKind, Processor
 from repro.util.geometry import Rect
 
 
@@ -43,8 +53,99 @@ class Copy:
 
 
 @dataclass
+class CopyColumns:
+    """Columnar view of one step's copy batch.
+
+    Layout (all arrays have one entry per copy, in emission order):
+
+    * ``nbytes`` — payload sizes (int64);
+    * ``src_proc``/``dst_proc`` — endpoint processor ids;
+    * ``src_node``/``dst_node`` — endpoint node ids;
+    * ``inter`` — True where the copy crosses nodes;
+    * ``reduce`` — True for reduction write-backs;
+    * ``gpu_resident`` — either endpoint memory is a GPU framebuffer
+      (selects the GPU-direct NIC rate for inter-node traffic);
+    * ``src_gpu``/``dst_gpu`` — per-endpoint framebuffer residency
+      (selects NVLink vs PCIe vs DRAM for intra-node traffic);
+    * ``group`` — collective group id: copies with equal ``(tensor,
+      rect, source)`` share a multicast group, reduce copies with equal
+      ``(tensor, rect, destination)`` share a reduction group.
+    """
+
+    n: int
+    nbytes: np.ndarray
+    src_proc: np.ndarray
+    dst_proc: np.ndarray
+    src_node: np.ndarray
+    dst_node: np.ndarray
+    inter: np.ndarray
+    reduce: np.ndarray
+    gpu_resident: np.ndarray
+    src_gpu: np.ndarray
+    dst_gpu: np.ndarray
+    group: np.ndarray
+    num_groups: int
+
+    @staticmethod
+    def from_copies(copies: List["Copy"]) -> "CopyColumns":
+        n = len(copies)
+        nbytes = np.empty(n, dtype=np.int64)
+        src_proc = np.empty(n, dtype=np.int64)
+        dst_proc = np.empty(n, dtype=np.int64)
+        src_node = np.empty(n, dtype=np.int64)
+        dst_node = np.empty(n, dtype=np.int64)
+        reduce = np.empty(n, dtype=bool)
+        src_gpu = np.empty(n, dtype=bool)
+        dst_gpu = np.empty(n, dtype=bool)
+        group = np.empty(n, dtype=np.int64)
+        group_ids: Dict[tuple, int] = {}
+        for i, c in enumerate(copies):
+            nbytes[i] = c.nbytes
+            src_proc[i] = c.src_proc.proc_id
+            dst_proc[i] = c.dst_proc.proc_id
+            src_node[i] = c.src_proc.node_id
+            dst_node[i] = c.dst_proc.node_id
+            reduce[i] = c.reduce
+            src_gpu[i] = c.src_mem.kind is MemoryKind.GPU_FB
+            dst_gpu[i] = c.dst_mem.kind is MemoryKind.GPU_FB
+            if c.reduce:
+                key = (True, c.tensor, c.rect, c.dst_proc.proc_id)
+            else:
+                key = (False, c.tensor, c.rect, c.src_proc.proc_id)
+            gid = group_ids.get(key)
+            if gid is None:
+                gid = len(group_ids)
+                group_ids[key] = gid
+            group[i] = gid
+        return CopyColumns(
+            n=n,
+            nbytes=nbytes,
+            src_proc=src_proc,
+            dst_proc=dst_proc,
+            src_node=src_node,
+            dst_node=dst_node,
+            inter=src_node != dst_node,
+            reduce=reduce,
+            gpu_resident=src_gpu | dst_gpu,
+            src_gpu=src_gpu,
+            dst_gpu=dst_gpu,
+            group=group,
+            num_groups=len(group_ids),
+        )
+
+
+@dataclass
 class Work:
-    """Leaf compute accumulated on one processor within a step."""
+    """Leaf compute accumulated on one processor within a step.
+
+    Flops are tracked **per leaf kernel** (``kernel_flops``): one step
+    can run several leaves on one processor (multi-statement leaf
+    blocks, over-decomposition), and each kernel has its own efficiency.
+    The seed accumulated a single flop total and priced it all at the
+    *last* kernel's efficiency — the mixed-kernel clobbering bug.
+    ``kernel`` remains the most recent non-None kernel name for
+    analyses that just want a label.
+    """
 
     flops: float = 0.0
     bytes_touched: float = 0.0
@@ -54,6 +155,7 @@ class Work:
     kernel: Optional[str] = None
     parallel: bool = False
     invocations: int = 0
+    kernel_flops: Dict[Optional[str], float] = field(default_factory=dict)
 
     def add(
         self,
@@ -66,6 +168,7 @@ class Work:
         self.flops += flops
         self.bytes_touched += bytes_touched
         self.staged_bytes += staged_bytes
+        self.kernel_flops[kernel] = self.kernel_flops.get(kernel, 0.0) + flops
         if kernel is not None:
             self.kernel = kernel
         self.parallel = self.parallel or parallel
@@ -80,10 +183,23 @@ class Step:
     copies: List[Copy] = field(default_factory=list)
     work: Dict[int, Work] = field(default_factory=dict)
 
+    def __post_init__(self):
+        self._columns: Optional[CopyColumns] = None
+
     def work_for(self, proc: Processor) -> Work:
         if proc.proc_id not in self.work:
             self.work[proc.proc_id] = Work()
         return self.work[proc.proc_id]
+
+    def columns(self) -> CopyColumns:
+        """The columnar copy view, built on first use and cached.
+
+        Invalidated by length: steps are append-only during execution,
+        and the cost model reads them only after the step is complete.
+        """
+        if self._columns is None or self._columns.n != len(self.copies):
+            self._columns = CopyColumns.from_copies(self.copies)
+        return self._columns
 
     @property
     def total_copy_bytes(self) -> int:

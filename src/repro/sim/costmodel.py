@@ -10,9 +10,25 @@ Per step (bulk-synchronous phase):
   traffic contends for NVLink per processor. GPU-resident data crosses
   nodes at the measured GPU-direct rate, host-resident at the full NIC
   rate — the distinction behind the paper's COSMA-vs-DISTAL GPU gap.
+
+  Broadcast trees charge their *interior* nodes for retransmission: of a
+  fan-out of ``k`` inter-node receivers (``k > 2``), ``ceil(k / 2)``
+  receivers forward the full payload once. (The seed spread half a
+  payload over every receiver instead, underestimating interior-node
+  congestion under the max-link model.)
+
+  The whole analysis is vectorized: it consumes the step's columnar copy
+  view (:class:`~repro.runtime.trace.CopyColumns`) and aggregates link
+  traffic with numpy scatter-adds rather than per-copy Python loops.
 * **Compute.** Per processor, a roofline: FLOPs at the leaf kernel's
-  efficiency or bytes at memory bandwidth, whichever dominates. A step
-  takes as long as its slowest processor (lockstep).
+  efficiency or bytes at memory bandwidth, whichever dominates. Flops
+  are priced per kernel (``Work.kernel_flops``): a processor running a
+  GEMM leaf and a naive leaf in one step pays each at its own
+  efficiency. A step takes as long as its slowest processor (lockstep).
+* **Overhead.** Each step pays the runtime's task-launch overhead once
+  per leaf invocation on its busiest processor
+  (``task_overhead * max(Work.invocations)``); over-decomposed grids
+  launch more tasks per processor and pay proportionally.
 * **Overlap.** With a runtime that overlaps communication and
   computation (Legion, COSMA) a step costs ``max(comm, compute)``;
   blocking systems pay ``comm + compute``. The paper attributes
@@ -21,12 +37,12 @@ Per step (bulk-synchronous phase):
 
 from __future__ import annotations
 
-import math
-from collections import defaultdict
-from typing import Dict, List
+from typing import List, Optional
 
-from repro.machine.cluster import Cluster, MemoryKind, ProcessorKind
-from repro.runtime.trace import Copy, Step, Trace
+import numpy as np
+
+from repro.machine.cluster import Cluster, ProcessorKind
+from repro.runtime.trace import Copy, CopyColumns, Step, Trace
 from repro.sim.params import MachineParams
 from repro.sim.report import SimReport
 
@@ -51,13 +67,15 @@ class CostModel:
         comm_total = 0.0
         compute_total = 0.0
         for step in trace.steps:
-            t_comm = self.comm_time(step.copies)
+            t_comm = self.comm_time(step.copies, columns=step.columns())
             t_compute = self.compute_time(step)
             if self.params.overlap:
                 t_step = max(t_comm, t_compute)
             else:
                 t_step = t_comm + t_compute
-            t_step += self.params.task_overhead
+            t_step += self.params.task_overhead * max(
+                (w.invocations for w in step.work.values()), default=1
+            )
             total += t_step
             comm_total += t_comm
             compute_total += t_compute
@@ -82,132 +100,192 @@ class CostModel:
     # ------------------------------------------------------------------
 
     def compute_time(self, step: Step) -> float:
-        worst = 0.0
-        for proc_id, work in step.work.items():
-            proc = self._procs[proc_id]
-            if proc.kind is ProcessorKind.GPU:
-                rate = self.params.gpu_gflops
-                mem_bw = self.params.gpu_mem_bw
-            else:
-                rate = (
-                    self.params.cpu_socket_gflops
-                    * self.params.runtime_core_fraction
-                )
-                mem_bw = self.params.cpu_mem_bw
-            if work.kernel in GEMM_KERNELS:
-                eff = self.params.gemm_efficiency
-            else:
-                eff = self.params.naive_leaf_efficiency
-            if work.staged_bytes > 0 and proc.kind is ProcessorKind.GPU:
-                eff *= self.params.out_of_core_efficiency
-            t_flops = work.flops / (rate * eff) if work.flops else 0.0
-            t_bytes = work.bytes_touched / mem_bw if work.bytes_touched else 0.0
-            t_staged = (
-                work.staged_bytes / self.params.pcie_bw
-                if work.staged_bytes
-                else 0.0
-            )
-            worst = max(worst, t_flops, t_bytes, t_staged)
-        return worst
+        if not step.work:
+            return 0.0
+        params = self.params
+        n = len(step.work)
+        gemm_flops = np.empty(n)
+        other_flops = np.empty(n)
+        bytes_touched = np.empty(n)
+        staged = np.empty(n)
+        is_gpu = np.empty(n, dtype=bool)
+        for i, (proc_id, work) in enumerate(step.work.items()):
+            is_gpu[i] = self._procs[proc_id].kind is ProcessorKind.GPU
+            g = o = 0.0
+            for kern, fl in work.kernel_flops.items():
+                if kern in GEMM_KERNELS:
+                    g += fl
+                else:
+                    o += fl
+            gemm_flops[i] = g
+            other_flops[i] = o
+            bytes_touched[i] = work.bytes_touched
+            staged[i] = work.staged_bytes
+        rate = np.where(
+            is_gpu,
+            params.gpu_gflops,
+            params.cpu_socket_gflops * params.runtime_core_fraction,
+        )
+        mem_bw = np.where(is_gpu, params.gpu_mem_bw, params.cpu_mem_bw)
+        ooc = np.where(
+            (staged > 0) & is_gpu, params.out_of_core_efficiency, 1.0
+        )
+        # Each kernel's flops at its own efficiency; a processor running
+        # mixed leaves in one step executes them back to back.
+        t_flops = gemm_flops / (rate * params.gemm_efficiency * ooc)
+        t_flops += other_flops / (rate * params.naive_leaf_efficiency * ooc)
+        t_bytes = bytes_touched / mem_bw
+        t_staged = staged / params.pcie_bw
+        worst = np.maximum(np.maximum(t_flops, t_bytes), t_staged)
+        return float(worst.max())
 
     # ------------------------------------------------------------------
     # Communication.
     # ------------------------------------------------------------------
 
-    def comm_time(self, copies: List[Copy]) -> float:
-        if not copies:
+    def comm_time(
+        self,
+        copies: List[Copy],
+        columns: Optional[CopyColumns] = None,
+    ) -> float:
+        cols = columns if columns is not None else CopyColumns.from_copies(
+            copies
+        )
+        if cols.n == 0:
             return 0.0
         params = self.params
-        node_out: Dict[int, float] = defaultdict(float)
-        node_in: Dict[int, float] = defaultdict(float)
-        proc_intra_out: Dict[int, float] = defaultdict(float)
-        proc_intra_in: Dict[int, float] = defaultdict(float)
-        max_stages = 1
-
-        multicasts = defaultdict(list)
-        reductions = defaultdict(list)
-        for copy in copies:
-            if copy.reduce:
-                reductions[(copy.tensor, copy.rect, copy.dst_proc.proc_id)].append(copy)
-            else:
-                multicasts[(copy.tensor, copy.rect, copy.src_proc.proc_id)].append(copy)
-
-        def intra_bw(copy: Copy) -> float:
-            src_gpu = copy.src_mem.kind is MemoryKind.GPU_FB
-            dst_gpu = copy.dst_mem.kind is MemoryKind.GPU_FB
-            if src_gpu and dst_gpu:
-                return params.nvlink_bw
-            if src_gpu or dst_gpu:
-                return params.pcie_bw
-            return params.cpu_mem_bw
-
-        def inter_bw(copy: Copy) -> float:
-            gpu_resident = (
-                copy.src_mem.kind is MemoryKind.GPU_FB
-                or copy.dst_mem.kind is MemoryKind.GPU_FB
-            )
-            return params.nic_bw_gpu_direct if gpu_resident else params.nic_bw
-
-        for group in multicasts.values():
-            inter = [c for c in group if c.inter_node]
-            intra = [c for c in group if not c.inter_node]
-            fan_out = len(group)
-            max_stages = max(max_stages, math.ceil(math.log2(fan_out + 1)))
-            scale = params.collective_efficiency
-            if inter:
-                copy = inter[0]
-                src_node = copy.src_proc.node_id
-                relay = min(len(inter), params.bcast_relay_factor)
-                node_out[src_node] += (
-                    scale * relay * copy.nbytes / inter_bw(copy)
-                )
-                # Interior nodes of the broadcast tree retransmit: about
-                # half the receivers forward the payload once.
-                forward = scale * 0.5 * copy.nbytes / inter_bw(copy)
-                for c in inter:
-                    node_in[c.dst_proc.node_id] += (
-                        scale * c.nbytes / inter_bw(c)
-                    )
-                    if len(inter) > 2:
-                        node_out[c.dst_proc.node_id] += forward
-            if intra:
-                copy = intra[0]
-                src = copy.src_proc.proc_id
-                relay = min(len(intra), 2)
-                proc_intra_out[src] += relay * copy.nbytes / intra_bw(copy)
-                for c in intra:
-                    proc_intra_in[c.dst_proc.proc_id] += c.nbytes / intra_bw(c)
-
-        for group in reductions.values():
-            inter = [c for c in group if c.inter_node]
-            intra = [c for c in group if not c.inter_node]
-            fan_in = len(group)
-            max_stages = max(max_stages, math.ceil(math.log2(fan_in + 1)))
-            scale = params.collective_efficiency
-            if inter:
-                copy = inter[0]
-                dst_node = copy.dst_proc.node_id
-                relay = min(len(inter), params.bcast_relay_factor)
-                node_in[dst_node] += scale * relay * copy.nbytes / inter_bw(copy)
-                for c in inter:
-                    node_out[c.src_proc.node_id] += (
-                        scale * c.nbytes / inter_bw(c)
-                    )
-            if intra:
-                copy = intra[0]
-                dst = copy.dst_proc.proc_id
-                relay = min(len(intra), 2)
-                proc_intra_in[dst] += relay * copy.nbytes / intra_bw(copy)
-                for c in intra:
-                    proc_intra_out[c.src_proc.proc_id] += (
-                        c.nbytes / intra_bw(c)
-                    )
-
-        link_times = (
-            list(node_out.values())
-            + list(node_in.values())
-            + list(proc_intra_out.values())
-            + list(proc_intra_in.values())
+        scale = params.collective_efficiency
+        inter_bw = np.where(
+            cols.gpu_resident, params.nic_bw_gpu_direct, params.nic_bw
         )
-        worst_link = max(link_times) if link_times else 0.0
-        return worst_link + params.latency * max_stages
+        intra_bw = np.where(
+            cols.src_gpu & cols.dst_gpu,
+            params.nvlink_bw,
+            np.where(
+                cols.src_gpu | cols.dst_gpu,
+                params.pcie_bw,
+                params.cpu_mem_bw,
+            ),
+        )
+        node_out = np.zeros(self.cluster.num_nodes)
+        node_in = np.zeros(self.cluster.num_nodes)
+        proc_out = np.zeros(self.cluster.num_processors)
+        proc_in = np.zeros(self.cluster.num_processors)
+
+        group = cols.group
+        n_groups = cols.num_groups
+        idx = np.arange(cols.n)
+        inter = cols.inter
+        reduce = cols.reduce
+        multicast = ~reduce
+
+        # Per-group shape: fan counts and first members (emission order).
+        fan = np.bincount(group, minlength=n_groups)
+        n_inter = np.bincount(group[inter], minlength=n_groups)
+        n_intra = fan - n_inter
+        first_inter = np.full(n_groups, cols.n)
+        np.minimum.at(first_inter, group[inter], idx[inter])
+        first_intra = np.full(n_groups, cols.n)
+        np.minimum.at(first_intra, group[~inter], idx[~inter])
+        first_any = np.minimum(first_inter, first_intra)
+        grp_reduce = reduce[first_any]
+        max_stages = int(np.ceil(np.log2(fan + 1)).max())
+        max_stages = max(1, max_stages)
+
+        # Every receiver pulls one payload in (multicast) / every sender
+        # pushes one out (reduction) — per-copy scatter-adds.
+        sel = multicast & inter
+        np.add.at(
+            node_in,
+            cols.dst_node[sel],
+            scale * cols.nbytes[sel] / inter_bw[sel],
+        )
+        sel = reduce & inter
+        np.add.at(
+            node_out,
+            cols.src_node[sel],
+            scale * cols.nbytes[sel] / inter_bw[sel],
+        )
+        sel = multicast & ~inter
+        np.add.at(
+            proc_in, cols.dst_proc[sel], cols.nbytes[sel] / intra_bw[sel]
+        )
+        sel = reduce & ~inter
+        np.add.at(
+            proc_out, cols.src_proc[sel], cols.nbytes[sel] / intra_bw[sel]
+        )
+
+        # Collective roots: the source (multicast) / destination
+        # (reduction) link carries at most ``bcast_relay_factor``
+        # payloads, rated at the first inter-node member's bandwidth.
+        groups_mi = np.flatnonzero((n_inter > 0) & ~grp_reduce)
+        if groups_mi.size:
+            fi = first_inter[groups_mi]
+            relay = np.minimum(n_inter[groups_mi], params.bcast_relay_factor)
+            np.add.at(
+                node_out,
+                cols.src_node[fi],
+                scale * relay * cols.nbytes[fi] / inter_bw[fi],
+            )
+        groups_ri = np.flatnonzero((n_inter > 0) & grp_reduce)
+        if groups_ri.size:
+            fi = first_inter[groups_ri]
+            relay = np.minimum(n_inter[groups_ri], params.bcast_relay_factor)
+            np.add.at(
+                node_in,
+                cols.dst_node[fi],
+                scale * relay * cols.nbytes[fi] / inter_bw[fi],
+            )
+
+        # Interior nodes of broadcast trees retransmit: ceil(fan_out/2)
+        # of the inter-node receivers forward the full payload once.
+        fwd_groups = (n_inter > 2) & ~grp_reduce
+        if np.any(fwd_groups):
+            sel = multicast & inter
+            sel_idx = idx[sel]
+            sel_grp = group[sel]
+            order = np.argsort(sel_grp, kind="stable")
+            sorted_grp = sel_grp[order]
+            sorted_idx = sel_idx[order]
+            starts = np.flatnonzero(
+                np.r_[True, sorted_grp[1:] != sorted_grp[:-1]]
+            )
+            seg_len = np.diff(np.r_[starts, sorted_grp.size])
+            rank = np.arange(sorted_grp.size) - np.repeat(starts, seg_len)
+            quota = -(-n_inter // 2)  # ceil(fan_out / 2)
+            take = fwd_groups[sorted_grp] & (rank < quota[sorted_grp])
+            takers = sorted_idx[take]
+            fi = first_inter[sorted_grp[take]]
+            np.add.at(
+                node_out,
+                cols.dst_node[takers],
+                scale * cols.nbytes[fi] / inter_bw[fi],
+            )
+
+        # Intra-node collective roots.
+        groups_mI = np.flatnonzero((n_intra > 0) & ~grp_reduce)
+        if groups_mI.size:
+            fi = first_intra[groups_mI]
+            relay = np.minimum(n_intra[groups_mI], 2)
+            np.add.at(
+                proc_out,
+                cols.src_proc[fi],
+                relay * cols.nbytes[fi] / intra_bw[fi],
+            )
+        groups_rI = np.flatnonzero((n_intra > 0) & grp_reduce)
+        if groups_rI.size:
+            fi = first_intra[groups_rI]
+            relay = np.minimum(n_intra[groups_rI], 2)
+            np.add.at(
+                proc_in,
+                cols.dst_proc[fi],
+                relay * cols.nbytes[fi] / intra_bw[fi],
+            )
+
+        worst_link = max(
+            node_out.max(),
+            node_in.max(),
+            proc_out.max(),
+            proc_in.max(),
+        )
+        return float(worst_link) + params.latency * max_stages

@@ -1,9 +1,52 @@
-"""Shared fixtures and helpers for the test suite."""
+"""Shared fixtures and helpers for the test suite.
+
+Also enforces the tier-1 timing budget: the suite self-reports its
+wall-clock at the end of every run so speed regressions are visible in
+CI logs, and with ``REPRO_ENFORCE_BUDGET=1`` a run slower than
+``REPRO_TIER1_BUDGET_S`` (default 60 s) fails outright.
+"""
+
+import os
+import time
 
 import numpy as np
 import pytest
 
 from repro import Machine
+
+_BUDGET_S = float(os.environ.get("REPRO_TIER1_BUDGET_S", "60"))
+_suite_start = None
+_over_budget = False
+
+
+def pytest_sessionstart(session):
+    global _suite_start
+    _suite_start = time.monotonic()
+
+
+def pytest_sessionfinish(session, exitstatus):
+    global _over_budget
+    if _suite_start is None:
+        return
+    wall = time.monotonic() - _suite_start
+    _over_budget = wall > _BUDGET_S
+    if _over_budget and os.environ.get("REPRO_ENFORCE_BUDGET"):
+        session.exitstatus = 1
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    if _suite_start is None:
+        return
+    wall = time.monotonic() - _suite_start
+    line = f"tier-1 wall-clock: {wall:.1f}s (budget {_BUDGET_S:.0f}s)"
+    if _over_budget:
+        enforced = bool(os.environ.get("REPRO_ENFORCE_BUDGET"))
+        verdict = "FAILED" if enforced else "WARNING"
+        terminalreporter.write_line(
+            f"{line} — {verdict}: over budget", red=True
+        )
+    else:
+        terminalreporter.write_line(line, green=True)
 
 
 @pytest.fixture
