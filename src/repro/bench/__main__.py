@@ -2,21 +2,27 @@
 
 Usage::
 
-    python -m repro.bench fig15a [--nodes 1,4,16,64,256]
+    python -m repro.bench fig15a [--nodes 1,4,16,64,256] [--jobs 8]
     python -m repro.bench fig15b
     python -m repro.bench ttv|innerprod|ttm|mttkrp [--gpu]
     python -m repro.bench weak512 [--gpu]
+    python -m repro.bench weak4096 [--gpu]
     python -m repro.bench headline
-    python -m repro.bench all
+    python -m repro.bench all [--profile]
 
-Prints the corresponding paper table. Figures run on the simulator;
-the full node axis takes a few minutes.
+Prints the corresponding paper table. ``--jobs N`` distributes sweep
+points over worker processes; ``--profile`` prints per-figure
+wall-clock and appends it (with headline simulated metrics) to the
+``BENCH_simulator.json`` perf trajectory at the repo root. A sweep that
+raises produces a non-zero exit code.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+import time
+import traceback
 
 from repro.bench.figures import (
     DEFAULT_NODE_COUNTS,
@@ -26,7 +32,11 @@ from repro.bench.figures import (
     format_table,
     headline_speedups,
 )
-from repro.bench.weak_scaling import EXTENDED_NODE_COUNTS, matmul_weak_scaling
+from repro.bench.weak_scaling import (
+    EXTENDED_NODE_COUNTS,
+    EXTREME_NODE_COUNTS,
+    matmul_weak_scaling,
+)
 
 HIGHER_ORDER = ("ttv", "innerprod", "ttm", "mttkrp")
 
@@ -43,7 +53,8 @@ def main(argv=None) -> int:
     parser.add_argument(
         "figure",
         choices=[
-            "fig15a", "fig15b", "weak512", "headline", "all", *HIGHER_ORDER,
+            "fig15a", "fig15b", "weak512", "weak4096", "headline", "all",
+            *HIGHER_ORDER,
         ],
     )
     parser.add_argument(
@@ -55,40 +66,88 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--gpu", action="store_true", help="GPU variant of Figure 16 kernels"
     )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes for sweep points (default: 1, sequential)",
+    )
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="print per-figure wall-clock and append it to "
+        "BENCH_simulator.json",
+    )
     args = parser.parse_args(argv)
     nodes = args.nodes or DEFAULT_NODE_COUNTS
+    profile: list = []
 
-    if args.figure in ("fig15a", "all"):
-        print(format_table(
-            fig15a_cpu_matmul(node_counts=nodes),
-            "Figure 15a: CPU matmul weak scaling",
-        ))
-    if args.figure in ("fig15b", "all"):
-        print(format_table(
-            fig15b_gpu_matmul(node_counts=nodes),
-            "Figure 15b: GPU matmul weak scaling",
-        ))
-    for kernel in HIGHER_ORDER:
-        if args.figure in (kernel, "all"):
-            rows = fig16_higher_order(
-                kernel, gpu=args.gpu, node_counts=nodes
-            )
-            label = "GPU" if args.gpu else "CPU"
+    def timed(label, thunk):
+        start = time.monotonic()
+        result = thunk()
+        wall = time.monotonic() - start
+        profile.append((label, wall))
+        return result
+
+    try:
+        if args.figure in ("fig15a", "all"):
             print(format_table(
-                rows, f"Figure 16: {kernel} weak scaling ({label})"
+                timed("fig15a", lambda: fig15a_cpu_matmul(
+                    node_counts=nodes, jobs=args.jobs)),
+                "Figure 15a: CPU matmul weak scaling",
             ))
-    if args.figure in ("weak512", "all"):
-        counts = args.nodes or EXTENDED_NODE_COUNTS
-        label = "GPU" if args.gpu else "CPU"
-        print(format_table(
-            matmul_weak_scaling(node_counts=counts, gpu=args.gpu),
-            f"Weak scaling to {counts[-1]} nodes ({label})",
-        ))
-    if args.figure in ("headline", "all"):
-        ratios = headline_speedups(node_counts=[nodes[-1]])
-        print(f"== Headline speedups at {nodes[-1]} nodes ==")
-        for key, value in ratios.items():
-            print(f"  {key:<28s} {value:6.2f}x")
+        if args.figure in ("fig15b", "all"):
+            print(format_table(
+                timed("fig15b", lambda: fig15b_gpu_matmul(
+                    node_counts=nodes, jobs=args.jobs)),
+                "Figure 15b: GPU matmul weak scaling",
+            ))
+        for kernel in HIGHER_ORDER:
+            if args.figure in (kernel, "all"):
+                rows = timed(kernel, lambda k=kernel: fig16_higher_order(
+                    k, gpu=args.gpu, node_counts=nodes, jobs=args.jobs
+                ))
+                label = "GPU" if args.gpu else "CPU"
+                print(format_table(
+                    rows, f"Figure 16: {kernel} weak scaling ({label})"
+                ))
+        # `all` includes the 512-node sweep; the 4096-node axis runs
+        # only when asked for by name.
+        sweep = None
+        if args.figure in ("weak512", "all"):
+            sweep = ("weak512", EXTENDED_NODE_COUNTS)
+        elif args.figure == "weak4096":
+            sweep = ("weak4096", EXTREME_NODE_COUNTS)
+        if sweep is not None:
+            name, axis = sweep
+            counts = args.nodes or axis
+            label = "GPU" if args.gpu else "CPU"
+            rows = timed(name, lambda c=counts: matmul_weak_scaling(
+                node_counts=c, gpu=args.gpu, jobs=args.jobs))
+            print(format_table(
+                rows,
+                f"Weak scaling to {counts[-1]} nodes ({label})",
+            ))
+        if args.figure in ("headline", "all"):
+            ratios = timed(
+                "headline",
+                lambda: headline_speedups(node_counts=[nodes[-1]]),
+            )
+            print(f"== Headline speedups at {nodes[-1]} nodes ==")
+            for key, value in ratios.items():
+                print(f"  {key:<28s} {value:6.2f}x")
+    except Exception:
+        traceback.print_exc()
+        print("benchmark sweep failed", file=sys.stderr)
+        return 1
+
+    if args.profile:
+        from repro.bench.perf_log import append_record
+
+        print("== Wall-clock profile ==")
+        for label, wall in profile:
+            print(f"  {label:<10s} {wall:8.2f}s")
+            append_record(f"cli:{label}", wall)
     return 0
 
 

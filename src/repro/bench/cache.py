@@ -9,7 +9,15 @@ machine, and the cost-model parameters — so results are memoized under a
 structural key:
 
 ``(kernel fingerprint, machine shape, cluster signature, tensor sizes,
-params, check_capacity)``
+params, check_capacity, executor mode)``
+
+The :class:`~repro.sim.params.MachineParams` and the executor mode
+(orbit / batched / scalar) are part of the key, so parameter sweeps and
+mode toggles can never alias to stale entries. Cache contents are
+picklable and exportable (:meth:`SimulationCache.export` /
+:meth:`SimulationCache.install`), which is how the process-parallel
+sweep driver (:mod:`repro.bench.parallel`) shares one logical cache
+across workers.
 
 where the *kernel fingerprint* is the plan's printed form (loop
 structure, extents, communication points, leaf kernels — i.e. the
@@ -93,12 +101,14 @@ class SimulationCache:
         kernel,
         params: MachineParams = LASSEN,
         check_capacity: bool = True,
+        mode: str = "orbit",
     ) -> SimReport:
-        """``kernel.simulate(params, check_capacity)``, memoized."""
+        """``kernel.simulate(params, check_capacity, mode)``, memoized."""
         key = (
             kernel_fingerprint(kernel),
             params_key(params),
             check_capacity,
+            mode,
         )
         hit = self._store.get(key)
         if hit is not None:
@@ -109,7 +119,9 @@ class SimulationCache:
             return payload
         self.misses += 1
         try:
-            report = kernel.simulate(params, check_capacity=check_capacity)
+            report = kernel.simulate(
+                params, check_capacity=check_capacity, mode=mode
+            )
         except OutOfMemoryError as err:
             self._store[key] = ("oom", _oom_args(err))
             raise
@@ -123,6 +135,19 @@ class SimulationCache:
 
     def __len__(self) -> int:
         return len(self._store)
+
+    def key_set(self):
+        return set(self._store)
+
+    def export(self, exclude=None) -> Dict[Tuple, Tuple[str, object]]:
+        """Entries (optionally minus ``exclude`` keys), picklable."""
+        if not exclude:
+            return dict(self._store)
+        return {k: v for k, v in self._store.items() if k not in exclude}
+
+    def install(self, entries: Dict[Tuple, Tuple[str, object]]):
+        """Merge entries exported by another process."""
+        self._store.update(entries)
 
 
 #: Process-global cache used by the figure generators and benchmarks.
@@ -163,3 +188,19 @@ def cached_baseline(
 
 def _oom_args(err: OutOfMemoryError) -> Tuple:
     return (err.memory_name, err.needed_bytes, err.capacity_bytes)
+
+
+def baseline_key_set():
+    return set(_BASELINE_STORE)
+
+
+def export_baselines(exclude=None) -> Dict[Tuple, Tuple[str, object]]:
+    """Baseline-store entries (optionally minus ``exclude``), picklable."""
+    if not exclude:
+        return dict(_BASELINE_STORE)
+    return {k: v for k, v in _BASELINE_STORE.items() if k not in exclude}
+
+
+def install_baselines(entries: Dict[Tuple, Tuple[str, object]]):
+    """Merge baseline entries exported by another process."""
+    _BASELINE_STORE.update(entries)

@@ -96,10 +96,20 @@ def _solomonik_gflops(
 # ----------------------------------------------------------------------
 
 def fig15a_cpu_matmul(
-    node_counts: Optional[List[int]] = None, base_n: int = 8192
+    node_counts: Optional[List[int]] = None,
+    base_n: int = 8192,
+    jobs: int = 1,
 ) -> List[Row]:
     """GFLOP/s per node for GEMM on CPUs, all systems (Figure 15a)."""
     node_counts = node_counts or DEFAULT_NODE_COUNTS
+    if jobs > 1 and len(node_counts) > 1:
+        from repro.bench.parallel import run_points
+
+        return run_points(
+            "fig15a_cpu_matmul",
+            [{"node_counts": [n], "base_n": base_n} for n in node_counts],
+            jobs,
+        )
     unit = "GFLOP/s/node"
     rows: List[Row] = []
     for nodes in node_counts:
@@ -151,7 +161,9 @@ def fig15a_cpu_matmul(
 # ----------------------------------------------------------------------
 
 def fig15b_gpu_matmul(
-    node_counts: Optional[List[int]] = None, base_n: int = 20000
+    node_counts: Optional[List[int]] = None,
+    base_n: int = 20000,
+    jobs: int = 1,
 ) -> List[Row]:
     """GFLOP/s per node for GEMM on GPUs (Figure 15b).
 
@@ -160,6 +172,14 @@ def fig15b_gpu_matmul(
     keeps data host-resident and out-of-core.
     """
     node_counts = node_counts or DEFAULT_NODE_COUNTS
+    if jobs > 1 and len(node_counts) > 1:
+        from repro.bench.parallel import run_points
+
+        return run_points(
+            "fig15b_gpu_matmul",
+            [{"node_counts": [n], "base_n": base_n} for n in node_counts],
+            jobs,
+        )
     unit = "GFLOP/s/node"
     fb = MemoryKind.GPU_FB
     rows: List[Row] = []
@@ -206,6 +226,7 @@ def fig16_higher_order(
     node_counts: Optional[List[int]] = None,
     base_n: Optional[int] = None,
     rank: int = 64,
+    jobs: int = 1,
 ) -> List[Row]:
     """Weak scaling of TTV / Innerprod / TTM / MTTKRP, Ours vs CTF.
 
@@ -215,6 +236,23 @@ def fig16_higher_order(
     only (its GPU backend does not build); we do the same.
     """
     node_counts = node_counts or DEFAULT_NODE_COUNTS
+    if jobs > 1 and len(node_counts) > 1:
+        from repro.bench.parallel import run_points
+
+        return run_points(
+            "fig16_higher_order",
+            [
+                {
+                    "kernel": kernel,
+                    "gpu": gpu,
+                    "node_counts": [n],
+                    "base_n": base_n,
+                    "rank": rank,
+                }
+                for n in node_counts
+            ],
+            jobs,
+        )
     if base_n is None:
         base_n = 900 if gpu else 700
     bandwidth_bound = kernel in ("ttv", "innerprod")

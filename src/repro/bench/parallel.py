@@ -1,0 +1,100 @@
+"""Process-parallel sweep driver for the figure generators.
+
+Weak-scaling sweeps are embarrassingly parallel across node counts —
+each point compiles and simulates its own kernels — but the paper's
+figure tables must come back in axis order, and the keyed plan/trace
+cache (:mod:`repro.bench.cache`) should stay warm across the whole
+benchmark session. The driver therefore:
+
+* forks one worker per point (``fork`` start method, so workers inherit
+  the parent's warm cache for free);
+* has every worker return its rows *plus* the cache entries it added
+  (both the simulation cache and the closed-form baseline store);
+* merges those deltas back into the parent's process-global caches, so
+  a figure computed with ``--jobs 8`` leaves the same cache state
+  behind as a sequential run, and later figures (or
+  ``headline_speedups``) reuse every simulated configuration.
+
+On platforms without ``fork`` (or with ``jobs <= 1``) the driver simply
+runs the points sequentially in-process.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from typing import Callable, Dict, List, Sequence
+
+from repro.bench.cache import (
+    SIM_CACHE,
+    baseline_key_set,
+    export_baselines,
+    install_baselines,
+)
+
+#: Resolved lazily per worker; maps registered sweep names to callables.
+_SWEEPS: Dict[str, Callable] = {}
+
+
+def register_sweep(name: str, fn: Callable):
+    """Make a sweep callable addressable by name (picklable dispatch)."""
+    _SWEEPS[name] = fn
+
+
+def _resolve(name: str) -> Callable:
+    fn = _SWEEPS.get(name)
+    if fn is not None:
+        return fn
+    # Import lazily so workers resolve the callable after the fork.
+    from repro.bench import figures, weak_scaling
+
+    for module in (figures, weak_scaling):
+        fn = getattr(module, name, None)
+        if fn is not None:
+            return fn
+    raise ValueError(f"unknown sweep {name!r}")
+
+
+def _run_point(payload):
+    name, kwargs = payload
+    sim_before = SIM_CACHE.key_set()
+    base_before = baseline_key_set()
+    rows = _resolve(name)(**kwargs)
+    return (
+        rows,
+        SIM_CACHE.export(exclude=sim_before),
+        export_baselines(exclude=base_before),
+    )
+
+
+def run_points(
+    name: str, per_point_kwargs: Sequence[dict], jobs: int
+) -> List:
+    """Run one sweep function over many kwargs sets, possibly in parallel.
+
+    Returns the concatenated row lists in input order. With ``jobs > 1``
+    the points run in forked worker processes and their cache deltas are
+    merged back into this process's global caches.
+    """
+    tasks = [(name, kwargs) for kwargs in per_point_kwargs]
+    jobs = min(jobs, len(tasks))
+    if jobs <= 1 or len(tasks) <= 1 or not _fork_available():
+        rows: List = []
+        for task in tasks:
+            rows.extend(_resolve(name)(**task[1]))
+        return rows
+    ctx = multiprocessing.get_context("fork")
+    with ctx.Pool(processes=jobs) as pool:
+        results = pool.map(_run_point, tasks)
+    rows = []
+    for point_rows, sim_delta, base_delta in results:
+        SIM_CACHE.install(sim_delta)
+        install_baselines(base_delta)
+        rows.extend(point_rows)
+    return rows
+
+
+def _fork_available() -> bool:
+    try:
+        return "fork" in multiprocessing.get_all_start_methods()
+    except Exception:
+        return False

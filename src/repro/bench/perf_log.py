@@ -1,0 +1,60 @@
+"""Machine-readable performance trajectory: ``BENCH_simulator.json``.
+
+Benchmark runs append one record per sweep — wall-clock seconds plus
+whatever simulated-time metrics the caller supplies — to a JSON list at
+the repository root, so the simulator's performance trend is tracked
+across PRs without digging through CI logs. The file is append-only;
+corrupt or foreign content is preserved untouched by writing nothing.
+
+Override the destination with ``REPRO_BENCH_LOG`` (used by tests).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+from typing import Dict, List, Optional
+
+
+def log_path() -> Path:
+    override = os.environ.get("REPRO_BENCH_LOG")
+    if override:
+        return Path(override)
+    # src/repro/bench/perf_log.py -> repository root.
+    return Path(__file__).resolve().parents[3] / "BENCH_simulator.json"
+
+
+def _load(path: Path) -> Optional[List[Dict]]:
+    if not path.exists():
+        return []
+    try:
+        data = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError):
+        return None
+    return data if isinstance(data, list) else None
+
+
+def append_record(
+    name: str, wall_s: float, metrics: Optional[Dict] = None
+) -> bool:
+    """Append one perf record; returns False when the log is unwritable
+    or holds something that is not a JSON list (never clobbers it)."""
+    path = log_path()
+    records = _load(path)
+    if records is None:
+        return False
+    record = {
+        "name": name,
+        "wall_s": round(float(wall_s), 4),
+        "timestamp": int(time.time()),
+    }
+    if metrics:
+        record["metrics"] = metrics
+    records.append(record)
+    try:
+        path.write_text(json.dumps(records, indent=1) + "\n")
+    except OSError:
+        return False
+    return True

@@ -100,12 +100,17 @@ def factor3(p: int) -> Tuple[int, int, int]:
 #: The extended weak-scaling axis: the paper's 1..256 plus 512 nodes.
 EXTENDED_NODE_COUNTS = [1, 2, 4, 8, 16, 32, 64, 128, 256, 512]
 
+#: The orbit-compressed executor's axis: out to 4096 nodes (8192
+#: processors), ``python -m repro.bench weak4096``.
+EXTREME_NODE_COUNTS = EXTENDED_NODE_COUNTS + [1024, 2048, 4096]
+
 
 def matmul_weak_scaling(
     node_counts: Optional[Sequence[int]] = None,
     base_n: int = 8192,
     algorithms: Sequence[str] = ("cannon", "summa", "johnson"),
     gpu: bool = False,
+    jobs: int = 1,
 ) -> List[Dict[str, object]]:
     """Weak-scale GEMM out to 512 nodes (Figure 15's axis, extended).
 
@@ -113,8 +118,27 @@ def matmul_weak_scaling(
     "note"}`` with GFLOP/s per node; OOM configurations report ``value
     None`` and ``note "OOM"``. Simulations run through the plan/trace
     cache, so repeating a sweep (or sharing configurations with the
-    Figure 15 generators) is free.
+    Figure 15 generators) is free. ``jobs > 1`` distributes the node
+    counts over forked worker processes (:mod:`repro.bench.parallel`),
+    merging their cache deltas back into this process.
     """
+    node_counts = list(node_counts or EXTENDED_NODE_COUNTS)
+    if jobs > 1 and len(node_counts) > 1:
+        from repro.bench.parallel import run_points
+
+        return run_points(
+            "matmul_weak_scaling",
+            [
+                {
+                    "node_counts": [n],
+                    "base_n": base_n,
+                    "algorithms": tuple(algorithms),
+                    "gpu": gpu,
+                }
+                for n in node_counts
+            ],
+            jobs,
+        )
     # Imported here: the algorithms pull in the full compilation
     # pipeline, which this sizing module should not load eagerly.
     from repro.algorithms.matmul import cannon, johnson, summa
@@ -128,7 +152,6 @@ def matmul_weak_scaling(
     unknown = set(algorithms) - set(builders)
     if unknown:
         raise ValueError(f"unknown weak-scaling algorithms {sorted(unknown)}")
-    node_counts = list(node_counts or EXTENDED_NODE_COUNTS)
     memory = MemoryKind.GPU_FB if gpu else MemoryKind.SYSTEM_MEM
     rows: List[Row] = []
     for nodes in node_counts:

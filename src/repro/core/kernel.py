@@ -79,25 +79,58 @@ class Kernel:
     # Symbolic execution + performance simulation.
     # ------------------------------------------------------------------
 
-    def trace(self, check_capacity: bool = True) -> ExecutionResult:
-        """Symbolic execution: the full phase trace, no data movement."""
-        executor = Executor(
-            self.plan, materialize=False, check_capacity=check_capacity
-        )
+    def trace(
+        self, check_capacity: bool = True, mode: str = "batched"
+    ) -> ExecutionResult:
+        """Symbolic execution: the full phase trace, no data movement.
+
+        ``mode`` selects the interpreter: ``"scalar"`` (the per-context
+        reference), ``"batched"`` (vectorized, trace-identical to
+        scalar) or ``"orbit"`` (orbit-compressed: class-representative
+        copies with multiplicities; identical simulated times, but the
+        per-copy record is compressed). Trace analyses default to the
+        full ``"batched"`` record.
+        """
+        if mode == "orbit":
+            from repro.runtime.orbit import OrbitExecutor
+
+            executor = OrbitExecutor(
+                self.plan, check_capacity=check_capacity
+            )
+        elif mode in ("batched", "scalar"):
+            executor = Executor(
+                self.plan,
+                materialize=False,
+                check_capacity=check_capacity,
+                batched=(mode == "batched"),
+            )
+        else:
+            raise ValueError(
+                f"unknown execution mode {mode!r} "
+                f"(expected 'orbit', 'batched' or 'scalar')"
+            )
         return executor.run()
 
     def simulate(
         self,
         params: MachineParams = LASSEN,
         check_capacity: bool = True,
+        mode: str = "orbit",
     ) -> SimReport:
         """Symbolically execute and time the kernel on the cost model.
 
         Raises :class:`~repro.util.errors.OutOfMemoryError` when an
         instance exceeds its memory's capacity (the paper's 3-D algorithm
         OOMs), unless ``check_capacity=False``.
+
+        Defaults to the orbit-compressed executor — simulation cost
+        scales with the number of distinct per-context behaviours
+        instead of the grid size, with byte-identical ``SimReport``
+        numbers (``tests/runtime/test_orbit_executor.py``). Pass
+        ``mode="batched"`` or ``mode="scalar"`` for the uncompressed
+        interpreters.
         """
-        result = self.trace(check_capacity=check_capacity)
+        result = self.trace(check_capacity=check_capacity, mode=mode)
         model = CostModel(self.machine.cluster, params)
         return model.time_trace(result.trace)
 

@@ -12,11 +12,18 @@ from __future__ import annotations
 import enum
 from typing import List, Optional, Sequence, Tuple, Union
 
+import numpy as np
+
 from repro.machine.cluster import MemoryKind
 from repro.machine.machine import Machine
 from repro.util.errors import DistributionError
 from repro.util.geometry import Rect
-from repro.formats.distribution import Distribution
+from repro.formats.distribution import (
+    Broadcast,
+    DimName,
+    Distribution,
+    Fixed,
+)
 
 
 class Mode(enum.Enum):
@@ -136,6 +143,77 @@ class Format:
                 return None
         pattern.extend([None] * (machine.dim - len(pattern)))
         return pattern
+
+    def owner_pattern_batch(
+        self,
+        machine: Machine,
+        los: Optional[np.ndarray],
+        his: Optional[np.ndarray],
+        tensor_shape: Sequence[int],
+        count: Optional[int] = None,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Vectorized :meth:`owner_pattern` over request endpoint columns.
+
+        ``los``/``his`` are ``(ndim, k)`` endpoint matrices of ``k``
+        non-empty request rectangles (``None`` with ``count=k`` for
+        0-dim tensors). Returns ``(pattern, valid)``:
+
+        * ``pattern`` — ``(machine.dim, k)`` int64 matrix; concrete
+          coordinates for partitioned/fixed machine dimensions, ``-1``
+          where any coordinate holds a replica;
+        * ``valid[j]`` — True when a single home piece covers request
+          ``j`` (exactly when the scalar method returns a pattern).
+
+        The arithmetic mirrors ``Distribution.owners_covering`` /
+        ``owned_rect`` element-wise, including the hierarchical level
+        composition; requests a block index would throw on (negative
+        offsets) are reported invalid instead, so callers fall back to
+        the scalar path member by member.
+        """
+        k = count if count is not None else los.shape[1]
+        pattern = np.full((machine.dim, k), -1, dtype=np.int64)
+        valid = np.ones(k, dtype=bool)
+        if not self.distributions:
+            pattern[:, :] = 0
+            return pattern, valid
+        ndim = len(tensor_shape)
+        cur_lo = np.zeros((ndim, k), dtype=np.int64)
+        cur_hi = np.empty((ndim, k), dtype=np.int64)
+        for d in range(ndim):
+            cur_hi[d, :] = tensor_shape[d]
+        offset = 0
+        for dist, grid in zip(self.distributions, machine.levels):
+            for j, mdim in enumerate(dist.machine_dims):
+                if isinstance(mdim, Fixed):
+                    pattern[offset + j, :] = mdim.value
+                    continue
+                if isinstance(mdim, Broadcast):
+                    continue
+                tdim = dist.partitioned[j]
+                pieces = grid.shape[j]
+                base_lo = cur_lo[tdim]
+                size = cur_hi[tdim] - base_lo
+                # block_index: ceil tiles, clamped to the last piece;
+                # zero-extent dims map to block 0 (whose piece is empty
+                # and therefore covers nothing non-empty).
+                tile = -(-size // pieces)
+                block = np.where(
+                    size > 0,
+                    (los[tdim] - base_lo) // np.maximum(tile, 1),
+                    0,
+                )
+                in_range = block >= 0
+                block = np.minimum(np.maximum(block, 0), pieces - 1)
+                # split_evenly(size, pieces, block).shift(base_lo)
+                piece_lo = base_lo + np.minimum(block * tile, size)
+                piece_hi = np.minimum(piece_lo + tile, base_lo + size)
+                covers = (piece_lo <= los[tdim]) & (his[tdim] <= piece_hi)
+                valid &= in_range & covers
+                pattern[offset + j, :] = block
+                cur_lo[tdim] = piece_lo
+                cur_hi[tdim] = piece_hi
+            offset += grid.dim
+        return pattern, valid
 
     def owner_pieces(
         self,

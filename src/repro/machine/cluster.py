@@ -122,12 +122,15 @@ class Cluster:
 
     def memories(self) -> List[Memory]:
         """All distinct memories in the cluster."""
-        seen = []
+        seen: List[Memory] = []
+        names = set()
         for node in self.nodes:
             if node.system_memory is not None:
                 seen.append(node.system_memory)
+                names.add(node.system_memory.name)
             for proc in node.processors:
-                if proc.memory not in seen:
+                if proc.memory.name not in names:
+                    names.add(proc.memory.name)
                     seen.append(proc.memory)
         return seen
 

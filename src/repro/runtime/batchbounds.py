@@ -172,6 +172,54 @@ def _clip_extent(lo, hi, extent: int) -> BatchInterval:
     return (lo2, hi2)
 
 
+def batch_bounds(
+    block: CtxBlock,
+    graph: VarGraph,
+    accesses,
+    full_env: Dict[IndexVar, Interval],
+    exact: bool = False,
+) -> Tuple[Optional[np.ndarray], Optional[np.ndarray], np.ndarray]:
+    """Raw per-context bounding-rectangle endpoint columns.
+
+    Returns ``(lo, hi, live)`` where ``lo``/``hi`` are ``(ndim, n)``
+    endpoint matrices of each context's bounding rectangle across the
+    tensor's accesses and ``live[i]`` marks contexts with at least one
+    non-empty access (``bounding_rect`` semantics). For 0-dim tensors
+    the matrices are ``None`` and every context is live. Endpoints of
+    non-live contexts are meaningless.
+
+    This is the orbit executor's fingerprint input: the ``(lo, hi)``
+    columns are consumed directly as numpy data, without materializing
+    :class:`~repro.util.geometry.Rect` objects.
+    """
+    n = block.n
+    ndim = accesses[0].tensor.ndim
+    if ndim == 0:
+        return None, None, np.ones(n, dtype=bool)
+    # Stack per-access endpoint columns: (n_access, ndim, n).
+    big = np.iinfo(np.int64).max
+    lo_min = None
+    hi_max = None
+    live = None
+    for access in accesses:
+        los = np.empty((ndim, n), dtype=np.int64)
+        his = np.empty((ndim, n), dtype=np.int64)
+        for d, v in enumerate(access.indices):
+            lo, hi = block.values_of(graph, v, full_env, exact)
+            los[d, :] = lo
+            his[d, :] = hi
+        empty = (his <= los).any(axis=0)
+        los = np.where(empty, big, los)
+        his = np.where(empty, -big, his)
+        if lo_min is None:
+            lo_min, hi_max, live = los, his, ~empty
+        else:
+            lo_min = np.minimum(lo_min, los)
+            hi_max = np.maximum(hi_max, his)
+            live = live | ~empty
+    return lo_min, hi_max, live
+
+
 def batch_rects(
     block: CtxBlock,
     graph: VarGraph,
@@ -197,27 +245,9 @@ def batch_rects(
     if ndim == 0:
         rect = Rect(())
         return [rect] * n, [(rect, list(range(n)))]
-    # Stack per-access endpoint columns: (n_access, ndim, n).
-    big = np.iinfo(np.int64).max
-    lo_min = None
-    hi_max = None
-    live = None
-    for access in accesses:
-        los = np.empty((ndim, n), dtype=np.int64)
-        his = np.empty((ndim, n), dtype=np.int64)
-        for d, v in enumerate(access.indices):
-            lo, hi = block.values_of(graph, v, full_env, exact)
-            los[d, :] = lo
-            his[d, :] = hi
-        empty = (his <= los).any(axis=0)
-        los = np.where(empty, big, los)
-        his = np.where(empty, -big, his)
-        if lo_min is None:
-            lo_min, hi_max, live = los, his, ~empty
-        else:
-            lo_min = np.minimum(lo_min, los)
-            hi_max = np.maximum(hi_max, his)
-            live = live | ~empty
+    lo_min, hi_max, live = batch_bounds(
+        block, graph, accesses, full_env, exact
+    )
     rect_of: List[Optional[Rect]] = [None] * n
     groups: List[Tuple[Rect, List[int]]] = []
     seen: Dict[Tuple[int, ...], int] = {}

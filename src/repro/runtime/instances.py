@@ -273,12 +273,21 @@ class DataEnvironment:
         ``holder_list`` and ``pattern`` are the request's shared state,
         looked up once per call (scalar) or once per group (batched).
         """
-        candidates = holder_list
+        candidates = [(c, 0) for c in holder_list]
         if pattern is not None:
-            candidates = holder_list + [self._concretize(pattern, coords)]
+            candidates.append((self._concretize(pattern, coords), 1))
         if candidates:
             distance = self.machine.torus_distance
-            best = min(candidates, key=lambda c: distance(c, coords))
+            # Deterministic selection: nearest source; equidistant ties
+            # prefer cached neighbours over the owner (what makes
+            # rotated schedules systolic even on tiny tori) and then
+            # break by coordinate, so the choice is independent of
+            # holder-set iteration order (the orbit executor's
+            # vectorized selection reproduces the same rule).
+            best = min(
+                candidates,
+                key=lambda cand: (distance(cand[0], coords), cand[1], cand[0]),
+            )[0]
             return [(best, rect)]
         # No single source covers the request: split it across home pieces
         # (redistribution between mismatched formats).

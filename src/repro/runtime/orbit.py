@@ -1,0 +1,1110 @@
+"""Orbit-compressed symbolic execution.
+
+The paper's schedules are SPMD: at every communication phase, most grid
+points issue a request that is a coordinate *translation* of their
+neighbours' — same rectangle shape, same source offset, same payload.
+The batched executor (PR 1) still pays O(P) Python per phase resolving
+and recording those requests one context at a time; this module makes
+the Python cost scale with the number of *distinct per-context
+behaviours* (symmetry classes) instead, while per-member bookkeeping
+runs as numpy column arithmetic:
+
+1. **Fingerprinting.** Each context's request is fingerprinted from the
+   vectorized bounds analysis (:func:`~repro.runtime.batchbounds
+   .batch_bounds`): the ``(tensor, rect-shape, source-offset)`` tuple.
+   Contexts with equal fingerprints form an *orbit* — a symmetry class
+   under machine translation.
+2. **Class-level resolution.** Ownership is computed for all requests
+   at once with the vectorized distribution arithmetic
+   (:meth:`~repro.formats.format.Format.owner_pattern_batch`); cached
+   instances live in columnar *mirror* tables joined against requests
+   by sort/searchsorted instead of per-context dict probes. Nearest-
+   source selection reproduces the scalar rule ``min((torus distance,
+   coords))`` exactly.
+3. **Compressed traces.** Each orbit emits one representative
+   :class:`~repro.runtime.trace.Copy` carrying a ``count``
+   multiplicity; per-processor :class:`~repro.runtime.trace.Work` is
+   likewise stored once per class of identical timelines. The exact
+   per-member endpoint columns are still built (as numpy arrays, never
+   Python objects) and pinned on each step, so the cost model's
+   link-contention accounting is byte-identical to full execution.
+4. **Fallback.** Anything the class analysis cannot prove uniform —
+   requests spanning several home pieces, reduction flushes, leaf-level
+   communication or flushes — falls back to the per-context scalar
+   machinery against the same state, so results stay exact (asserted
+   by ``tests/runtime/test_orbit_executor.py`` on every Figure 9
+   schedule plus deliberately non-divisible problem sizes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.codegen.plan import LaunchNode, LeafNode, PlanNode, SeqNode
+from repro.machine.cluster import MemoryKind
+from repro.machine.machine import Machine
+from repro.runtime.batchbounds import CtxBlock, batch_bounds
+from repro.runtime.executor import ExecutionResult, Executor, _Ctx
+from repro.runtime.instances import DataEnvironment
+from repro.runtime.trace import Copy, CopyColumns, Step, Trace, Work
+from repro.util.errors import OutOfMemoryError
+from repro.util.geometry import Interval, Rect
+
+# ----------------------------------------------------------------------
+# Key folding: collision-free int64 row keys for vectorized joins.
+# ----------------------------------------------------------------------
+
+
+def fold_rows(mat: np.ndarray) -> np.ndarray:
+    """A collision-free int64 key per row of an integer matrix.
+
+    Columns are rank-compressed one at a time and re-ranked after every
+    fold, so intermediate products never exceed ``nrows**2`` (no
+    overflow for any realistic batch). Equal rows — across the whole
+    matrix — get equal keys; distinct rows get distinct keys.
+    """
+    n = mat.shape[0]
+    if n == 0:
+        return np.zeros(0, dtype=np.int64)
+    if mat.shape[1] == 0:
+        return np.zeros(n, dtype=np.int64)
+    _, key = np.unique(mat[:, 0], return_inverse=True)
+    key = key.astype(np.int64)
+    for c in range(1, mat.shape[1]):
+        _, inv = np.unique(mat[:, c], return_inverse=True)
+        key = key * (int(inv.max()) + 1) + inv
+        _, key = np.unique(key, return_inverse=True)
+        key = key.astype(np.int64)
+    return key
+
+
+def fold_two(a: np.ndarray, b: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """Fold two row sets into one comparable key space."""
+    keys = fold_rows(np.vstack([a, b]))
+    return keys[: a.shape[0]], keys[a.shape[0]:]
+
+
+# ----------------------------------------------------------------------
+# Machine tables (cached per Machine instance).
+# ----------------------------------------------------------------------
+
+
+class _MachineTables:
+    """Numpy lookup tables for grid points, processors and memories."""
+
+    def __init__(self, machine: Machine):
+        cluster = machine.cluster
+        shape = machine.shape
+        self.shape = np.asarray(shape, dtype=np.int64)
+        self.size = machine.size
+        strides = np.ones(len(shape), dtype=np.int64)
+        for d in range(len(shape) - 2, -1, -1):
+            strides[d] = strides[d + 1] * shape[d + 1]
+        self.strides = strides
+        n_procs = cluster.num_processors
+        self.node_of_proc = np.fromiter(
+            (p.node_id for p in cluster.processors), np.int64, n_procs
+        )
+        self.memories = cluster.memories()
+        self.mem_index = {m.name: i for i, m in enumerate(self.memories)}
+        n_mem = len(self.memories)
+        self.mem_capacity = np.fromiter(
+            (m.capacity_bytes for m in self.memories), np.int64, n_mem
+        )
+        self.mem_gpu = np.fromiter(
+            (m.kind is MemoryKind.GPU_FB for m in self.memories), bool, n_mem
+        )
+        self.procmem_of_proc = np.fromiter(
+            (self.mem_index[p.memory.name] for p in cluster.processors),
+            np.int64,
+            n_procs,
+        )
+        self.sysmem_of_node = np.fromiter(
+            (
+                self.mem_index[nd.system_memory.name]
+                if nd.system_memory is not None
+                else -1
+                for nd in cluster.nodes
+            ),
+            np.int64,
+            cluster.num_nodes,
+        )
+        table = np.empty(self.size, dtype=np.int64)
+        for i, point in enumerate(machine.points()):
+            table[i] = machine.proc_at(point).proc_id
+        self.proc_of_point = table
+        self._tensor_mem: Dict[Tuple[str, str], np.ndarray] = {}
+
+    def tensor_mem_of_proc(self, tensor) -> np.ndarray:
+        """Memory id a tensor instance occupies, per processor.
+
+        Mirrors ``DataEnvironment._memory_for_uncached``: framebuffer-
+        pinned formats use the processor memory (which *is* the
+        framebuffer on GPUs), host-resident formats use the node system
+        memory when one exists.
+        """
+        wants = tensor.format.memory
+        key = (tensor.name, wants.value)
+        cached = self._tensor_mem.get(key)
+        if cached is not None:
+            return cached
+        if wants is MemoryKind.SYSTEM_MEM:
+            sys_of_proc = self.sysmem_of_node[self.node_of_proc]
+            out = np.where(sys_of_proc >= 0, sys_of_proc, self.procmem_of_proc)
+        else:
+            out = self.procmem_of_proc.copy()
+        self._tensor_mem[key] = out
+        return out
+
+
+def machine_tables(machine: Machine) -> _MachineTables:
+    tables = getattr(machine, "_orbit_tables", None)
+    if tables is None:
+        tables = _MachineTables(machine)
+        machine._orbit_tables = tables
+    return tables
+
+
+# ----------------------------------------------------------------------
+# Columnar instance mirror (the orbit-mode holder tables).
+# ----------------------------------------------------------------------
+
+
+class _Mirror:
+    """Columnar cached-instance store for one tensor.
+
+    Rows are ``(rect lo, rect hi, holder coords, memory, bytes)``.
+    Freed rows are recycled, so the arrays stay bounded by the peak
+    number of live instances. Row ids are stable for the lifetime of
+    the instance, which is what phase-held bookkeeping releases by.
+    """
+
+    def __init__(self, ndim: int, mdim: int):
+        self.ndim = ndim
+        self.mdim = mdim
+        cap = 64
+        self.lo = np.zeros((cap, ndim), dtype=np.int64)
+        self.hi = np.zeros((cap, ndim), dtype=np.int64)
+        self.coords = np.zeros((cap, mdim), dtype=np.int64)
+        self.mem = np.zeros(cap, dtype=np.int64)
+        self.nbytes = np.zeros(cap, dtype=np.int64)
+        self.alive = np.zeros(cap, dtype=bool)
+        self.tail = 0
+        self._free = np.zeros(0, dtype=np.int64)
+
+    def _grow(self, need: int):
+        cap = self.alive.size
+        new_cap = max(cap * 2, cap + need)
+        for name in ("lo", "hi", "coords"):
+            arr = getattr(self, name)
+            grown = np.zeros((new_cap, arr.shape[1]), dtype=np.int64)
+            grown[:cap] = arr
+            setattr(self, name, grown)
+        for name, dtype in (("mem", np.int64), ("nbytes", np.int64)):
+            arr = getattr(self, name)
+            grown = np.zeros(new_cap, dtype=dtype)
+            grown[:cap] = arr
+            setattr(self, name, grown)
+        alive = np.zeros(new_cap, dtype=bool)
+        alive[:cap] = self.alive
+        self.alive = alive
+
+    def alloc(self, k: int) -> np.ndarray:
+        take = min(k, self._free.size)
+        rows = self._free[:take]
+        self._free = self._free[take:]
+        rest = k - take
+        if rest:
+            if self.tail + rest > self.alive.size:
+                self._grow(self.tail + rest - self.alive.size)
+            rows = np.concatenate(
+                [rows, np.arange(self.tail, self.tail + rest, dtype=np.int64)]
+            )
+            self.tail += rest
+        return rows
+
+    def add_rows(self, lo, hi, coords, mem, nbytes) -> np.ndarray:
+        rows = self.alloc(lo.shape[0])
+        self.lo[rows] = lo
+        self.hi[rows] = hi
+        self.coords[rows] = coords
+        self.mem[rows] = mem
+        self.nbytes[rows] = nbytes
+        self.alive[rows] = True
+        return rows
+
+    def free_rows(self, rows: np.ndarray):
+        self.alive[rows] = False
+        self._free = np.concatenate([self._free, rows])
+
+    def snapshot(self) -> np.ndarray:
+        """Row ids of all live instances."""
+        return np.flatnonzero(self.alive[: self.tail])
+
+    def rows_matching(self, lo: Tuple[int, ...], hi: Tuple[int, ...]):
+        """Live rows holding exactly the given rectangle (scalar path)."""
+        live = self.snapshot()
+        if live.size == 0:
+            return live
+        mask = np.ones(live.size, dtype=bool)
+        for d in range(self.ndim):
+            mask &= self.lo[live, d] == lo[d]
+            mask &= self.hi[live, d] == hi[d]
+        return live[mask]
+
+
+# ----------------------------------------------------------------------
+# Orbit data environment.
+# ----------------------------------------------------------------------
+
+
+class OrbitState(DataEnvironment):
+    """Instance tables and memory accounting on columnar storage.
+
+    The scalar query API (``resolve`` / ``register`` / ``release`` /
+    partial tracking) is preserved — the orbit executor's fallback paths
+    use it — but holder state lives in per-tensor :class:`_Mirror`
+    tables and memory accounting in flat numpy arrays, so bulk phases
+    can be applied with bincounts rather than per-context dict updates.
+    """
+
+    def __init__(self, plan, check_capacity: bool, tables: _MachineTables):
+        self._mt = tables
+        n_mem = len(tables.memories)
+        self._usage_arr = np.zeros(n_mem, dtype=np.int64)
+        self._high_arr = np.zeros(n_mem, dtype=np.int64)
+        self._touched = np.zeros(n_mem, dtype=bool)
+        self._mirrors: Dict[str, _Mirror] = {}
+        super().__init__(plan, check_capacity=check_capacity)
+
+    # -- memory accounting on arrays -----------------------------------
+
+    @property
+    def high_water(self) -> Dict[str, int]:
+        return {
+            self._mt.memories[i].name: int(self._high_arr[i])
+            for i in np.flatnonzero(self._touched)
+        }
+
+    @high_water.setter
+    def high_water(self, value):
+        # The base-class constructor assigns an empty dict; accounting
+        # here is array-backed, so the assignment is a no-op.
+        pass
+
+    def _add_bytes(self, mem, n: int):
+        i = self._mt.mem_index[mem.name]
+        usage = int(self._usage_arr[i]) + n
+        self._usage_arr[i] = usage
+        self._touched[i] = True
+        if usage > self._high_arr[i]:
+            self._high_arr[i] = usage
+        if self.check_capacity and usage > mem.capacity_bytes:
+            raise OutOfMemoryError(mem.name, usage, mem.capacity_bytes)
+
+    def _sub_bytes(self, mem, n: int):
+        i = self._mt.mem_index[mem.name]
+        self._usage_arr[i] -= n
+
+    def usage_of(self, mem) -> int:
+        return int(self._usage_arr[self._mt.mem_index[mem.name]])
+
+    def bulk_add(self, mem_ids, amounts, order):
+        """Apply a phase's registration charges at once.
+
+        Equivalent to ``_add_bytes`` per event in ``order``: the peak
+        is reached after the last add either way, and on a capacity
+        overflow the events are replayed in order so the raised error
+        carries exactly the usage at the first crossing.
+        """
+        if mem_ids.size == 0:
+            return
+        n_mem = self._usage_arr.size
+        adds = np.bincount(
+            mem_ids, weights=amounts.astype(np.float64), minlength=n_mem
+        ).astype(np.int64)
+        new_usage = self._usage_arr + adds
+        if self.check_capacity and bool(
+            np.any(new_usage > self._mt.mem_capacity)
+        ):
+            run = self._usage_arr.copy()
+            caps = self._mt.mem_capacity
+            seq = np.argsort(order, kind="stable")
+            for j in seq:
+                mid = int(mem_ids[j])
+                run[mid] += int(amounts[j])
+                if run[mid] > caps[mid]:
+                    raise OutOfMemoryError(
+                        self._mt.memories[mid].name,
+                        int(run[mid]),
+                        int(caps[mid]),
+                    )
+        self._usage_arr = new_usage
+        self._touched |= adds > 0
+        np.maximum(self._high_arr, new_usage, out=self._high_arr)
+
+    def bulk_sub(self, mem_ids, amounts):
+        if mem_ids.size == 0:
+            return
+        subs = np.bincount(
+            mem_ids,
+            weights=amounts.astype(np.float64),
+            minlength=self._usage_arr.size,
+        ).astype(np.int64)
+        self._usage_arr -= subs
+
+    # -- holder state on mirrors ---------------------------------------
+
+    def mirror(self, name: str) -> _Mirror:
+        m = self._mirrors.get(name)
+        if m is None:
+            m = _Mirror(
+                self.plan.tensors[name].ndim, self.machine.dim
+            )
+            self._mirrors[name] = m
+        return m
+
+    def _holder_coords(self, name: str, rect: Rect) -> List[Tuple[int, ...]]:
+        m = self._mirrors.get(name)
+        if m is None:
+            return []
+        rows = m.rows_matching(rect.lo, rect.hi)
+        return [tuple(int(c) for c in m.coords[r]) for r in rows]
+
+    def is_local(self, name, coords, rect) -> bool:
+        if self.owns(name, coords, rect):
+            return True
+        m = self._mirrors.get(name)
+        if m is None:
+            return False
+        rows = m.rows_matching(rect.lo, rect.hi)
+        if rows.size == 0:
+            return False
+        target = np.asarray(coords, dtype=np.int64)
+        return bool(np.any(np.all(m.coords[rows] == target, axis=1)))
+
+    def register(self, name, coords, rect) -> bool:
+        if rect.is_empty or self.is_local(name, coords, rect):
+            return False
+        tensor = self.plan.tensors[name]
+        mem = self._memory_for(coords, name)
+        nbytes = rect.volume * tensor.itemsize
+        m = self.mirror(name)
+        m.add_rows(
+            np.asarray([rect.lo], dtype=np.int64).reshape(1, m.ndim),
+            np.asarray([rect.hi], dtype=np.int64).reshape(1, m.ndim),
+            np.asarray([coords], dtype=np.int64).reshape(1, m.mdim),
+            np.asarray([self._mt.mem_index[mem.name]], dtype=np.int64),
+            np.asarray([nbytes], dtype=np.int64),
+        )
+        self._add_bytes(mem, nbytes)
+        return True
+
+    def release(self, name, coords, rect):
+        m = self._mirrors.get(name)
+        if m is None:
+            return
+        rows = m.rows_matching(rect.lo, rect.hi)
+        if rows.size == 0:
+            return
+        target = np.asarray(coords, dtype=np.int64)
+        hit = rows[np.all(m.coords[rows] == target, axis=1)]
+        if hit.size == 0:
+            return
+        row = hit[:1]
+        m.free_rows(row)
+        tensor = self.plan.tensors[name]
+        self._sub_bytes(
+            self._memory_for(coords, name), rect.volume * tensor.itemsize
+        )
+
+    def _find_sources(self, name, coords, rect):
+        return self._sources_from(
+            name,
+            rect,
+            coords,
+            self._holder_coords(name, rect),
+            self._owner_pattern(name, rect),
+        )
+
+    def resolve_batch(self, name, rect, coords_list):
+        if rect.is_empty:
+            return [[] for _ in coords_list]
+        holder_list = self._holder_coords(name, rect)
+        holder_set = set(holder_list)
+        pattern = self._owner_pattern(name, rect)
+        out = []
+        for coords in coords_list:
+            if self.owns(name, coords, rect) or coords in holder_set:
+                out.append([])
+                continue
+            out.append(
+                self._sources_from(name, rect, coords, holder_list, pattern)
+            )
+        return out
+
+
+# ----------------------------------------------------------------------
+# Step builder: exact expanded columns + compressed representatives.
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class _Chunk:
+    """One bulk emission batch (one tensor, one phase)."""
+
+    tensor_id: int
+    lo: np.ndarray  # (k, ndim)
+    hi: np.ndarray
+    nbytes: np.ndarray
+    src_proc: np.ndarray
+    dst_proc: np.ndarray
+    src_gpu: np.ndarray
+    dst_gpu: np.ndarray
+
+
+@dataclass
+class _StepBuilder:
+    step: Step
+    chunks: List[_Chunk] = field(default_factory=list)
+    fallback: List[Copy] = field(default_factory=list)
+
+    def finalize(self, tables: _MachineTables, tensor_ids: Dict[str, int]):
+        rows = sum(c.lo.shape[0] for c in self.chunks) + len(self.fallback)
+        if rows == 0:
+            return
+        max_nd = 0
+        for c in self.chunks:
+            max_nd = max(max_nd, c.lo.shape[1])
+        for c in self.fallback:
+            max_nd = max(max_nd, c.rect.dim)
+        tid = np.empty(rows, dtype=np.int64)
+        lo = np.full((rows, max_nd), -1, dtype=np.int64)
+        hi = np.full((rows, max_nd), -1, dtype=np.int64)
+        nbytes = np.empty(rows, dtype=np.int64)
+        src_proc = np.empty(rows, dtype=np.int64)
+        dst_proc = np.empty(rows, dtype=np.int64)
+        src_gpu = np.empty(rows, dtype=bool)
+        dst_gpu = np.empty(rows, dtype=bool)
+        reduce = np.zeros(rows, dtype=bool)
+        at = 0
+        for c in self.chunks:
+            k, nd = c.lo.shape
+            sl = slice(at, at + k)
+            tid[sl] = c.tensor_id
+            lo[sl, :nd] = c.lo
+            hi[sl, :nd] = c.hi
+            nbytes[sl] = c.nbytes
+            src_proc[sl] = c.src_proc
+            dst_proc[sl] = c.dst_proc
+            src_gpu[sl] = c.src_gpu
+            dst_gpu[sl] = c.dst_gpu
+            at += k
+        for c in self.fallback:
+            tid[at] = tensor_ids[c.tensor]
+            for d, ival in enumerate(c.rect.intervals):
+                lo[at, d] = ival.lo
+                hi[at, d] = ival.hi
+            nbytes[at] = c.nbytes
+            src_proc[at] = c.src_proc.proc_id
+            dst_proc[at] = c.dst_proc.proc_id
+            src_gpu[at] = c.src_mem.kind is MemoryKind.GPU_FB
+            dst_gpu[at] = c.dst_mem.kind is MemoryKind.GPU_FB
+            reduce[at] = c.reduce
+            at += 1
+        # Collective groups: (reduce, tensor, rect, root endpoint).
+        root = np.where(reduce, dst_proc, src_proc)
+        group = fold_rows(
+            np.column_stack(
+                [reduce.astype(np.int64), tid, lo, hi, root]
+            )
+        )
+        src_node = tables.node_of_proc[src_proc]
+        dst_node = tables.node_of_proc[dst_proc]
+        cols = CopyColumns(
+            n=rows,
+            nbytes=nbytes,
+            src_proc=src_proc,
+            dst_proc=dst_proc,
+            src_node=src_node,
+            dst_node=dst_node,
+            inter=src_node != dst_node,
+            reduce=reduce,
+            gpu_resident=src_gpu | dst_gpu,
+            src_gpu=src_gpu,
+            dst_gpu=dst_gpu,
+            group=group,
+            num_groups=int(group.max()) + 1 if rows else 0,
+            count=np.ones(rows, dtype=np.int64),
+        )
+        self.step.pin_columns(cols)
+
+
+# ----------------------------------------------------------------------
+# The orbit executor.
+# ----------------------------------------------------------------------
+
+
+class OrbitExecutor(Executor):
+    """Symbolic interpreter with orbit-compressed phase execution."""
+
+    def __init__(self, plan, check_capacity: bool = False):
+        super().__init__(
+            plan, materialize=False, check_capacity=check_capacity,
+            batched=True,
+        )
+        self._mt = machine_tables(self.machine)
+        self._regions: Dict[int, "_Region"] = {}
+        self._builders: Dict[int, _StepBuilder] = {}
+        self._tensor_ids = {
+            name: i for i, name in enumerate(sorted(plan.tensors))
+        }
+
+    # -- plumbing ------------------------------------------------------
+
+    def run(self, inputs=None) -> ExecutionResult:
+        self.env = OrbitState(
+            self.plan, check_capacity=self.check_capacity, tables=self._mt
+        )
+        self.trace = Trace()
+        self.arrays = {}
+        root_ctx = _Ctx(
+            ctx_id=0,
+            coords=tuple([0] * self.machine.dim),
+            proc=self.machine.proc_at(tuple([0] * self.machine.dim)),
+        )
+        ctxs = [root_ctx]
+        self._exec(self.plan.root, ctxs, self._make_block(ctxs))
+        for builder in self._builders.values():
+            builder.finalize(self._mt, self._tensor_ids)
+        self.trace.memory_high_water = dict(self.env.high_water)
+        return ExecutionResult(
+            trace=self.trace,
+            outputs={},
+            memory_high_water=dict(self.env.high_water),
+        )
+
+    def _make_block(self, ctxs: List[_Ctx]) -> CtxBlock:
+        block = super()._make_block(ctxs)
+        self._regions[id(block)] = _Region(self, ctxs, block)
+        return block
+
+    def _builder(self, step: Step) -> _StepBuilder:
+        b = self._builders.get(id(step))
+        if b is None:
+            b = _StepBuilder(step)
+            self._builders[id(step)] = b
+        return b
+
+    def _emit_copy(self, step, name, rect, src_coords, ctx, reduce=False):
+        before = len(step.copies)
+        super()._emit_copy(step, name, rect, src_coords, ctx, reduce)
+        if len(step.copies) > before:
+            self._builder(step).fallback.append(step.copies[-1])
+
+    # -- plan-tree interpretation --------------------------------------
+
+    def _exec_launch(self, node: LaunchNode, ctxs: List[_Ctx]):
+        from itertools import product
+
+        new_ctxs: List[_Ctx] = []
+        for ctx in ctxs:
+            for point in product(*(range(e) for e in node.extents)):
+                coords = list(ctx.coords)
+                env = dict(ctx.env)
+                for dim, var, value in zip(
+                    node.machine_dims, node.vars, point
+                ):
+                    coords[dim] = value
+                    env[var] = Interval.point(value)
+                coords_t = tuple(coords)
+                new_ctxs.append(
+                    _Ctx(
+                        ctx_id=len(new_ctxs),
+                        coords=coords_t,
+                        proc=self.machine.proc_at(coords_t),
+                        env=env,
+                    )
+                )
+        block = self._make_block(new_ctxs)
+        held = None
+        if node.comm:
+            step = self.trace.new_step("task-start fetch")
+            held = self._orbit_fetch(node.comm, block, step)
+        self._exec(node.body, new_ctxs, block)
+        if node.flush:
+            step = self.trace.new_step("task-end reduction")
+            for ctx in new_ctxs:
+                for name in node.flush:
+                    self._flush(name, ctx, step)
+        if held is not None:
+            self._release_held(held)
+
+    def _exec_seq(self, node: SeqNode, ctxs, block):
+        # Nested launches re-snapshot context environments, so the
+        # per-context binding only matters when the body launches again.
+        bind_ctx_envs = _has_launch(node.body)
+        prev = None
+        for iteration in range(node.extent):
+            if bind_ctx_envs:
+                point = Interval.point(iteration)
+                for ctx in ctxs:
+                    ctx.env[node.var] = point
+            block.bind(node.var, iteration)
+            if node.comm:
+                step = self.trace.new_step(f"{node.var.name}={iteration}")
+                new = self._orbit_fetch(node.comm, block, step)
+                if prev is not None:
+                    self._release_held(prev)
+                prev = new
+            self._exec(node.body, ctxs, block)
+            if node.flush:
+                step = self.trace.new_step(f"{node.var.name} reduction")
+                for ctx in ctxs:
+                    for name in node.flush:
+                        self._flush(name, ctx, step)
+        if prev is not None:
+            self._release_held(prev)
+        if bind_ctx_envs:
+            for ctx in ctxs:
+                ctx.env.pop(node.var, None)
+        block.unbind(node.var)
+
+    def _exec_leaf(self, node: LeafNode, ctxs, block):
+        if node.comm or node.flush:
+            # Leaf-level communication / flushes interleave state
+            # mutation per context; the inherited batched path is the
+            # exact reference for those (rare) plans.
+            return super()._exec_leaf(node, ctxs, block)
+        step = self.trace.current
+        batch = self._leaf_work_batch(node, block)
+        self._orbit_leaf(node, batch, self._regions[id(block)], step)
+
+    # -- orbit leaf accounting -----------------------------------------
+
+    def _orbit_leaf(self, node: LeafNode, batch, region: "_Region",
+                    step: Step):
+        n = region.n
+        flops = np.zeros(n, dtype=np.int64)
+        nbytes = np.zeros(n, dtype=np.int64)
+        staged = np.zeros(n, dtype=np.int64)
+        invocations = np.zeros(n, dtype=np.int64)
+        for entry in batch:
+            live = ~entry.empty
+            flops += np.where(live, entry.flops, 0)
+            nbytes += np.where(live, entry.nbytes, 0)
+            staged += np.where(live, entry.staged, 0)
+            invocations += live
+        n_procs = self._mt.node_of_proc.size
+        procs = region.proc
+        agg_f = np.bincount(procs, weights=flops, minlength=n_procs)
+        agg_b = np.bincount(procs, weights=nbytes, minlength=n_procs)
+        agg_s = np.bincount(procs, weights=staged, minlength=n_procs)
+        agg_i = np.bincount(procs, weights=invocations, minlength=n_procs)
+        present = np.bincount(procs, minlength=n_procs) > 0
+        pids = np.flatnonzero(present)
+        rows = np.column_stack(
+            [agg_f[pids], agg_b[pids], agg_s[pids], agg_i[pids]]
+        ).astype(np.int64)
+        keys = fold_rows(rows)
+        _, first, counts = np.unique(keys, return_index=True,
+                                     return_counts=True)
+        for f_idx, cnt in zip(first, counts):
+            pid = int(pids[f_idx])
+            f = float(agg_f[pid])
+            inv = int(agg_i[pid])
+            work = step.work_for(self.machine.cluster.processors[pid])
+            work.flops = f
+            work.bytes_touched = float(agg_b[pid])
+            work.staged_bytes = float(agg_s[pid])
+            work.invocations = inv
+            work.count = int(cnt)
+            if inv > 0:
+                work.kernel_flops = {node.kernel: f}
+                if node.kernel is not None:
+                    work.kernel = node.kernel
+                work.parallel = node.parallel
+        # Non-owned output writes become pending partials, exactly as
+        # the scalar interpreter records them (in context order).
+        out_name = self.plan.output
+        flags = []
+        for entry in batch:
+            if entry.lhs_name != out_name:
+                flags.append(None)
+                continue
+            if entry.lhs_ndim == 0:
+                h_lo, h_hi, h_ok = region.home(self, out_name)
+                not_owned = ~h_ok
+            else:
+                h_lo, h_hi, h_ok = region.home(self, out_name)
+                covered = h_ok.copy()
+                for d in range(entry.lhs_ndim):
+                    covered &= h_lo[d] <= entry.lhs_los[d]
+                    covered &= entry.lhs_his[d] <= h_hi[d]
+                not_owned = ~covered
+            flags.append(not_owned & ~entry.empty)
+        if any(f is not None and f.any() for f in flags):
+            members = np.zeros(region.n, dtype=bool)
+            for f in flags:
+                if f is not None:
+                    members |= f
+            for i in np.flatnonzero(members):
+                ctx = region.ctxs[i]
+                for entry, f in zip(batch, flags):
+                    if f is not None and f[i]:
+                        self.env.note_partial(
+                            out_name, ctx.coords, entry.lhs_rect(i)
+                        )
+
+    # -- orbit fetch phases --------------------------------------------
+
+    def _orbit_fetch(self, names: List[str], block: CtxBlock,
+                     step: Step) -> Dict[str, np.ndarray]:
+        """Resolve and commit one communication phase for all contexts.
+
+        Returns per-tensor mirror row ids of the newly registered
+        instances (the phase's *held* set, released when its
+        communicate scope ends).
+        """
+        region = self._regions[id(block)]
+        effective = [
+            name
+            for name in names
+            if not (name == self.plan.output and not self._fetch_output)
+        ]
+        n_names = len(effective)
+        resolved = []
+        for pos, name in enumerate(effective):
+            resolved.append(
+                self._resolve_tensor(name, pos, n_names, region, block, step)
+            )
+        # Commit: register instances (pre-phase resolution is complete),
+        # then charge the memory in scalar event order.
+        held: Dict[str, np.ndarray] = {}
+        mem_ids = []
+        amounts = []
+        orders = []
+        for name, reg in zip(effective, resolved):
+            if reg is None:
+                continue
+            idx, lo_rows, hi_rows, mem_rows, byte_rows, order = reg
+            mirror = self.env.mirror(name)
+            rows = mirror.add_rows(
+                lo_rows, hi_rows, region.coords[idx], mem_rows, byte_rows
+            )
+            held[name] = rows
+            mem_ids.append(mem_rows)
+            amounts.append(byte_rows)
+            orders.append(order)
+        if mem_ids:
+            self.env.bulk_add(
+                np.concatenate(mem_ids),
+                np.concatenate(amounts),
+                np.concatenate(orders),
+            )
+        return held
+
+    def _resolve_tensor(self, name: str, name_pos: int, n_names: int,
+                        region: "_Region", block: CtxBlock, step: Step):
+        """Resolve one tensor's requests for a phase (no state mutation).
+
+        Emits copies (columnar for orbit classes, via the scalar
+        fallback for multi-piece requests) and returns the registration
+        batch ``(ctx rows, lo, hi, mem, bytes, order)`` to commit.
+        """
+        plan = self.plan
+        tensor = plan.tensors[name]
+        ndim = tensor.ndim
+        n = region.n
+        lo, hi, live = batch_bounds(
+            block, self.graph, plan.accesses[name], self.full_env,
+            exact=False,
+        )
+        if ndim == 0:
+            lo = np.zeros((0, n), dtype=np.int64)
+            hi = np.zeros((0, n), dtype=np.int64)
+        if not live.any():
+            return None
+        h_lo, h_hi, h_ok = region.home(self, name)
+        local = h_ok & live
+        for d in range(ndim):
+            local &= h_lo[d] <= lo[d]
+            local &= hi[d] <= h_hi[d]
+        remaining = live & ~local
+        rem_idx = np.flatnonzero(remaining)
+        if rem_idx.size == 0:
+            return None
+        req_keys_cols = np.column_stack(
+            [lo[:, rem_idx].T, hi[:, rem_idx].T]
+        )
+        mirror = self.env._mirrors.get(name)
+        inst_rows = (
+            mirror.snapshot() if mirror is not None
+            else np.zeros(0, dtype=np.int64)
+        )
+        if inst_rows.size:
+            inst_cols = np.column_stack(
+                [mirror.lo[inst_rows], mirror.hi[inst_rows]]
+            )
+            req_k, inst_k = fold_two(req_keys_cols, inst_cols)
+        else:
+            req_k = fold_rows(req_keys_cols)
+            inst_k = np.zeros(0, dtype=np.int64)
+        # Holder-locality: an instance with the same rect at the
+        # requester's own coordinates.
+        holder_local = np.zeros(rem_idx.size, dtype=bool)
+        pair_req = np.zeros(0, dtype=np.int64)
+        pair_inst = np.zeros(0, dtype=np.int64)
+        if inst_k.size:
+            order = np.argsort(inst_k, kind="stable")
+            sk = inst_k[order]
+            left = np.searchsorted(sk, req_k, side="left")
+            right = np.searchsorted(sk, req_k, side="right")
+            cnt = right - left
+            total = int(cnt.sum())
+            if total:
+                pair_req = np.repeat(
+                    np.arange(rem_idx.size, dtype=np.int64), cnt
+                )
+                starts = np.cumsum(cnt) - cnt
+                rank = np.arange(total, dtype=np.int64) - np.repeat(
+                    starts, cnt
+                )
+                pair_inst = order[np.repeat(left, cnt) + rank]
+                same = np.all(
+                    mirror.coords[inst_rows[pair_inst]]
+                    == region.coords[rem_idx[pair_req]],
+                    axis=1,
+                )
+                holder_local[pair_req[same]] = True
+        fetch_mask = ~holder_local
+        fetch_idx = rem_idx[fetch_mask]
+        if fetch_idx.size == 0:
+            return None
+        k = fetch_idx.size
+        # Renumber candidate pairs onto the fetching subset.
+        new_pos = np.full(rem_idx.size, -1, dtype=np.int64)
+        new_pos[fetch_mask] = np.arange(k, dtype=np.int64)
+        if pair_req.size:
+            keep = fetch_mask[pair_req]
+            pair_req = new_pos[pair_req[keep]]
+            pair_inst = pair_inst[keep]
+        shape_vec = self._mt.shape
+        size = self._mt.size
+        big = np.iinfo(np.int64).max
+        best = np.full(k, big, dtype=np.int64)
+        req_coords = region.coords[fetch_idx]
+        pair_key = None
+        pair_coords = None
+        if pair_req.size:
+            pair_coords = mirror.coords[inst_rows[pair_inst]]
+            delta = np.abs(pair_coords - req_coords[pair_req])
+            dist = np.minimum(delta, shape_vec - delta).sum(axis=1)
+            # Selection key: (distance, holder-before-owner, coords) —
+            # exactly the scalar `_sources_from` ordering.
+            pair_key = dist * 2 * size + pair_coords @ self._mt.strides
+            np.minimum.at(best, pair_req, pair_key)
+        # The single-owner candidate, via the vectorized distribution
+        # arithmetic; replica dims concretize to the requester's coords.
+        pat, valid = tensor.format.owner_pattern_batch(
+            self.machine,
+            lo[:, fetch_idx] if ndim else None,
+            hi[:, fetch_idx] if ndim else None,
+            tensor.shape,
+            count=k,
+        )
+        owner_coords = np.where(pat >= 0, pat, req_coords.T % shape_vec[:, None]).T
+        odelta = np.abs(owner_coords - req_coords)
+        odist = np.minimum(odelta, shape_vec - odelta).sum(axis=1)
+        okey = np.where(
+            valid,
+            (odist * 2 + 1) * size + owner_coords @ self._mt.strides,
+            big,
+        )
+        best = np.minimum(best, okey)
+        # Winners.
+        src_coords = np.zeros((k, shape_vec.size), dtype=np.int64)
+        have = best < big
+        owner_win = valid & (okey == best)
+        src_coords[owner_win] = owner_coords[owner_win]
+        if pair_req.size:
+            win = pair_key == best[pair_req]
+            src_coords[pair_req[win]] = pair_coords[win]
+        # Members with no single source: the multi-piece redistribution
+        # path, resolved per member by the scalar reference machinery.
+        order_base = np.int64(n_names)
+        reg_idx = [fetch_idx]
+        no_src = np.flatnonzero(~have)
+        if no_src.size:
+            for pos in no_src:
+                i = int(fetch_idx[pos])
+                ctx = region.ctxs[i]
+                rect = _rect_from(lo[:, i], hi[:, i], ndim)
+                for src, piece in self.env.resolve(name, ctx.coords, rect):
+                    self._emit_copy(step, name, piece, src, ctx)
+        # Columnar emission for the single-source winners.
+        win_pos = np.flatnonzero(have)
+        if win_pos.size:
+            self._emit_bulk(
+                step, name, region,
+                fetch_idx[win_pos],
+                lo[:, fetch_idx[win_pos]],
+                hi[:, fetch_idx[win_pos]],
+                src_coords[win_pos],
+                tensor,
+            )
+        # Registration batch (all fetching members, pieces included).
+        vol = np.ones(k, dtype=np.int64)
+        for d in range(ndim):
+            vol *= hi[d, fetch_idx] - lo[d, fetch_idx]
+        byte_rows = vol * tensor.itemsize
+        mem_rows = self._mt.tensor_mem_of_proc(tensor)[region.proc[fetch_idx]]
+        order = fetch_idx.astype(np.int64) * order_base + name_pos
+        return (
+            fetch_idx,
+            lo[:, fetch_idx].T.copy(),
+            hi[:, fetch_idx].T.copy(),
+            mem_rows,
+            byte_rows,
+            order,
+        )
+
+    def _emit_bulk(self, step: Step, name: str, region: "_Region",
+                   dst_idx: np.ndarray, lo: np.ndarray, hi: np.ndarray,
+                   src_coords: np.ndarray, tensor):
+        """Emit one phase-tensor batch: columns plus class representatives."""
+        mt = self._mt
+        src_lin = src_coords @ mt.strides
+        src_proc = mt.proc_of_point[src_lin]
+        dst_proc = region.proc[dst_idx]
+        ndim = lo.shape[0]
+        vol = np.ones(dst_idx.size, dtype=np.int64)
+        for d in range(ndim):
+            vol *= hi[d] - lo[d]
+        nbytes = vol * tensor.itemsize
+        keep = (src_proc != dst_proc) & (nbytes > 0)
+        if not keep.any():
+            return
+        dst_idx = dst_idx[keep]
+        lo = lo[:, keep]
+        hi = hi[:, keep]
+        src_coords = src_coords[keep]
+        src_proc = src_proc[keep]
+        dst_proc = dst_proc[keep]
+        nbytes = nbytes[keep]
+        # Endpoint memories as the scalar `_emit_copy` prices them: the
+        # source is the instance's memory (tensor-preference-aware, via
+        # `source_memory`), the destination is the receiving context's
+        # processor memory (host-resident data fetched by a GPU context
+        # lands in its framebuffer's accounting domain).
+        src_mem = mt.tensor_mem_of_proc(tensor)[src_proc]
+        dst_mem = mt.procmem_of_proc[dst_proc]
+        src_gpu = mt.mem_gpu[src_mem]
+        dst_gpu = mt.mem_gpu[dst_mem]
+        builder = self._builder(step)
+        builder.chunks.append(
+            _Chunk(
+                tensor_id=self._tensor_ids[name],
+                lo=lo.T.copy(),
+                hi=hi.T.copy(),
+                nbytes=nbytes,
+                src_proc=src_proc,
+                dst_proc=dst_proc,
+                src_gpu=src_gpu,
+                dst_gpu=dst_gpu,
+            )
+        )
+        # Orbit classes: (shape, source offset, inter/intra) — one
+        # representative Copy per class, weighted by multiplicity.
+        dst_coords = region.coords[dst_idx]
+        offs = (src_coords - dst_coords) % mt.shape
+        inter = mt.node_of_proc[src_proc] != mt.node_of_proc[dst_proc]
+        class_cols = np.column_stack(
+            [(hi - lo).T, offs, inter.astype(np.int64),
+             nbytes]
+        )
+        keys = fold_rows(class_cols)
+        _, first, counts = np.unique(
+            keys, return_index=True, return_counts=True
+        )
+        procs = self.machine.cluster.processors
+        for f_idx, cnt in zip(first, counts):
+            i = int(f_idx)
+            rect = _rect_from(lo[:, i], hi[:, i], ndim)
+            step.copies.append(
+                Copy(
+                    tensor=name,
+                    rect=rect,
+                    nbytes=int(nbytes[i]),
+                    src_proc=procs[int(src_proc[i])],
+                    dst_proc=procs[int(dst_proc[i])],
+                    src_mem=mt.memories[int(src_mem[i])],
+                    dst_mem=mt.memories[int(dst_mem[i])],
+                    src_coords=tuple(int(c) for c in src_coords[i]),
+                    dst_coords=tuple(int(c) for c in dst_coords[i]),
+                    reduce=False,
+                    count=int(cnt),
+                )
+            )
+
+    def _release_held(self, held: Dict[str, np.ndarray]):
+        for name, rows in held.items():
+            mirror = self.env.mirror(name)
+            self.env.bulk_sub(mirror.mem[rows], mirror.nbytes[rows])
+            mirror.free_rows(rows)
+
+
+class _Region:
+    """Per-context-batch lookup tables (one plan launch region)."""
+
+    def __init__(self, executor: OrbitExecutor, ctxs: List[_Ctx],
+                 block: CtxBlock):
+        self.block = block
+        self.ctxs = ctxs
+        self.n = len(ctxs)
+        mdim = executor.machine.dim
+        coords = np.empty((self.n, mdim), dtype=np.int64)
+        for i, ctx in enumerate(ctxs):
+            coords[i] = ctx.coords
+        self.coords = coords
+        mt = executor._mt
+        self.proc = mt.proc_of_point[coords @ mt.strides]
+        self._home: Dict[str, Tuple] = {}
+
+    def home(self, executor: OrbitExecutor, name: str):
+        """Home-rectangle endpoint columns per context (lazy, cached)."""
+        cached = self._home.get(name)
+        if cached is not None:
+            return cached
+        ndim = executor.plan.tensors[name].ndim
+        h_lo = np.zeros((ndim, self.n), dtype=np.int64)
+        h_hi = np.zeros((ndim, self.n), dtype=np.int64)
+        h_ok = np.zeros(self.n, dtype=bool)
+        for i, ctx in enumerate(self.ctxs):
+            rect = executor.env.home_rect(name, ctx.coords)
+            if rect is None or (ndim and rect.is_empty):
+                continue
+            h_ok[i] = True
+            for d in range(ndim):
+                h_lo[d, i] = rect.intervals[d].lo
+                h_hi[d, i] = rect.intervals[d].hi
+        out = (h_lo, h_hi, h_ok)
+        self._home[name] = out
+        return out
+
+
+def _rect_from(lo: np.ndarray, hi: np.ndarray, ndim: int) -> Rect:
+    return Rect(
+        tuple(Interval(int(lo[d]), int(hi[d])) for d in range(ndim))
+    )
+
+
+def _has_launch(node: PlanNode) -> bool:
+    while node is not None:
+        if isinstance(node, LaunchNode):
+            return True
+        node = getattr(node, "body", None)
+    return False

@@ -34,6 +34,12 @@ class Copy:
     rather than overwrites). Copies with equal ``(tensor, rect, src)``
     within a step form a multicast; reduce copies with equal ``(tensor,
     rect, dst)`` form a reduction tree.
+
+    ``count`` is the orbit multiplicity: the orbit-compressed executor
+    records one representative copy per symmetry class, standing for
+    ``count`` copies that are coordinate translations of it (same
+    payload, same source offset, same inter/intra-node character).
+    Ordinary execution always emits ``count == 1`` copies.
     """
 
     tensor: str
@@ -46,6 +52,7 @@ class Copy:
     src_coords: Tuple[int, ...] = ()
     dst_coords: Tuple[int, ...] = ()
     reduce: bool = False
+    count: int = 1
 
     @property
     def inter_node(self) -> bool:
@@ -69,7 +76,9 @@ class CopyColumns:
       (selects NVLink vs PCIe vs DRAM for intra-node traffic);
     * ``group`` — collective group id: copies with equal ``(tensor,
       rect, source)`` share a multicast group, reduce copies with equal
-      ``(tensor, rect, destination)`` share a reduction group.
+      ``(tensor, rect, destination)`` share a reduction group;
+    * ``count`` — orbit multiplicity of each row (1 everywhere for
+      ordinary traces; see :class:`Copy`).
     """
 
     n: int
@@ -85,10 +94,49 @@ class CopyColumns:
     dst_gpu: np.ndarray
     group: np.ndarray
     num_groups: int
+    count: np.ndarray = None
+
+    def __post_init__(self):
+        if self.count is None:
+            self.count = np.ones(self.n, dtype=np.int64)
+
+    @property
+    def total_count(self) -> int:
+        """Number of physical copies the rows stand for."""
+        return int(self.count.sum())
+
+    def expanded(self) -> "CopyColumns":
+        """Unit-multiplicity view: each row repeated ``count`` times.
+
+        The cost model's link accounting works on physical copies; rows
+        carrying an orbit multiplicity are expanded before pricing so a
+        compressed step and its full equivalent time out identically.
+        """
+        if bool(np.all(self.count == 1)):
+            return self
+        reps = self.count
+        group = np.repeat(self.group, reps)
+        return CopyColumns(
+            n=int(reps.sum()),
+            nbytes=np.repeat(self.nbytes, reps),
+            src_proc=np.repeat(self.src_proc, reps),
+            dst_proc=np.repeat(self.dst_proc, reps),
+            src_node=np.repeat(self.src_node, reps),
+            dst_node=np.repeat(self.dst_node, reps),
+            inter=np.repeat(self.inter, reps),
+            reduce=np.repeat(self.reduce, reps),
+            gpu_resident=np.repeat(self.gpu_resident, reps),
+            src_gpu=np.repeat(self.src_gpu, reps),
+            dst_gpu=np.repeat(self.dst_gpu, reps),
+            group=group,
+            num_groups=self.num_groups,
+            count=np.ones(group.size, dtype=np.int64),
+        )
 
     @staticmethod
     def from_copies(copies: List["Copy"]) -> "CopyColumns":
         n = len(copies)
+        count = np.empty(n, dtype=np.int64)
         nbytes = np.empty(n, dtype=np.int64)
         src_proc = np.empty(n, dtype=np.int64)
         dst_proc = np.empty(n, dtype=np.int64)
@@ -100,6 +148,7 @@ class CopyColumns:
         group = np.empty(n, dtype=np.int64)
         group_ids: Dict[tuple, int] = {}
         for i, c in enumerate(copies):
+            count[i] = c.count
             nbytes[i] = c.nbytes
             src_proc[i] = c.src_proc.proc_id
             dst_proc[i] = c.dst_proc.proc_id
@@ -131,6 +180,7 @@ class CopyColumns:
             dst_gpu=dst_gpu,
             group=group,
             num_groups=len(group_ids),
+            count=count,
         )
 
 
@@ -145,6 +195,12 @@ class Work:
     *last* kernel's efficiency — the mixed-kernel clobbering bug.
     ``kernel`` remains the most recent non-None kernel name for
     analyses that just want a label.
+
+    ``count`` is the orbit multiplicity: the orbit-compressed executor
+    stores one entry per class of processors with identical timelines,
+    standing for ``count`` processors. Aggregates (total flops, bytes)
+    weight by it; per-processor maxima are unaffected because every
+    member of the class has the same timeline.
     """
 
     flops: float = 0.0
@@ -156,6 +212,7 @@ class Work:
     parallel: bool = False
     invocations: int = 0
     kernel_flops: Dict[Optional[str], float] = field(default_factory=dict)
+    count: int = 1
 
     def add(
         self,
@@ -185,11 +242,23 @@ class Step:
 
     def __post_init__(self):
         self._columns: Optional[CopyColumns] = None
+        self._columns_pinned = False
 
     def work_for(self, proc: Processor) -> Work:
         if proc.proc_id not in self.work:
             self.work[proc.proc_id] = Work()
         return self.work[proc.proc_id]
+
+    def pin_columns(self, columns: CopyColumns):
+        """Install a precomputed columnar view (orbit-compressed steps).
+
+        The orbit executor keeps ``copies`` as class representatives
+        (with multiplicities) but builds the exact expanded columns
+        directly in numpy; pinning stops :meth:`columns` from rebuilding
+        the view from the compressed list.
+        """
+        self._columns = columns
+        self._columns_pinned = True
 
     def columns(self) -> CopyColumns:
         """The columnar copy view, built on first use and cached.
@@ -197,21 +266,23 @@ class Step:
         Invalidated by length: steps are append-only during execution,
         and the cost model reads them only after the step is complete.
         """
+        if self._columns_pinned:
+            return self._columns
         if self._columns is None or self._columns.n != len(self.copies):
             self._columns = CopyColumns.from_copies(self.copies)
         return self._columns
 
     @property
     def total_copy_bytes(self) -> int:
-        return sum(c.nbytes for c in self.copies)
+        return sum(c.nbytes * c.count for c in self.copies)
 
     @property
     def inter_node_bytes(self) -> int:
-        return sum(c.nbytes for c in self.copies if c.inter_node)
+        return sum(c.nbytes * c.count for c in self.copies if c.inter_node)
 
     @property
     def total_flops(self) -> float:
-        return sum(w.flops for w in self.work.values())
+        return sum(w.flops * w.count for w in self.work.values())
 
 
 @dataclass

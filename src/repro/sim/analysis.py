@@ -64,32 +64,51 @@ class TraceSummary:
 
 
 def summarize(trace: Trace, machine: Machine) -> TraceSummary:
-    """Characterize a trace's communication structure."""
+    """Characterize a trace's communication structure.
+
+    Works on full traces and on orbit-compressed ones: a compressed
+    step's fan-outs come from its pinned per-member collective columns
+    (a class representative's coordinates alone cannot attribute
+    fan-out), while the shift distance — translation-invariant across a
+    class — comes from the representatives.
+    """
     summary = TraceSummary()
     for step in trace.steps:
+        compressed = any(c.count > 1 for c in step.copies)
         fanout = Counter()
         max_shift = 0
         reductions = 0
         nbytes = 0
         inter = 0
         for copy in step.copies:
-            nbytes += copy.nbytes
+            nbytes += copy.nbytes * copy.count
             if copy.inter_node:
-                inter += copy.nbytes
+                inter += copy.nbytes * copy.count
             if copy.reduce:
-                reductions += 1
-                summary.reduction_bytes += copy.nbytes
+                reductions += copy.count
+                summary.reduction_bytes += copy.nbytes * copy.count
                 continue
-            fanout[(copy.tensor, copy.src_coords)] += 1
+            if not compressed:
+                fanout[(copy.tensor, copy.src_coords)] += 1
             if copy.src_coords and copy.dst_coords:
                 max_shift = max(
                     max_shift,
                     machine.torus_distance(copy.src_coords, copy.dst_coords),
                 )
+        if compressed:
+            cols = step.columns()
+            if cols.n:
+                fan = Counter()
+                for group, count, reduce in zip(
+                    cols.group, cols.count, cols.reduce
+                ):
+                    if not reduce:
+                        fan[int(group)] += int(count)
+                fanout = fan
         summary.steps.append(
             StepSummary(
                 label=step.label,
-                copies=len(step.copies),
+                copies=sum(c.count for c in step.copies),
                 nbytes=nbytes,
                 inter_node_bytes=inter,
                 max_fanout=max(fanout.values()) if fanout else 0,
@@ -106,17 +125,34 @@ def per_tensor_bytes(trace: Trace) -> Dict[str, int]:
     """Bytes moved per tensor (which operand dominates traffic?)."""
     out: Dict[str, int] = defaultdict(int)
     for copy in trace.copies:
-        out[copy.tensor] += copy.nbytes
+        out[copy.tensor] += copy.nbytes * copy.count
     return dict(out)
 
 
 def node_traffic_matrix(trace: Trace) -> Dict[Tuple[int, int], int]:
-    """Bytes between node pairs — the paper's Figure 9 icon data."""
+    """Bytes between node pairs — the paper's Figure 9 icon data.
+
+    Orbit-compressed steps are read through their pinned per-member
+    columns: the members of a class span many node pairs, which a
+    single representative record cannot attribute.
+    """
     out: Dict[Tuple[int, int], int] = defaultdict(int)
-    for copy in trace.copies:
-        src, dst = copy.src_proc.node_id, copy.dst_proc.node_id
-        if src != dst:
-            out[(src, dst)] += copy.nbytes
+    for step in trace.steps:
+        if any(c.count > 1 for c in step.copies):
+            cols = step.columns()
+            sel = cols.inter
+            for src, dst, nbytes, count in zip(
+                cols.src_node[sel],
+                cols.dst_node[sel],
+                cols.nbytes[sel],
+                cols.count[sel],
+            ):
+                out[(int(src), int(dst))] += int(nbytes) * int(count)
+            continue
+        for copy in step.copies:
+            src, dst = copy.src_proc.node_id, copy.dst_proc.node_id
+            if src != dst:
+                out[(src, dst)] += copy.nbytes * copy.count
     return dict(out)
 
 

@@ -81,7 +81,9 @@ class CostModel:
             compute_total += t_compute
         flops = trace.total_flops
         bytes_touched = sum(
-            w.bytes_touched for s in trace.steps for w in s.work.values()
+            w.bytes_touched * w.count
+            for s in trace.steps
+            for w in s.work.values()
         )
         return SimReport(
             total_time=total,
@@ -153,6 +155,10 @@ class CostModel:
         )
         if cols.n == 0:
             return 0.0
+        # Orbit-compressed rows stand for `count` translated copies each;
+        # link accounting needs the physical copies, so expand first
+        # (no-op for ordinary unit-multiplicity traces).
+        cols = cols.expanded()
         params = self.params
         scale = params.collective_efficiency
         inter_bw = np.where(

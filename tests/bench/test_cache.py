@@ -59,6 +59,37 @@ class TestSimulationCache:
         cache.simulate(cannon(machine, 256), LASSEN.with_(overlap=False))
         assert cache.misses == 2
 
+    def test_executor_mode_is_part_of_the_key(self, machine):
+        # Orbit and batched runs must never alias — a stale entry from
+        # one mode would defeat the parity guarantees of the other.
+        cache = SimulationCache()
+        r1 = cache.simulate(cannon(machine, 256), LASSEN, mode="orbit")
+        r2 = cache.simulate(cannon(machine, 256), LASSEN, mode="batched")
+        assert cache.misses == 2 and cache.hits == 0
+        assert r1 == r2  # parity, but distinct cache entries
+        cache.simulate(cannon(machine, 256), LASSEN, mode="orbit")
+        assert cache.hits == 1
+
+    def test_param_sweep_never_aliases(self, machine):
+        # Every distinct MachineParams lands in its own slot.
+        cache = SimulationCache()
+        kern = cannon(machine, 256)
+        reports = [
+            cache.simulate(kern, LASSEN.with_(nic_bw=bw))
+            for bw in (1e9, 2e9, 4e9)
+        ]
+        assert cache.misses == 3
+        assert len({r.total_time for r in reports}) == 3
+
+    def test_export_install_roundtrip(self, machine):
+        cache = SimulationCache()
+        report = cache.simulate(cannon(machine, 256), LASSEN)
+        other = SimulationCache()
+        before = other.key_set()
+        other.install(cache.export(exclude=before))
+        assert other.simulate(cannon(machine, 256), LASSEN) == report
+        assert other.misses == 0 and other.hits == 1
+
     def test_oom_outcomes_are_cached(self):
         # A framebuffer-pinned kernel on a tiny GPU cluster OOMs; the
         # second attempt must re-raise without re-simulating.

@@ -1,5 +1,7 @@
 """Smoke tests for the ``python -m repro.bench`` figure CLI."""
 
+import json
+
 import pytest
 
 from repro.bench.__main__ import main, parse_nodes
@@ -24,3 +26,37 @@ class TestCli:
     def test_bad_figure_rejected(self):
         with pytest.raises(SystemExit):
             main(["not-a-figure"])
+
+    def test_weak4096_accepts_node_override(self, capsys):
+        assert main(["weak4096", "--nodes", "1,4"]) == 0
+        out = capsys.readouterr().out
+        assert "Weak scaling to 4 nodes" in out
+        assert "cannon" in out
+
+    def test_parallel_jobs_match_sequential(self, capsys):
+        assert main(["weak512", "--nodes", "1,2,4", "--jobs", "3"]) == 0
+        parallel = capsys.readouterr().out
+        assert main(["weak512", "--nodes", "1,2,4"]) == 0
+        sequential = capsys.readouterr().out
+        assert parallel == sequential
+
+    def test_profile_prints_and_logs(self, capsys, tmp_path, monkeypatch):
+        log = tmp_path / "BENCH_simulator.json"
+        monkeypatch.setenv("REPRO_BENCH_LOG", str(log))
+        assert main(["ttv", "--nodes", "1", "--profile"]) == 0
+        out = capsys.readouterr().out
+        assert "Wall-clock profile" in out
+        records = json.loads(log.read_text())
+        assert records and records[0]["name"] == "cli:ttv"
+        assert records[0]["wall_s"] >= 0
+
+    def test_failing_sweep_exits_nonzero(self, capsys, monkeypatch):
+        import repro.bench.__main__ as cli
+
+        def boom(**kwargs):
+            raise RuntimeError("sweep exploded")
+
+        monkeypatch.setattr(cli, "fig15a_cpu_matmul", boom)
+        assert main(["fig15a", "--nodes", "1"]) == 1
+        err = capsys.readouterr().err
+        assert "benchmark sweep failed" in err

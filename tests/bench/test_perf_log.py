@@ -1,0 +1,32 @@
+"""The BENCH_simulator.json perf trajectory writer."""
+
+import json
+
+from repro.bench.perf_log import append_record, log_path
+
+
+class TestPerfLog:
+    def test_appends_records(self, tmp_path, monkeypatch):
+        log = tmp_path / "BENCH_simulator.json"
+        monkeypatch.setenv("REPRO_BENCH_LOG", str(log))
+        assert append_record("weak512", 1.25, metrics={"gflops": 636.1})
+        assert append_record("weak4096", 48.8)
+        records = json.loads(log.read_text())
+        assert [r["name"] for r in records] == ["weak512", "weak4096"]
+        assert records[0]["wall_s"] == 1.25
+        assert records[0]["metrics"] == {"gflops": 636.1}
+        assert all("timestamp" in r for r in records)
+
+    def test_never_clobbers_foreign_content(self, tmp_path, monkeypatch):
+        log = tmp_path / "BENCH_simulator.json"
+        log.write_text("not json at all")
+        monkeypatch.setenv("REPRO_BENCH_LOG", str(log))
+        assert not append_record("weak512", 1.0)
+        assert log.read_text() == "not json at all"
+
+    def test_default_path_is_repo_root(self, monkeypatch):
+        monkeypatch.delenv("REPRO_BENCH_LOG", raising=False)
+        path = log_path()
+        assert path.name == "BENCH_simulator.json"
+        # src/repro/bench -> three levels up.
+        assert (path.parent / "src" / "repro" / "bench").is_dir()

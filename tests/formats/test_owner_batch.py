@@ -1,0 +1,87 @@
+"""The vectorized owner query mirrors the scalar one exactly.
+
+``Format.owner_pattern_batch`` is the orbit executor's replacement for
+per-context ``owner_pattern`` calls; these tests drive both over
+randomized request rectangles — divisible and prime tensor extents,
+fixed/broadcast machine dims, hierarchical chains — and require
+identical answers everywhere.
+"""
+
+import numpy as np
+import pytest
+
+from repro.formats.format import Format
+from repro.machine.cluster import Cluster
+from repro.machine.grid import Grid
+from repro.machine.machine import Machine
+from repro.util.geometry import Interval, Rect
+
+
+def random_rects(rng, shape, k):
+    los = np.empty((len(shape), k), dtype=np.int64)
+    his = np.empty((len(shape), k), dtype=np.int64)
+    for d, extent in enumerate(shape):
+        lo = rng.integers(0, extent, size=k)
+        hi = lo + 1 + rng.integers(0, extent, size=k)
+        his[d] = np.minimum(hi, extent)
+        los[d] = lo
+    return los, his
+
+
+def assert_batch_matches_scalar(fmt, machine, shape, k=200, seed=0):
+    rng = np.random.default_rng(seed)
+    los, his = random_rects(rng, shape, k)
+    pattern, valid = fmt.owner_pattern_batch(machine, los, his, shape)
+    for j in range(k):
+        rect = Rect(
+            tuple(
+                Interval(int(los[d, j]), int(his[d, j]))
+                for d in range(len(shape))
+            )
+        )
+        scalar = fmt.owner_pattern(machine, rect, shape)
+        if scalar is None:
+            assert not valid[j], f"rect {rect}: batch valid, scalar None"
+            continue
+        assert valid[j], f"rect {rect}: scalar {scalar}, batch invalid"
+        expected = [-1 if p is None else p for p in scalar]
+        assert pattern[:, j].tolist() == expected, f"rect {rect}"
+
+
+class TestOwnerPatternBatch:
+    @pytest.mark.parametrize("extent", [64, 61])
+    def test_2d_tiling(self, extent):
+        machine = Machine(Cluster.cpu_cluster(8), Grid(4, 4))
+        fmt = Format("xy -> xy")
+        assert_batch_matches_scalar(fmt, machine, (extent, extent))
+
+    @pytest.mark.parametrize("notation", ["xy -> xy0", "xy -> x0y",
+                                          "xy -> xy*", "xy -> x*y"])
+    def test_fixed_and_broadcast_dims(self, notation):
+        machine = Machine(Cluster.cpu_cluster(4), Grid(2, 2, 2))
+        fmt = Format(notation)
+        assert_batch_matches_scalar(fmt, machine, (48, 37))
+
+    def test_row_blocks(self):
+        machine = Machine(Cluster.cpu_cluster(8), Grid(16))
+        fmt = Format("xy -> x")
+        assert_batch_matches_scalar(fmt, machine, (53, 40))
+
+    def test_3_tensor_on_2d_machine(self):
+        machine = Machine(Cluster.cpu_cluster(8), Grid(4, 4))
+        fmt = Format("xyz -> xy")
+        assert_batch_matches_scalar(fmt, machine, (24, 23, 17))
+
+    def test_hierarchical_chain(self):
+        machine = Machine(Cluster.gpu_cluster(4), Grid(2, 2), Grid(2, 2))
+        fmt = Format(["xy -> xy", "xy -> xy"])
+        assert_batch_matches_scalar(fmt, machine, (64, 57))
+
+    def test_undistributed(self):
+        machine = Machine(Cluster.cpu_cluster(4), Grid(2, 2))
+        fmt = Format()
+        los = np.zeros((2, 3), dtype=np.int64)
+        his = np.ones((2, 3), dtype=np.int64)
+        pattern, valid = fmt.owner_pattern_batch(machine, los, his, (8, 8))
+        assert valid.all()
+        assert (pattern == 0).all()
