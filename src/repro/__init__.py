@@ -42,6 +42,10 @@ Quickstart::
 
 from repro.core.autoschedule import AutoScheduleResult, auto_schedule
 from repro.core.kernel import Kernel, compile_kernel
+# NOTE: the search entry point is ``Kernel.tune`` / ``repro.tuner.tune``;
+# a top-level ``repro.tune`` re-export would be shadowed by the
+# ``python -m repro.tune`` CLI module of the same name.
+from repro.tuner import Decision, TuneResult, TuningLedger
 from repro.core.transfer import redistribution_bytes, transfer_kernel
 from repro.formats.distribution import Distribution
 from repro.formats.format import Format
@@ -71,6 +75,7 @@ __all__ = [
     "transfer_kernel",
     "Assignment",
     "Cluster",
+    "Decision",
     "Distribution",
     "DistributionError",
     "Format",
@@ -90,6 +95,8 @@ __all__ = [
     "Schedule",
     "SimReport",
     "TensorVar",
+    "TuneResult",
+    "TuningLedger",
     "compile_kernel",
     "index_vars",
     "reference_einsum",

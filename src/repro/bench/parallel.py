@@ -46,8 +46,9 @@ def _resolve(name: str) -> Callable:
         return fn
     # Import lazily so workers resolve the callable after the fork.
     from repro.bench import figures, weak_scaling
+    from repro.tuner import oracle as tuner_oracle
 
-    for module in (figures, weak_scaling):
+    for module in (figures, weak_scaling, tuner_oracle):
         fn = getattr(module, name, None)
         if fn is not None:
             return fn

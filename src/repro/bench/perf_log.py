@@ -3,8 +3,23 @@
 Benchmark runs append one record per sweep — wall-clock seconds plus
 whatever simulated-time metrics the caller supplies — to a JSON list at
 the repository root, so the simulator's performance trend is tracked
-across PRs without digging through CI logs. The file is append-only;
-corrupt or foreign content is preserved untouched by writing nothing.
+across PRs without digging through CI logs.
+
+The writer is crash- and parallel-safe:
+
+* records are written to a temporary file in the same directory and
+  moved into place with ``os.replace``, so a killed process can never
+  leave a half-written log behind;
+* concurrent appenders (``--jobs`` sweeps, parallel tuning runs)
+  serialize on an advisory ``flock`` of a sidecar ``.lock`` file where
+  the platform provides one;
+* a log whose *tail* was corrupted anyway (e.g. by a pre-fix writer
+  dying mid-write) is salvaged: the valid leading records are kept, and
+  the corrupt original is quarantined next to the log as
+  ``<name>.corrupt`` before the salvaged list is rewritten.
+
+Foreign content — a file that is not a JSON list and yields no salvage
+— is never clobbered; ``append_record`` simply returns ``False``.
 
 Override the destination with ``REPRO_BENCH_LOG`` (used by tests).
 """
@@ -13,9 +28,11 @@ from __future__ import annotations
 
 import json
 import os
+import tempfile
 import time
+from contextlib import contextmanager
 from pathlib import Path
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 
 def log_path() -> Path:
@@ -26,35 +43,132 @@ def log_path() -> Path:
     return Path(__file__).resolve().parents[3] / "BENCH_simulator.json"
 
 
-def _load(path: Path) -> Optional[List[Dict]]:
-    if not path.exists():
-        return []
+@contextmanager
+def locked(path: Path):
+    """Best-effort advisory lock serializing concurrent writers of
+    ``path`` (shared by the perf log and the tuner's ledger)."""
+    lock_file = None
     try:
-        data = json.loads(path.read_text())
-    except (OSError, json.JSONDecodeError):
+        import fcntl
+
+        lock_file = open(path.with_name(path.name + ".lock"), "a+")
+        fcntl.flock(lock_file.fileno(), fcntl.LOCK_EX)
+    except (ImportError, OSError):
+        # Fall back to unlocked appends (atomic replace still protects
+        # readers); don't leak the handle if only the flock failed.
+        if lock_file is not None:
+            lock_file.close()
+        lock_file = None
+    try:
+        yield
+    finally:
+        if lock_file is not None:
+            try:
+                import fcntl
+
+                fcntl.flock(lock_file.fileno(), fcntl.LOCK_UN)
+            except (ImportError, OSError):
+                pass
+            lock_file.close()
+
+
+def _salvage(text: str) -> Optional[List[Dict]]:
+    """Recover the valid leading records of a truncated JSON list.
+
+    A writer that died mid-``write`` leaves a prefix of the intended
+    content: ``[`` followed by zero or more complete records and then a
+    torn one. Decode records one by one and keep what parses.
+    """
+    stripped = text.lstrip()
+    if not stripped.startswith("["):
         return None
-    return data if isinstance(data, list) else None
+    decoder = json.JSONDecoder()
+    pos = text.find("[") + 1
+    records: List[Dict] = []
+    while True:
+        while pos < len(text) and text[pos] in " \t\r\n,":
+            pos += 1
+        if pos >= len(text) or text[pos] == "]":
+            break
+        try:
+            value, pos = decoder.raw_decode(text, pos)
+        except json.JSONDecodeError:
+            break
+        records.append(value)
+    return records
+
+
+def _load(path: Path) -> Tuple[Optional[List[Dict]], bool]:
+    """The log's records plus whether salvage dropped corrupt content.
+
+    Returns ``(None, False)`` for unreadable or foreign content that
+    must be preserved untouched.
+    """
+    if not path.exists():
+        return [], False
+    try:
+        text = path.read_text()
+    except OSError:
+        return None, False
+    if not text.strip():
+        return [], False
+    try:
+        data = json.loads(text)
+    except json.JSONDecodeError:
+        salvaged = _salvage(text)
+        if salvaged is None:
+            return None, False
+        return salvaged, True
+    return (data, False) if isinstance(data, list) else (None, False)
+
+
+def write_atomic(path: Path, text: str) -> bool:
+    """Write ``text`` to ``path`` via a same-directory temp file and
+    ``os.replace``, so readers never observe a torn file. Shared by the
+    perf log and the tuner's ledger."""
+    try:
+        fd, tmp = tempfile.mkstemp(
+            dir=str(path.parent), prefix=path.name, suffix=".tmp"
+        )
+    except OSError:
+        return False
+    try:
+        with os.fdopen(fd, "w") as handle:
+            handle.write(text)
+        os.replace(tmp, path)
+    except OSError:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        return False
+    return True
 
 
 def append_record(
     name: str, wall_s: float, metrics: Optional[Dict] = None
 ) -> bool:
     """Append one perf record; returns False when the log is unwritable
-    or holds something that is not a JSON list (never clobbers it)."""
+    or holds something that is not (a salvageable prefix of) a JSON
+    list — foreign content is never clobbered."""
     path = log_path()
-    records = _load(path)
-    if records is None:
-        return False
-    record = {
-        "name": name,
-        "wall_s": round(float(wall_s), 4),
-        "timestamp": int(time.time()),
-    }
-    if metrics:
-        record["metrics"] = metrics
-    records.append(record)
-    try:
-        path.write_text(json.dumps(records, indent=1) + "\n")
-    except OSError:
-        return False
-    return True
+    with locked(path):
+        records, salvaged = _load(path)
+        if records is None:
+            return False
+        if salvaged:
+            # Quarantine the corrupt original before rewriting.
+            try:
+                quarantine = path.with_name(path.name + ".corrupt")
+                quarantine.write_text(path.read_text())
+            except OSError:
+                return False
+        record = {
+            "name": name,
+            "wall_s": round(float(wall_s), 4),
+            "timestamp": int(time.time()),
+        }
+        if metrics:
+            record["metrics"] = metrics
+        records.append(record)
+        return write_atomic(path, json.dumps(records, indent=1) + "\n")

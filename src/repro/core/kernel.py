@@ -13,13 +13,14 @@ derivation — and returns a :class:`Kernel` that can
 
 from __future__ import annotations
 
-from typing import Dict
+from typing import Dict, Optional, Union
 
 import numpy as np
 
 from repro.codegen.lower import lower_to_plan
 from repro.codegen.plan import DistributedPlan
 from repro.ir.tensor import Assignment, reference_einsum
+from repro.machine.cluster import Cluster, MemoryKind, ProcessorKind
 from repro.machine.machine import Machine
 from repro.runtime.executor import ExecutionResult, Executor
 from repro.scheduling.schedule import Schedule
@@ -133,6 +134,73 @@ class Kernel:
         result = self.trace(check_capacity=check_capacity, mode=mode)
         model = CostModel(self.machine.cluster, params)
         return model.time_trace(result.trace)
+
+    # ------------------------------------------------------------------
+    # Automatic scheduling (Section 9): heuristic and search.
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def autoschedule(
+        assignment: Assignment,
+        machine: Machine,
+        memory: Optional[MemoryKind] = None,
+    ) -> "Kernel":
+        """Compile with the one-shot heuristic (Section 9's baseline).
+
+        Derives a distribution schedule and per-tensor formats with
+        :func:`repro.core.autoschedule.auto_schedule` (applying the
+        formats to the assignment's tensors) and compiles the result.
+        This is also the seed candidate of :meth:`tune`.
+        """
+        from repro.core.autoschedule import auto_schedule
+
+        if memory is None:
+            memory = (
+                MemoryKind.GPU_FB
+                if machine.cluster.processor_kind is ProcessorKind.GPU
+                else MemoryKind.SYSTEM_MEM
+            )
+        result = auto_schedule(assignment, machine, memory=memory)
+        return compile_kernel(result.schedule, machine)
+
+    @staticmethod
+    def tune(
+        assignment: Assignment,
+        machine: Union[Machine, Cluster],
+        params: MachineParams = LASSEN,
+        **options,
+    ):
+        """Search the schedule space with the simulator as cost oracle.
+
+        ``machine`` may be a :class:`~repro.machine.machine.Machine`
+        (its outer grid seeds the heuristic; its cluster bounds the
+        search) or a bare :class:`~repro.machine.cluster.Cluster` (the
+        tuner also picks the grid organization). Keyword options are
+        forwarded to :func:`repro.tuner.search.tune` — notably
+        ``jobs`` (parallel oracle workers), ``strategy`` (``"auto"`` /
+        ``"exhaustive"`` / ``"beam"``), ``seed`` (deterministic
+        search), and ``ledger_path`` (persistent incremental re-tunes).
+
+        Returns a :class:`~repro.tuner.search.TuneResult`: an ordinary
+        :class:`~repro.scheduling.schedule.Schedule` plus formats that
+        replay byte-identically from the winning decision vector, the
+        compiled kernel, and its :class:`~repro.sim.report.SimReport`.
+        The heuristic seeds the search and is never eliminated, so the
+        tuned schedule is never worse than :meth:`autoschedule`'s.
+        """
+        from repro.tuner.search import tune as tuner_tune
+
+        if isinstance(machine, Machine):
+            if len(machine.levels) > 1:
+                raise ValueError(
+                    "Kernel.tune searches single-level machine grids; "
+                    "pass the cluster to let the tuner pick the grid"
+                )
+            options.setdefault("seed_grid", machine.levels[0].shape)
+            cluster = machine.cluster
+        else:
+            cluster = machine
+        return tuner_tune(assignment, cluster, params, **options)
 
 
 def compile_kernel(schedule: Schedule, machine: Machine) -> Kernel:

@@ -1,0 +1,156 @@
+"""Command-line schedule autotuning: ``python -m repro.tune``.
+
+Usage::
+
+    python -m repro.tune --workload matmul --nodes 64 [--gpu]
+        [--jobs 8] [--strategy auto|exhaustive|beam] [--seed 0]
+        [--beam 8] [--size N] [--ledger PATH] [--max-dims 3]
+    python -m repro.tune --demo
+
+Searches the schedule space of the named workload on a Lassen-like
+cluster, using the orbit-compressed simulator as the cost oracle, and
+prints the heuristic-vs-tuned comparison plus the winning decision
+vector. ``--demo`` runs a seconds-scale exhaustive tune (the CI smoke
+test). Wall-clock and headline results are appended to the
+``BENCH_simulator.json`` perf trajectory.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.machine.cluster import Cluster
+from repro.sim.params import LASSEN
+from repro.tuner.search import tune
+from repro.tuner.workloads import WORKLOADS, sized, weak_scaled
+
+
+def _fmt_cost(outcome) -> str:
+    if outcome is None or not outcome.feasible:
+        return "OOM"
+    return f"{outcome.cost:.4f}s"
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.tune",
+        description="Search-based schedule and format selection.",
+    )
+    parser.add_argument(
+        "--workload", choices=sorted(WORKLOADS), default="matmul"
+    )
+    parser.add_argument(
+        "--nodes", type=int, default=16, help="cluster node count"
+    )
+    parser.add_argument(
+        "--size",
+        type=int,
+        default=None,
+        help="problem side (default: the paper's weak-scaled size)",
+    )
+    parser.add_argument(
+        "--gpu", action="store_true", help="Lassen GPU nodes (4 V100s)"
+    )
+    parser.add_argument(
+        "--system-mem-gib",
+        type=int,
+        default=None,
+        help="override CPU node memory (smaller values force the "
+        "tuner off replication-heavy schedules)",
+    )
+    parser.add_argument(
+        "--jobs", type=int, default=1, help="parallel oracle workers"
+    )
+    parser.add_argument(
+        "--strategy", choices=["auto", "exhaustive", "beam"], default="auto"
+    )
+    parser.add_argument("--beam", type=int, default=8)
+    parser.add_argument(
+        "--seed", type=int, default=0, help="deterministic search seed"
+    )
+    parser.add_argument(
+        "--max-dims", type=int, default=3, help="max machine-grid rank"
+    )
+    parser.add_argument(
+        "--ledger",
+        default=None,
+        help="tuning-ledger path (re-tunes are incremental)",
+    )
+    parser.add_argument(
+        "--demo",
+        action="store_true",
+        help="seconds-scale smoke tune (4 nodes, small matmul)",
+    )
+    args = parser.parse_args(argv)
+
+    if args.demo:
+        args.workload, args.nodes, args.size = "matmul", 4, 4096
+        args.strategy = "exhaustive"
+
+    if args.gpu:
+        cluster = Cluster.gpu_cluster(args.nodes)
+    elif args.system_mem_gib is not None:
+        cluster = Cluster.cpu_cluster(
+            args.nodes, system_mem_gib=args.system_mem_gib
+        )
+    else:
+        cluster = Cluster.cpu_cluster(args.nodes)
+
+    if args.size is not None:
+        assignment = sized(args.workload, args.size)
+    else:
+        assignment = weak_scaled(args.workload, args.nodes)
+
+    sizes = {t.name: t.shape for t in assignment.tensors()}
+    print(
+        f"tuning {args.workload} {sizes} on {cluster!r} "
+        f"({cluster.num_processors} processors)"
+    )
+    start = time.monotonic()
+    result = tune(
+        assignment,
+        cluster,
+        LASSEN,
+        strategy=args.strategy,
+        beam_width=args.beam,
+        seed=args.seed,
+        jobs=args.jobs,
+        max_dims=args.max_dims,
+        ledger_path=args.ledger,
+    )
+    wall = time.monotonic() - start
+    search = result.search
+
+    print(search.describe())
+    heuristic = search.seed_outcome
+    best = search.best
+    print(f"heuristic cost: {_fmt_cost(heuristic)}")
+    print(f"tuned cost:     {_fmt_cost(best)}")
+    if heuristic.feasible and best.feasible and best.cost > 0:
+        print(f"speedup over heuristic: {heuristic.cost / best.cost:.2f}x")
+    print(f"wall-clock: {wall:.2f}s "
+          f"({search.evaluations} simulations, strategy {search.strategy})")
+
+    try:
+        from repro.bench.perf_log import append_record
+
+        metrics = {
+            "workload": args.workload,
+            "nodes": args.nodes,
+            "space": search.space_size,
+            "evaluations": search.evaluations,
+            "tuned_cost_s": None if not best.feasible else best.cost,
+            "heuristic_cost_s": (
+                None if not heuristic.feasible else heuristic.cost
+            ),
+        }
+        append_record(f"tune:{args.workload}", wall, metrics=metrics)
+    except Exception:
+        pass  # the perf log must never fail a tuning run
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,67 @@
+"""Search-based schedule autotuning (the paper's Section 9 extension).
+
+The subsystem has three layers:
+
+* :mod:`repro.tuner.space` — the schedule space as declarative,
+  replayable decision vectors with symmetry canonicalization;
+* :mod:`repro.tuner.oracle` — candidate scoring through the
+  orbit-compressed simulator, fanned out over the shared fork-pool,
+  with a persistent tuning ledger;
+* :mod:`repro.tuner.search` — exhaustive search for small spaces and
+  beam search with successive halving for large ones, seeded with the
+  one-shot heuristic so tuning never regresses.
+
+Entry points: :meth:`repro.core.kernel.Kernel.tune`,
+:meth:`repro.core.kernel.Kernel.autoschedule`, and the
+``python -m repro.tune`` command line.
+"""
+
+from repro.tuner.oracle import (
+    EvalOutcome,
+    Oracle,
+    TuningLedger,
+    workload_signature,
+)
+from repro.tuner.search import (
+    SearchOutcome,
+    TuneResult,
+    balanced_grid,
+    beam_search,
+    default_seed_grid,
+    exhaustive_search,
+    tune,
+)
+from repro.tuner.space import (
+    Decision,
+    canonicalize,
+    coarsen,
+    enumerate_space,
+    formats_for,
+    from_heuristic,
+    normalize,
+    realize,
+    scale_assignment,
+)
+
+__all__ = [
+    "Decision",
+    "EvalOutcome",
+    "Oracle",
+    "SearchOutcome",
+    "TuneResult",
+    "TuningLedger",
+    "balanced_grid",
+    "beam_search",
+    "canonicalize",
+    "coarsen",
+    "default_seed_grid",
+    "enumerate_space",
+    "exhaustive_search",
+    "formats_for",
+    "from_heuristic",
+    "normalize",
+    "realize",
+    "scale_assignment",
+    "tune",
+    "workload_signature",
+]

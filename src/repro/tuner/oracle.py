@@ -1,0 +1,438 @@
+"""The tuner's cost oracle: batched, cached, parallel simulation.
+
+Candidates are scored by compiling and simulating them through
+``Kernel.simulate(mode="orbit")`` — the orbit-compressed executor PRs
+1–2 made fast precisely so it can be queried thousands of times. Three
+layers keep re-evaluation cheap:
+
+* the process-global :data:`~repro.bench.cache.SIM_CACHE` memoizes
+  ``(plan, machine, params, mode)`` so identical candidates (canonical
+  representatives, repeated rungs) simulate once;
+* batches fan out over the existing fork-pool driver
+  (:mod:`repro.bench.parallel`), whose workers inherit the warm cache
+  and ship their deltas back;
+* a persistent :class:`TuningLedger` (JSON, written atomically) maps
+  ``workload-signature/decision`` to the simulated summary, so a
+  re-tune — same workload, same params — replays from disk without
+  simulating anything.
+"""
+
+from __future__ import annotations
+
+import copy
+import hashlib
+import json
+import math
+import os
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence
+
+from repro.bench.cache import SIM_CACHE, cluster_signature, params_key
+from repro.bench.perf_log import locked, write_atomic
+from repro.bench.parallel import register_sweep, run_points
+from repro.core.kernel import compile_kernel
+from repro.formats.distribution import Broadcast, DimName, Fixed
+from repro.ir.tensor import Assignment
+from repro.machine.cluster import Cluster, MemoryKind, ProcessorKind
+from repro.machine.grid import Grid
+from repro.machine.machine import Machine
+from repro.sim.params import LASSEN, MachineParams
+from repro.tuner.space import Decision, formats_for, realize
+from repro.util.errors import OutOfMemoryError, ReproError
+
+#: Cost assigned to candidates that OOM or fail to compile: they sort
+#: after every feasible candidate but remain in the ledger.
+INFEASIBLE = float("inf")
+
+
+@dataclass(frozen=True)
+class EvalOutcome:
+    """One candidate's simulated summary (picklable, ledger-shaped)."""
+
+    decision: Decision
+    cost: float                 # simulated seconds; inf when infeasible
+    oom: bool = False
+    error: str = ""
+    comm_time: float = 0.0
+    compute_time: float = 0.0
+    inter_node_bytes: float = 0.0
+    max_memory_bytes: float = 0.0
+
+    @property
+    def feasible(self) -> bool:
+        return self.cost != INFEASIBLE
+
+    def to_record(self) -> Dict:
+        return {
+            "decision": self.decision.encode(),
+            "cost": self.cost if self.feasible else "infeasible",
+            "oom": self.oom,
+            "error": self.error,
+            "comm_time": self.comm_time,
+            "compute_time": self.compute_time,
+            "inter_node_bytes": self.inter_node_bytes,
+            "max_memory_bytes": self.max_memory_bytes,
+        }
+
+    @staticmethod
+    def from_record(record: Dict) -> "EvalOutcome":
+        cost = record["cost"]
+        return EvalOutcome(
+            decision=Decision.decode(record["decision"]),
+            cost=INFEASIBLE if cost in ("infeasible", "oom") else float(cost),
+            oom=bool(record.get("oom", False)),
+            error=record.get("error", ""),
+            comm_time=record.get("comm_time", 0.0),
+            compute_time=record.get("compute_time", 0.0),
+            inter_node_bytes=record.get("inter_node_bytes", 0.0),
+            max_memory_bytes=record.get("max_memory_bytes", 0.0),
+        )
+
+
+def workload_signature(
+    assignment: Assignment,
+    cluster: Cluster,
+    params: MachineParams,
+    memory: MemoryKind,
+    mode: str,
+    check_capacity: bool,
+) -> str:
+    """Stable identity of one tuning problem (the ledger's namespace)."""
+    tensors = ";".join(
+        f"{t.name}:{t.shape}:{t.dtype}" for t in assignment.tensors()
+    )
+    raw = "|".join(
+        str(x)
+        for x in (
+            repr(assignment),
+            tensors,
+            cluster_signature(cluster),
+            params_key(params),
+            memory.value,
+            mode,
+            check_capacity,
+        )
+    )
+    return hashlib.sha256(raw.encode()).hexdigest()[:16]
+
+
+class TuningLedger:
+    """Persistent candidate -> summary store (incremental re-tunes).
+
+    The ledger is a JSON object ``{"version": 1, "entries": {key:
+    record}}`` with keys ``<workload signature>/<decision encoding>``.
+    Writes go through a temporary file and ``os.replace`` so a crashed
+    or concurrent tune can never truncate it; entries are sorted on
+    save so equal tuning runs produce byte-identical files.
+    """
+
+    VERSION = 1
+
+    def __init__(self, path: Optional[os.PathLike] = None):
+        self.path = Path(path) if path is not None else None
+        self.entries: Dict[str, Dict] = {}
+        self.hits = 0
+        self.misses = 0
+        if self.path is not None:
+            self.entries = self._read_entries()
+
+    def _read_entries(self) -> Dict[str, Dict]:
+        if self.path is None or not self.path.exists():
+            return {}
+        try:
+            data = json.loads(self.path.read_text())
+        except (OSError, json.JSONDecodeError):
+            return {}
+        if isinstance(data, dict) and isinstance(data.get("entries"), dict):
+            return data["entries"]
+        return {}
+
+    def get(self, wsig: str, decision: Decision) -> Optional[EvalOutcome]:
+        record = self.entries.get(f"{wsig}/{decision.encode()}")
+        if record is None:
+            return None
+        return EvalOutcome.from_record(record)
+
+    def put(self, wsig: str, outcome: EvalOutcome):
+        key = f"{wsig}/{outcome.decision.encode()}"
+        self.entries[key] = outcome.to_record()
+
+    def save(self) -> bool:
+        """Persist the ledger; returns False when the path is unset or
+        the (atomic) write failed.
+
+        Saves take the shared advisory lock, re-read the file, and
+        merge entries other processes added since we loaded it (our
+        entries win on key conflicts — evaluation is deterministic, so
+        conflicting records are equal anyway), so concurrent tunes
+        sharing one ledger never drop each other's work.
+        """
+        if self.path is None:
+            return False
+        try:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+        except OSError:
+            return False
+        with locked(self.path):
+            merged = self._read_entries()
+            merged.update(self.entries)
+            self.entries = merged
+            payload = {
+                "version": self.VERSION,
+                "entries": {k: merged[k] for k in sorted(merged)},
+            }
+            text = json.dumps(payload, indent=1, sort_keys=True) + "\n"
+            return write_atomic(self.path, text)
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+
+# ----------------------------------------------------------------------
+# Static memory feasibility (a conservative lower bound).
+# ----------------------------------------------------------------------
+
+
+def statically_infeasible(
+    assignment: Assignment,
+    decision: Decision,
+    cluster: Cluster,
+    memory: MemoryKind,
+) -> bool:
+    """True when a candidate provably cannot fit, without simulating.
+
+    Sums a *lower bound* of guaranteed-resident home-instance bytes:
+    tensors whose distribution homes a piece on every machine point
+    (no ``Fixed`` face) must keep at least one floor-sized piece per
+    node (per processor for framebuffer-resident tensors) — fully
+    partitioned tensors keep one *distinct* piece per processor. The
+    bound deliberately ignores replica sharing, fetch staging, and
+    reduction buffers, so it never rules out a feasible candidate; its
+    value is catching replication-heavy layouts whose footprint grows
+    with ``n^2/sqrt(p)`` and therefore *shrinks* relative to capacity
+    on the coarse successive-halving rung.
+    """
+    per_node = 0.0
+    per_proc = 0.0
+    ppn = cluster.procs_per_node
+    formats = formats_for(assignment, decision, memory)
+    for tensor in assignment.tensors():
+        fmt = formats.get(tensor.name)
+        if fmt is None or not fmt.distributions:
+            continue
+        dist = fmt.distributions[0]
+        if any(isinstance(m, Fixed) for m in dist.machine_dims):
+            continue  # face-homed: not resident everywhere
+        parts = {}
+        for idx, (mdim, extent) in enumerate(
+            zip(dist.machine_dims, decision.grid)
+        ):
+            if isinstance(mdim, DimName):
+                mode = dist.partitioned[idx]
+                parts[mode] = parts.get(mode, 1) * extent
+        piece = float(tensor.itemsize)
+        for mode, extent in enumerate(tensor.shape):
+            piece *= max(1, extent // parts.get(mode, 1))
+        replicated = any(
+            isinstance(m, Broadcast) for m in dist.machine_dims
+        )
+        # Same-node processors may share a replicated piece; fully
+        # partitioned pieces are distinct per processor.
+        node_copies = 1 if replicated else min(
+            ppn, max(1, math.prod(decision.grid) // cluster.num_nodes)
+        )
+        per_node += piece * node_copies
+        per_proc += piece
+    node = cluster.nodes[0]
+    if memory is MemoryKind.SYSTEM_MEM:
+        if node.system_memory is None:
+            return False
+        return per_node > node.system_memory.capacity_bytes
+    return per_proc > cluster.processors[0].memory.capacity_bytes
+
+
+# ----------------------------------------------------------------------
+# Evaluation.
+# ----------------------------------------------------------------------
+
+
+STATIC_OOM = "static: home-instance lower bound exceeds memory capacity"
+
+
+def evaluate_one(
+    assignment: Assignment,
+    cluster: Cluster,
+    decision: Decision,
+    params: MachineParams,
+    memory: MemoryKind,
+    mode: str,
+    check_capacity: bool,
+) -> EvalOutcome:
+    """Realize, compile, and simulate one candidate (mutates the
+    assignment's tensor formats; pass a private copy)."""
+    if check_capacity and statically_infeasible(
+        assignment, decision, cluster, memory
+    ):
+        return EvalOutcome(
+            decision=decision, cost=INFEASIBLE, oom=True, error=STATIC_OOM
+        )
+    try:
+        machine = Machine(cluster, Grid(*decision.grid))
+        schedule, _formats = realize(
+            assignment, machine, decision, memory=memory
+        )
+        kernel = compile_kernel(schedule, machine)
+        report = SIM_CACHE.simulate(
+            kernel, params, check_capacity=check_capacity, mode=mode
+        )
+    except OutOfMemoryError:
+        return EvalOutcome(decision=decision, cost=INFEASIBLE, oom=True)
+    except (ReproError, ValueError) as err:
+        return EvalOutcome(
+            decision=decision,
+            cost=INFEASIBLE,
+            error=f"{type(err).__name__}: {err}",
+        )
+    return EvalOutcome(
+        decision=decision,
+        cost=report.total_time,
+        comm_time=report.comm_time,
+        compute_time=report.compute_time,
+        inter_node_bytes=report.inter_node_bytes,
+        max_memory_bytes=float(report.max_memory_bytes),
+    )
+
+
+def tuner_eval_batch(
+    assignment: Assignment,
+    cluster: Cluster,
+    decisions: Sequence[Decision],
+    params: MachineParams,
+    memory: MemoryKind,
+    mode: str,
+    check_capacity: bool,
+) -> List[EvalOutcome]:
+    """One fork-pool task: evaluate a chunk of candidates.
+
+    Registered with :mod:`repro.bench.parallel` so the driver can
+    dispatch it by name; the worker's new simulation-cache entries ride
+    back with the rows and merge into the parent's cache.
+    """
+    work = copy.deepcopy(assignment)
+    return [
+        evaluate_one(
+            work, cluster, decision, params, memory, mode, check_capacity
+        )
+        for decision in decisions
+    ]
+
+
+register_sweep("tuner_eval_batch", tuner_eval_batch)
+
+
+class Oracle:
+    """Scores decision vectors for one (workload, cluster, params).
+
+    ``jobs > 1`` spreads candidate chunks over forked workers through
+    the shared sweep driver; the ledger (when given) is consulted
+    before simulating and extended afterwards.
+    """
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        params: MachineParams = LASSEN,
+        memory: Optional[MemoryKind] = None,
+        mode: str = "orbit",
+        check_capacity: bool = True,
+        jobs: int = 1,
+        ledger: Optional[TuningLedger] = None,
+    ):
+        self.cluster = cluster
+        self.params = params
+        if memory is None:
+            memory = (
+                MemoryKind.GPU_FB
+                if cluster.processor_kind is ProcessorKind.GPU
+                else MemoryKind.SYSTEM_MEM
+            )
+        self.memory = memory
+        self.mode = mode
+        self.check_capacity = check_capacity
+        self.jobs = max(1, jobs)
+        self.ledger = ledger
+        self.simulated = 0
+
+    def for_cluster(self, cluster: Cluster) -> "Oracle":
+        """A sibling oracle on a different (e.g. coarsened) cluster."""
+        return Oracle(
+            cluster,
+            params=self.params,
+            memory=self.memory,
+            mode=self.mode,
+            check_capacity=self.check_capacity,
+            jobs=self.jobs,
+            ledger=self.ledger,
+        )
+
+    def evaluate(
+        self, assignment: Assignment, decisions: Sequence[Decision]
+    ) -> List[EvalOutcome]:
+        """Outcomes for ``decisions``, in input order."""
+        wsig = workload_signature(
+            assignment,
+            self.cluster,
+            self.params,
+            self.memory,
+            self.mode,
+            self.check_capacity,
+        )
+        outcomes: Dict[Decision, EvalOutcome] = {}
+        pending: List[Decision] = []
+        queued = set()
+        for decision in decisions:
+            if decision in outcomes or decision in queued:
+                continue
+            hit = None
+            if self.ledger is not None:
+                hit = self.ledger.get(wsig, decision)
+            if hit is not None:
+                self.ledger.hits += 1
+                outcomes[decision] = hit
+            else:
+                if self.ledger is not None:
+                    self.ledger.misses += 1
+                pending.append(decision)
+                queued.add(decision)
+        if pending:
+            for outcome in self._evaluate_pending(assignment, pending):
+                outcomes[outcome.decision] = outcome
+                if self.ledger is not None:
+                    self.ledger.put(wsig, outcome)
+            self.simulated += len(pending)
+            if self.ledger is not None:
+                self.ledger.save()
+        return [outcomes[d] for d in decisions]
+
+    def _evaluate_pending(
+        self, assignment: Assignment, pending: List[Decision]
+    ) -> List[EvalOutcome]:
+        common = dict(
+            assignment=assignment,
+            cluster=self.cluster,
+            params=self.params,
+            memory=self.memory,
+            mode=self.mode,
+            check_capacity=self.check_capacity,
+        )
+        if self.jobs <= 1 or len(pending) <= 1:
+            # In-process: evaluate against a private copy so the
+            # caller's tensor formats are not clobbered mid-search.
+            return tuner_eval_batch(decisions=pending, **common)
+        chunks = min(self.jobs * 4, len(pending))
+        per_point = [
+            dict(common, decisions=pending[c::chunks])
+            for c in range(chunks)
+        ]
+        return run_points("tuner_eval_batch", per_point, self.jobs)

@@ -1,0 +1,436 @@
+"""Search strategies over the schedule space.
+
+Two strategies, picked automatically by space size:
+
+* **exhaustive** — simulate every canonical candidate at full scale;
+  right for the small spaces of low processor counts.
+* **beam + successive halving** — score the whole space on a *coarse*
+  projection first (grids shrunk toward ``coarse_procs`` processors, the
+  problem weak-scaled down to match, a proportionally smaller cluster),
+  then promote a geometrically shrinking beam of survivors through
+  intermediate sizes up to the full machine. Only the final beam — plus
+  the heuristic seed, which is never eliminated — is simulated at full
+  scale, so the 512-node space costs a few full-size simulations
+  instead of thousands.
+
+Both are deterministic: candidate order is the canonical-key order,
+ties break on the key, and the only randomness (sampling an oversized
+rung 0) comes from an explicit ``seed``. Two runs with the same seed
+therefore evaluate the same candidates and write identical ledgers.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.ir.tensor import Assignment
+from repro.machine.cluster import Cluster
+from repro.machine.machine import Machine
+from repro.sim.params import LASSEN, MachineParams
+from repro.tuner.oracle import (
+    EvalOutcome,
+    INFEASIBLE,
+    Oracle,
+    STATIC_OOM,
+    TuningLedger,
+    statically_infeasible,
+)
+from repro.tuner.space import (
+    Decision,
+    coarsen,
+    enumerate_space,
+    from_heuristic,
+    normalize,
+    scale_assignment,
+)
+
+#: Spaces at most this large are searched exhaustively under
+#: ``strategy="auto"``.
+EXHAUSTIVE_THRESHOLD = 128
+
+
+@dataclass
+class SearchOutcome:
+    """Everything a tuning run decided and measured."""
+
+    best: EvalOutcome
+    seed_outcome: EvalOutcome
+    strategy: str
+    space_size: int
+    evaluations: int
+    rungs: List[Dict] = field(default_factory=list)
+
+    @property
+    def improved(self) -> bool:
+        """Did the search beat the heuristic seed?"""
+        return self.best.cost < self.seed_outcome.cost
+
+    def describe(self) -> str:
+        lines = [
+            f"strategy {self.strategy}: {self.space_size} candidates, "
+            f"{self.evaluations} evaluated",
+        ]
+        for rung in self.rungs:
+            lines.append(
+                f"  rung @{rung['procs']} procs: {rung['candidates']} "
+                f"candidates -> {rung['survivors']} survivors"
+            )
+        seed = self.seed_outcome
+        seed_cost = "OOM" if not seed.feasible else f"{seed.cost:.4f}s"
+        lines.append(f"  heuristic seed: {seed_cost} ({seed.decision.encode()})")
+        best_cost = (
+            "infeasible" if not self.best.feasible
+            else f"{self.best.cost:.4f}s"
+        )
+        lines.append(
+            f"  best: {best_cost} ({self.best.decision.encode()})"
+        )
+        return "\n".join(lines)
+
+
+def _rank(outcomes: Sequence[EvalOutcome]) -> List[EvalOutcome]:
+    return sorted(outcomes, key=lambda o: (o.cost, o.decision.key()))
+
+
+def exhaustive_search(
+    assignment: Assignment,
+    oracle: Oracle,
+    decisions: Sequence[Decision],
+) -> Tuple[List[EvalOutcome], List[Dict]]:
+    outcomes = oracle.evaluate(assignment, list(decisions))
+    rung = {
+        "procs": oracle.cluster.num_processors,
+        "candidates": len(decisions),
+        "survivors": 1,
+    }
+    return _rank(outcomes), [rung]
+
+
+def _shrink_cluster(cluster: Cluster, procs: int) -> Cluster:
+    """A smaller cluster with the same node anatomy (for coarse rungs)."""
+    nodes = max(1, procs // cluster.procs_per_node)
+    proto = cluster.processors[0]
+    system = cluster.nodes[0].system_memory
+    return Cluster.build(
+        num_nodes=nodes,
+        procs_per_node=cluster.procs_per_node,
+        proc_kind=proto.kind,
+        proc_mem_kind=proto.memory.kind,
+        proc_mem_capacity=proto.memory.capacity_bytes,
+        system_mem_capacity=(
+            system.capacity_bytes if system is not None else 0
+        ),
+    )
+
+
+def _problem_exponent(assignment: Assignment) -> float:
+    """Weak-scaling exponent: per-processor footprint is preserved when
+    extents scale with procs^(1/ndim) of the largest tensor."""
+    ndim = max((t.ndim for t in assignment.tensors()), default=1)
+    return 1.0 / max(1, ndim if ndim else 1)
+
+
+def beam_search(
+    assignment: Assignment,
+    oracle: Oracle,
+    decisions: Sequence[Decision],
+    seed_decision: Decision,
+    beam_width: int = 8,
+    coarse_procs: int = 64,
+    eta: int = 4,
+    seed: int = 0,
+    max_rung0: int = 4096,
+) -> Tuple[List[EvalOutcome], List[Dict]]:
+    """Successive halving from a coarse projection up to full scale.
+
+    Returns the final-rung outcomes (full scale, ranked) and per-rung
+    statistics. The seed decision survives every cut, so the final
+    ranking always contains the heuristic.
+
+    Two guards keep the coarse rungs honest:
+
+    * candidates that are *statically* infeasible at full scale (their
+      home-instance memory lower bound exceeds capacity — replication
+      footprints shrink relative to capacity under coarsening, so the
+      coarse rung alone would rank them well) are pinned to infinite
+      cost on every rung instead of being simulated coarsely;
+    * if the final full-scale rung comes back with no feasible
+      candidate anyway, the beam is refilled with the next-ranked
+      survivors of the previous rung until one fits or the space is
+      exhausted.
+    """
+    full_procs = oracle.cluster.num_processors
+    rng = random.Random(seed)
+    candidates = list(decisions)
+    if seed_decision not in candidates:
+        candidates.append(seed_decision)
+    candidates.sort(key=Decision.key)
+    if len(candidates) > max_rung0:
+        keep = set(
+            rng.sample(range(len(candidates)), max_rung0)
+        )
+        sampled = [c for i, c in enumerate(candidates) if i in keep]
+        if seed_decision not in sampled:
+            sampled.append(seed_decision)
+        candidates = sampled
+    dead = {
+        c
+        for c in candidates
+        if oracle.check_capacity
+        and statically_infeasible(
+            assignment, c, oracle.cluster, oracle.memory
+        )
+    }
+
+    # Rung ladder: coarse, coarse*eta, ..., full.
+    targets: List[int] = []
+    procs = min(coarse_procs, full_procs)
+    while procs < full_procs:
+        targets.append(procs)
+        procs *= eta
+    targets.append(full_procs)
+
+    exponent = _problem_exponent(assignment)
+    rungs: List[Dict] = []
+    prev_ranking: List[Decision] = []
+    for level, procs in enumerate(targets):
+        last = level == len(targets) - 1
+        if last:
+            outcomes = oracle.evaluate(assignment, candidates)
+            ranked = _rank(outcomes)
+            # Refill: if nothing in the beam fits at full scale, pull
+            # the next-ranked survivors of the previous rung.
+            pool = [
+                d for d in prev_ranking
+                if d not in set(candidates) and d not in dead
+            ]
+            while pool and not any(o.feasible for o in ranked):
+                refill, pool = pool[:beam_width], pool[beam_width:]
+                candidates = candidates + refill
+                ranked = _rank(
+                    ranked + oracle.evaluate(assignment, refill)
+                )
+            rungs.append({
+                "procs": procs,
+                "candidates": len(candidates),
+                "survivors": 1,
+            })
+            return ranked, rungs
+        coarse_cluster = _shrink_cluster(oracle.cluster, procs)
+        actual = coarse_cluster.num_processors
+        scale = (actual / full_procs) ** exponent
+        coarse_assignment = scale_assignment(assignment, scale)
+        coarse_oracle = oracle.for_cluster(coarse_cluster)
+        alive = [c for c in candidates if c not in dead]
+        coarse_outcomes = dict(zip(alive, coarse_oracle.evaluate(
+            coarse_assignment, [coarsen(c, actual) for c in alive]
+        )))
+        oracle.simulated += coarse_oracle.simulated
+        outcomes = []
+        for original in candidates:
+            if original in dead:
+                outcomes.append(EvalOutcome(
+                    decision=original, cost=INFEASIBLE, oom=True,
+                    error=STATIC_OOM,
+                ))
+                continue
+            co = coarse_outcomes[original]
+            outcomes.append(EvalOutcome(
+                decision=original,
+                cost=co.cost,
+                oom=co.oom,
+                error=co.error,
+                comm_time=co.comm_time,
+                compute_time=co.compute_time,
+                inter_node_bytes=co.inter_node_bytes,
+                max_memory_bytes=co.max_memory_bytes,
+            ))
+        ranked = _rank(outcomes)
+        prev_ranking = [o.decision for o in ranked]
+        remaining = len(targets) - 1 - level
+        keep = max(beam_width * eta ** (remaining - 1), beam_width)
+        survivors = [o.decision for o in ranked[:keep]]
+        if seed_decision not in survivors:
+            survivors.append(seed_decision)
+        rungs.append({
+            "procs": procs,
+            "candidates": len(candidates),
+            "survivors": len(survivors),
+        })
+        candidates = survivors
+    raise AssertionError("unreachable")  # pragma: no cover
+
+
+@dataclass
+class TuneResult:
+    """What ``Kernel.tune`` hands back: an ordinary schedule + formats.
+
+    ``schedule``/``formats`` replay deterministically from ``decision``
+    (see :func:`repro.tuner.space.realize`); ``kernel`` is the compiled
+    result and ``report`` its simulation on the tuned machine.
+    """
+
+    decision: Decision
+    schedule: object
+    formats: Dict[str, object]
+    machine: Machine
+    kernel: object
+    report: object
+    search: SearchOutcome
+
+    def describe(self) -> str:
+        lines = [f"tuned schedule: {self.decision.describe()}"]
+        for name, fmt in sorted(self.formats.items()):
+            lines.append(f"  format {name}: {fmt.notation()}")
+        lines.append(self.search.describe())
+        return "\n".join(lines)
+
+
+def default_seed_grid(assignment: Assignment, num_procs: int) -> Tuple[int, ...]:
+    """The grid the heuristic seed targets when only a cluster is given:
+    the most-square factorization over the output's dimensionality."""
+    dims = min(
+        3, max(1, len(assignment.free_vars)), len(assignment.all_vars)
+    )
+    return balanced_grid(num_procs, dims)
+
+
+def balanced_grid(p: int, dims: int) -> Tuple[int, ...]:
+    """Most-balanced ``dims``-way factorization of ``p`` (descending)."""
+    if dims <= 1:
+        return (p,)
+    best: Optional[Tuple[int, ...]] = None
+    best_spread: Optional[float] = None
+
+    def rec(remaining: int, left: int, prefix: Tuple[int, ...]):
+        nonlocal best, best_spread
+        if left == 1:
+            shape = tuple(sorted(prefix + (remaining,), reverse=True))
+            spread = shape[0] / shape[-1]
+            if best_spread is None or (spread, shape) < (best_spread, best):
+                best, best_spread = shape, spread
+            return
+        f = 1
+        while f * f <= remaining:
+            if remaining % f == 0:
+                rec(remaining // f, left - 1, prefix + (f,))
+                rec(f, left - 1, prefix + (remaining // f,))
+            f += 1
+
+    rec(p, dims, ())
+    assert best is not None
+    return best
+
+
+def tune(
+    assignment: Assignment,
+    cluster: Cluster,
+    params: MachineParams = LASSEN,
+    *,
+    seed_grid: Optional[Sequence[int]] = None,
+    memory=None,
+    mode: str = "orbit",
+    check_capacity: bool = True,
+    strategy: str = "auto",
+    beam_width: int = 8,
+    coarse_procs: int = 64,
+    seed: int = 0,
+    jobs: int = 1,
+    max_dims: int = 3,
+    ledger_path=None,
+) -> TuneResult:
+    """Search the schedule space for one assignment on one cluster.
+
+    The heuristic (:func:`repro.core.autoschedule.auto_schedule`,
+    encoded as a decision vector) seeds the search and survives every
+    cut, so the result is never worse than the one-shot heuristic.
+    Returns a :class:`TuneResult` whose schedule and formats are
+    realized on the *caller's* assignment (formats applied), compiled
+    and simulated.
+    """
+    from repro.core.kernel import compile_kernel  # local: avoid cycle
+
+    p = cluster.num_processors
+    space = enumerate_space(assignment, p, max_dims=max_dims)
+    if seed_grid is None:
+        seed_grid = default_seed_grid(assignment, p)
+    seed_decision = from_heuristic(assignment, seed_grid)
+    if seed_decision not in space:
+        space = sorted(space + [seed_decision], key=Decision.key)
+
+    ledger = TuningLedger(ledger_path) if ledger_path is not None else None
+    oracle = Oracle(
+        cluster,
+        params=params,
+        memory=memory,
+        mode=mode,
+        check_capacity=check_capacity,
+        jobs=jobs,
+        ledger=ledger,
+    )
+    if strategy == "auto":
+        strategy = (
+            "exhaustive"
+            if len(space) <= EXHAUSTIVE_THRESHOLD
+            else "beam"
+        )
+    if strategy == "exhaustive":
+        ranked, rungs = exhaustive_search(assignment, oracle, space)
+    elif strategy == "beam":
+        ranked, rungs = beam_search(
+            assignment,
+            oracle,
+            space,
+            seed_decision,
+            beam_width=beam_width,
+            coarse_procs=coarse_procs,
+            seed=seed,
+        )
+    else:
+        raise ValueError(
+            f"unknown strategy {strategy!r} "
+            f"(expected 'auto', 'exhaustive' or 'beam')"
+        )
+    by_decision = {o.decision: o for o in ranked}
+    seed_outcome = by_decision[seed_decision]
+    best = ranked[0]
+    if not best.feasible:
+        # Nothing fits (including the heuristic): surface the seed so
+        # callers get a deterministic, inspectable answer.
+        best = seed_outcome
+    outcome = SearchOutcome(
+        best=best,
+        seed_outcome=seed_outcome,
+        strategy=strategy,
+        space_size=len(space),
+        evaluations=oracle.simulated,
+        rungs=rungs,
+    )
+
+    from repro.machine.grid import Grid
+    from repro.tuner.space import realize
+
+    machine = Machine(cluster, Grid(*best.decision.grid))
+    schedule, formats = realize(
+        assignment, machine, best.decision, memory=oracle.memory
+    )
+    kernel = compile_kernel(schedule, machine)
+    report = None
+    if best.feasible:
+        from repro.bench.cache import SIM_CACHE
+
+        report = SIM_CACHE.simulate(
+            kernel, params, check_capacity=check_capacity, mode=mode
+        )
+    return TuneResult(
+        decision=best.decision,
+        schedule=schedule,
+        formats=formats,
+        machine=machine,
+        kernel=kernel,
+        report=report,
+        search=outcome,
+    )

@@ -1,0 +1,730 @@
+"""The tuner's schedule space: declarative decision vectors.
+
+The paper's Section 9 extension — automatic schedule and format
+selection — needs a *search space*, not just a heuristic. This module
+materializes candidate schedules as small, hashable decision vectors
+(:class:`Decision`) that pin every choice the paper's hand schedules
+make:
+
+* the machine-grid shape (a factorization of the processor count);
+* which index variables distribute onto which grid dimensions;
+* whether a leftover reduction variable is *sequenced* into steps, and
+  whether those steps are systolic (``rotate`` by grid coordinates,
+  Cannon/PUMMA style) or broadcast (SUMMA style);
+* per-input communication: *pull* (replicate over the grid dimensions
+  that do not index the tensor — the stationary-tensor pattern) or
+  *tile* (partition the reduction mode across those dimensions, the
+  fully-tiled Figure 9 layouts) and the loop level the fetch aggregates
+  at;
+* the output's off-grid placement (reduction face vs. replicas) and the
+  leaf kernel (GEMM substitution vs. parallel loops).
+
+A decision vector is *replayable*: :func:`realize` deterministically
+rebuilds the same :class:`~repro.scheduling.schedule.Schedule` and
+per-tensor :class:`~repro.formats.format.Format` every time, so the
+tuning ledger can store vectors instead of schedules and a tuned result
+is an ordinary schedule a performance engineer can inspect.
+
+Symmetry: relabelling the grid dimensions of a candidate (together with
+its variable assignment and rotation set) yields an isomorphic schedule
+on the abstract torus, and reorderings of a rotation's source list are
+identical by construction. :func:`canonicalize` quotients both out so
+each symmetry class is enumerated and simulated once. (Row-major
+node packing makes the relabelling symmetry approximate on clusters
+with several processors per node; the canonical representative is the
+one that is simulated.)
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+from itertools import combinations, permutations
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.autoschedule import choose_distributed_vars
+from repro.formats.distribution import (
+    Broadcast,
+    DimName,
+    Distribution,
+    Fixed,
+)
+from repro.formats.format import Format
+from repro.ir.expr import Access, Add, Expr, IndexVar, Literal, Mul
+from repro.ir.tensor import Assignment, TensorVar
+from repro.machine.cluster import MemoryKind, ProcessorKind
+from repro.machine.machine import Machine
+from repro.scheduling.schedule import Schedule
+from repro.util.errors import ScheduleError
+
+_MODE_NAMES = "abcdefghijklmnopqrstuvwxyz"
+
+#: Sentinel leaf choices; ``realize`` maps "gemm" to the machine's BLAS.
+LEAF_GEMM = "gemm"
+LEAF_LOOPS = "loops"
+
+OUTPUT_FACE = "face"
+OUTPUT_REPLICATE = "replicate"
+
+
+@dataclass(frozen=True)
+class Decision:
+    """One point of the schedule space (all fields hashable/picklable).
+
+    ``grid``
+        Machine grid shape; its product is the processor count.
+    ``dist``
+        Index-variable names distributed onto the grid, one per
+        dimension, in machine-dimension order.
+    ``seq`` / ``steps_dim``
+        Optional reduction variable sequenced into
+        ``grid[steps_dim]`` steps (the divided k loop of Figure 9).
+    ``rotate``
+        Sorted grid-dimension indices whose coordinates rotate the
+        sequenced loop (``()`` = broadcast steps; Cannon rotates both
+        dimensions, PUMMA one).
+    ``tiled``
+        Input tensors whose unpartitioned reduction modes are tiled
+        across the grid dimensions that do not index them (the fully
+        tiled ``xy -> xy`` layouts); the rest *pull* replicas.
+    ``step_comm``
+        Inputs whose communication aggregates at the sequenced loop
+        (one fetch per step); the rest fetch once per task at the
+        innermost distributed loop.
+    ``output_style``
+        ``"face"`` homes the output on the 0-face of grid dimensions
+        that do not index it (Johnson's reduction face);
+        ``"replicate"`` keeps replicas everywhere (the heuristic's
+        choice).
+    ``leaf``
+        ``"gemm"`` substitutes the machine's BLAS at the leaf,
+        ``"loops"`` parallelizes the innermost local loop.
+    """
+
+    grid: Tuple[int, ...]
+    dist: Tuple[str, ...]
+    seq: Optional[str] = None
+    steps_dim: Optional[int] = None
+    rotate: Tuple[int, ...] = ()
+    tiled: Tuple[str, ...] = ()
+    step_comm: Tuple[str, ...] = ()
+    output_style: str = OUTPUT_FACE
+    leaf: str = LEAF_LOOPS
+
+    def key(self) -> Tuple:
+        """A total order over decisions (used for canonical forms,
+        deterministic tie-breaks, and ledger keys)."""
+        return (
+            len(self.grid),
+            self.grid,
+            self.dist,
+            self.seq or "",
+            -1 if self.steps_dim is None else self.steps_dim,
+            self.rotate,
+            self.tiled,
+            self.step_comm,
+            self.output_style,
+            self.leaf,
+        )
+
+    def encode(self) -> str:
+        """Compact, stable, human-readable string form (ledger key)."""
+        parts = [
+            "grid=" + "x".join(str(g) for g in self.grid),
+            "dist=" + ",".join(self.dist),
+        ]
+        if self.seq is not None:
+            parts.append(f"seq={self.seq}@{self.steps_dim}")
+        if self.rotate:
+            parts.append("rot=" + ",".join(str(d) for d in self.rotate))
+        if self.tiled:
+            parts.append("tile=" + ",".join(self.tiled))
+        if self.step_comm:
+            parts.append("step=" + ",".join(self.step_comm))
+        parts.append("out=" + self.output_style)
+        parts.append("leaf=" + self.leaf)
+        return ";".join(parts)
+
+    @staticmethod
+    def decode(text: str) -> "Decision":
+        """Inverse of :meth:`encode` (ledger replay)."""
+        fields: Dict[str, str] = {}
+        for part in text.split(";"):
+            key, _, value = part.partition("=")
+            fields[key] = value
+        seq = None
+        steps_dim = None
+        if "seq" in fields:
+            seq, _, dim = fields["seq"].partition("@")
+            steps_dim = int(dim)
+        split = lambda s: tuple(x for x in s.split(",") if x)  # noqa: E731
+        return Decision(
+            grid=tuple(int(g) for g in fields["grid"].split("x")),
+            dist=split(fields["dist"]),
+            seq=seq,
+            steps_dim=steps_dim,
+            rotate=tuple(int(d) for d in split(fields.get("rot", ""))),
+            tiled=split(fields.get("tile", "")),
+            step_comm=split(fields.get("step", "")),
+            output_style=fields.get("out", OUTPUT_FACE),
+            leaf=fields.get("leaf", LEAF_LOOPS),
+        )
+
+    def describe(self) -> str:
+        comm = "systolic" if self.rotate else (
+            "broadcast" if self.seq else "one-shot"
+        )
+        return (
+            f"grid {'x'.join(map(str, self.grid))}, "
+            f"distribute ({', '.join(self.dist)}), {comm}"
+            + (f" over {self.seq}" if self.seq else "")
+            + (f", tiled {{{', '.join(self.tiled)}}}" if self.tiled else "")
+            + f", leaf {self.leaf}"
+        )
+
+
+# ----------------------------------------------------------------------
+# Canonicalization.
+# ----------------------------------------------------------------------
+
+
+def canonicalize(decision: Decision) -> Decision:
+    """The canonical representative of a decision's symmetry class.
+
+    * rotation sources are an unordered set (``rotate(k, [io, jo])``
+      and ``rotate(k, [jo, io])`` are the same command) — sorted;
+    * rotations along extent-1 grid dimensions are identities — dropped;
+    * a sequenced loop no input communicates at is dead — folded away;
+    * grid-dimension relabellings (permuting ``grid`` together with
+      ``dist``, ``rotate`` and ``steps_dim``) are isomorphic — the
+      lexicographically least relabelling is chosen.
+    """
+    tiled = tuple(sorted(set(decision.tiled)))
+    step_comm = tuple(sorted(set(decision.step_comm) & set(tiled)))
+    seq = decision.seq
+    steps_dim = decision.steps_dim
+    rotate = tuple(
+        sorted({d for d in decision.rotate if decision.grid[d] > 1})
+    )
+    if seq is None or not step_comm:
+        seq, steps_dim, rotate, step_comm = None, None, (), ()
+    best: Optional[Decision] = None
+    for perm in permutations(range(len(decision.grid))):
+        grid = tuple(decision.grid[p] for p in perm)
+        dist = tuple(decision.dist[p] for p in perm)
+        new_pos = {old: new for new, old in enumerate(perm)}
+        rot = tuple(sorted(new_pos[d] for d in rotate))
+        sdim = None
+        if steps_dim is not None:
+            # Steps only depend on the extent: normalize to the first
+            # dimension with that extent.
+            extent = decision.grid[steps_dim]
+            sdim = min(i for i, g in enumerate(grid) if g == extent)
+        candidate = replace(
+            decision,
+            grid=grid,
+            dist=dist,
+            seq=seq,
+            steps_dim=sdim,
+            rotate=rot,
+            tiled=tiled,
+            step_comm=step_comm,
+        )
+        if best is None or candidate.key() < best.key():
+            best = candidate
+    return best
+
+
+def _input_accesses(assignment: Assignment) -> List[Access]:
+    """First access of each distinct input tensor, in expression order."""
+    seen = []
+    names = set()
+    output = assignment.lhs.tensor.name
+    for access in assignment.rhs.accesses():
+        if access.tensor.name == output or access.tensor.name in names:
+            continue
+        names.add(access.tensor.name)
+        seen.append(access)
+    return seen
+
+
+def _tileable_inputs(
+    assignment: Assignment, dist: Sequence[str]
+) -> List[str]:
+    """Inputs with a mode indexed by an undistributed reduction variable
+    *and* at least one grid dimension that does not index them."""
+    undist_red = {
+        v.name for v in assignment.reduction_vars if v.name not in dist
+    }
+    out = []
+    for access in _input_accesses(assignment):
+        index_names = {v.name for v in access.indices}
+        if not undist_red & index_names:
+            continue
+        if all(d in index_names for d in dist):
+            continue
+        out.append(access.tensor.name)
+    return out
+
+
+def normalize(assignment: Assignment, decision: Decision) -> Decision:
+    """Fold assignment-dependent degeneracies, then canonicalize.
+
+    * ``tiled`` restricted to inputs that can actually be tiled;
+    * ``step_comm`` restricted to tiled inputs the sequenced variable
+      indexes (a per-step fetch of step-invariant data is the same
+      candidate as a one-shot fetch);
+    * ``output_style`` is meaningless when every grid dimension indexes
+      the output — normalized to ``"face"``;
+    * a GEMM leaf needs a contraction with at least two local loops.
+    """
+    tileable = set(_tileable_inputs(assignment, decision.dist))
+    tiled = tuple(sorted(set(decision.tiled) & tileable))
+    step_comm = set(decision.step_comm) & set(tiled)
+    if decision.seq is not None:
+        indexed_by_seq = {
+            a.tensor.name
+            for a in _input_accesses(assignment)
+            if decision.seq in {v.name for v in a.indices}
+        }
+        step_comm &= indexed_by_seq
+    out_names = {v.name for v in assignment.lhs.indices}
+    output_style = decision.output_style
+    if all(d in out_names for d in decision.dist):
+        output_style = OUTPUT_FACE
+    leaf = decision.leaf
+    if not assignment.reduction_vars or len(assignment.all_vars) < 2:
+        leaf = LEAF_LOOPS
+    return canonicalize(
+        replace(
+            decision,
+            tiled=tiled,
+            step_comm=tuple(sorted(step_comm)),
+            output_style=output_style,
+            leaf=leaf,
+        )
+    )
+
+
+# ----------------------------------------------------------------------
+# Format derivation.
+# ----------------------------------------------------------------------
+
+
+def formats_for(
+    assignment: Assignment,
+    decision: Decision,
+    memory: MemoryKind = MemoryKind.SYSTEM_MEM,
+) -> Dict[str, Format]:
+    """Per-tensor distributions induced by a decision vector.
+
+    Grid dimensions whose variable indexes a tensor partition the
+    corresponding mode. Remaining dimensions: the output is homed on
+    the 0-face (``"face"``) or replicated; *tiled* inputs spend those
+    dimensions partitioning their unpartitioned reduction modes
+    (preferring the sequenced variable's mode — the Figure 9
+    ``xy -> xy`` layouts); *pulled* inputs replicate.
+    """
+    output = assignment.lhs.tensor.name
+    tile_priority = [decision.seq] if decision.seq else []
+    tile_priority += [
+        v.name
+        for v in assignment.reduction_vars
+        if v.name not in decision.dist and v.name not in tile_priority
+    ]
+    formats: Dict[str, Format] = {}
+    for access in assignment.accesses():
+        tensor = access.tensor
+        if tensor.name in formats:
+            continue
+        if tensor.ndim == 0:
+            formats[tensor.name] = Format(memory=memory)
+            continue
+        index_names = [v.name for v in access.indices]
+        mode_names = [_MODE_NAMES[m] for m in range(tensor.ndim)]
+        used = set()
+        mdims: List = []
+        for var in decision.dist:
+            if var in index_names:
+                mode = index_names.index(var)
+                mdims.append(DimName(mode_names[mode]))
+                used.add(mode)
+            else:
+                mdims.append(None)  # placeholder, resolved below
+        is_tiled = tensor.name in decision.tiled
+        for pos, mdim in enumerate(mdims):
+            if mdim is not None:
+                continue
+            if tensor.name == output:
+                mdims[pos] = (
+                    Fixed(0)
+                    if decision.output_style == OUTPUT_FACE
+                    else Broadcast()
+                )
+                continue
+            filled = False
+            if is_tiled:
+                for var in tile_priority:
+                    if var not in index_names:
+                        continue
+                    mode = index_names.index(var)
+                    if mode in used:
+                        continue
+                    mdims[pos] = DimName(mode_names[mode])
+                    used.add(mode)
+                    filled = True
+                    break
+            if not filled:
+                mdims[pos] = Broadcast()
+        dist = Distribution(mode_names, mdims)
+        formats[tensor.name] = Format(dist, memory=memory)
+    return formats
+
+
+# ----------------------------------------------------------------------
+# Replay: decision vector -> Schedule + formats.
+# ----------------------------------------------------------------------
+
+
+def realize(
+    assignment: Assignment,
+    machine: Machine,
+    decision: Decision,
+    memory: MemoryKind = MemoryKind.SYSTEM_MEM,
+    apply_formats: bool = True,
+) -> Tuple[Schedule, Dict[str, Format]]:
+    """Deterministically rebuild the schedule a decision describes.
+
+    The same decision replayed on the same assignment and machine
+    produces a byte-identical plan (``compile_kernel(...).pretty()``),
+    which is what makes the tuning ledger and cache keys sound.
+    """
+    if machine.levels[0].shape != decision.grid:
+        raise ScheduleError(
+            f"decision targets grid {decision.grid} but the machine's "
+            f"outer level is {machine.levels[0].shape}"
+        )
+    by_name = {v.name: v for v in assignment.all_vars}
+    missing = [n for n in decision.dist if n not in by_name]
+    if missing:
+        raise ScheduleError(
+            f"decision distributes unknown index variables {missing}"
+        )
+    formats = formats_for(assignment, decision, memory)
+    if apply_formats:
+        for tensor in assignment.tensors():
+            if tensor.name in formats:
+                tensor.format = formats[tensor.name]
+
+    sched = Schedule(assignment)
+    dist_vars = [by_name[n] for n in decision.dist]
+    order = dist_vars + [
+        v for v in assignment.all_vars if v.name not in decision.dist
+    ]
+    sched.reorder(order)
+    outers, inners = [], []
+    for var, extent in zip(dist_vars, decision.grid):
+        outer = IndexVar(f"{var.name}_o")
+        inner = IndexVar(f"{var.name}_i")
+        sched.divide(var, outer, inner, extent)
+        outers.append(outer)
+        inners.append(inner)
+    sched.reorder(outers + inners)
+    sched.distribute(outers)
+
+    seq_loop: Optional[IndexVar] = None
+    if decision.seq is not None:
+        seq_var = by_name[decision.seq]
+        seq_o = IndexVar(f"{seq_var.name}_o")
+        seq_i = IndexVar(f"{seq_var.name}_i")
+        sched.divide(seq_var, seq_o, seq_i, decision.grid[decision.steps_dim])
+        local_now = [v for v in sched.loop_vars() if v not in outers]
+        rest = [v for v in local_now if v not in (seq_o, seq_i)]
+        sched.reorder([seq_o] + rest + [seq_i])
+        seq_loop = seq_o
+        if decision.rotate:
+            rotated = IndexVar(f"{seq_var.name}_r")
+            sched.rotate(
+                seq_o, [outers[d] for d in decision.rotate], rotated
+            )
+            seq_loop = rotated
+
+    step_set = set(decision.step_comm)
+    output = assignment.lhs.tensor.name
+    sched.communicate(output, outers[-1])
+    for tensor in assignment.tensors()[1:]:
+        anchor = seq_loop if tensor.name in step_set else outers[-1]
+        sched.communicate(tensor.name, anchor)
+
+    leaf_nest = [
+        v for v in sched.loop_vars() if v not in outers and v is not seq_loop
+    ]
+    if decision.leaf == LEAF_GEMM and leaf_nest:
+        kernel = (
+            "cublas_gemm"
+            if machine.cluster.processor_kind is ProcessorKind.GPU
+            else "blas_gemm"
+        )
+        sched.substitute(leaf_nest, kernel)
+    elif leaf_nest:
+        sched.parallelize(leaf_nest[0])
+    return sched, formats
+
+
+# ----------------------------------------------------------------------
+# The heuristic as a decision vector (the tuner's seed).
+# ----------------------------------------------------------------------
+
+
+def from_heuristic(
+    assignment: Assignment, grid_shape: Sequence[int]
+) -> Decision:
+    """Encode :func:`repro.core.autoschedule.auto_schedule`'s choice.
+
+    The heuristic distributes output (then reduction) variables over
+    the given grid, replicates every tensor across the grid dimensions
+    it does not follow, communicates everything at the innermost
+    distributed loop, and substitutes a GEMM leaf for contractions —
+    all expressible as a pull/one-shot decision vector, which seeds the
+    search so the tuner can never return something worse.
+    """
+    grid_shape = tuple(int(g) for g in grid_shape)
+    dist = choose_distributed_vars(assignment, len(grid_shape))
+    if len(dist) < len(grid_shape):
+        raise ScheduleError(
+            f"assignment has {len(dist)} distributable variables but the "
+            f"grid has {len(grid_shape)} dimensions"
+        )
+    leaf = (
+        LEAF_GEMM
+        if assignment.reduction_vars and len(assignment.all_vars) >= 2
+        else LEAF_LOOPS
+    )
+    return normalize(
+        assignment,
+        Decision(
+            grid=grid_shape,
+            dist=tuple(v.name for v in dist),
+            output_style=OUTPUT_REPLICATE,
+            leaf=leaf,
+        ),
+    )
+
+
+# ----------------------------------------------------------------------
+# Enumeration.
+# ----------------------------------------------------------------------
+
+
+def factorizations(p: int, max_dims: int) -> List[Tuple[int, ...]]:
+    """Ordered factorizations of ``p`` into 1..max_dims factors >= 2
+    (plus the trivial ``(1,)`` machine when p == 1)."""
+    if p == 1:
+        return [(1,)]
+    out: List[Tuple[int, ...]] = []
+
+    def rec(remaining: int, prefix: Tuple[int, ...]):
+        if remaining == 1:
+            if prefix:
+                out.append(prefix)
+            return
+        if len(prefix) == max_dims:
+            return
+        for f in range(2, remaining + 1):
+            if remaining % f == 0:
+                rec(remaining // f, prefix + (f,))
+
+    rec(p, ())
+    return out
+
+
+def enumerate_space(
+    assignment: Assignment,
+    num_procs: int,
+    max_dims: int = 3,
+    include_loops_leaf: bool = True,
+) -> List[Decision]:
+    """All canonical decision vectors for an assignment and machine size.
+
+    Symmetric candidates (grid-dimension relabellings, reordered
+    rotation sources) collapse to one representative; degenerate
+    structure (dead sequential loops, untileable tile requests) is
+    folded before deduplication, so the returned list counts distinct
+    schedules. Sorted by :meth:`Decision.key` for determinism.
+    """
+    domains = assignment.domains()
+    var_names = [v.name for v in assignment.all_vars]
+    reductions = [v.name for v in assignment.reduction_vars]
+    contraction = bool(reductions) and len(var_names) >= 2
+    leaf_choices = [LEAF_GEMM] if contraction else [LEAF_LOOPS]
+    if contraction and include_loops_leaf:
+        leaf_choices.append(LEAF_LOOPS)
+    out_names = {v.name for v in assignment.lhs.indices}
+    seen: Dict[Tuple, Decision] = {}
+
+    def emit(decision: Decision):
+        norm = normalize(assignment, decision)
+        seen.setdefault(norm.key(), norm)
+
+    for shape in factorizations(num_procs, min(max_dims, len(var_names))):
+        d = len(shape)
+        for dist in permutations(var_names, d):
+            extent_ok = all(
+                domains[IndexVar(v)] is None or domains[IndexVar(v)] >= g
+                for v, g in zip(dist, shape)
+            )
+            if not extent_ok:
+                continue
+            tileable = _tileable_inputs(assignment, dist)
+            undist_red = [r for r in reductions if r not in dist]
+            output_styles = (
+                [OUTPUT_FACE]
+                if all(v in out_names for v in dist)
+                else [OUTPUT_FACE, OUTPUT_REPLICATE]
+            )
+            tiled_subsets = [
+                tuple(sorted(c))
+                for k in range(len(tileable) + 1)
+                for c in combinations(tileable, k)
+            ]
+            dims = list(range(d))
+            step_dims = sorted(
+                {shape[i]: i for i in reversed(dims)}.values()
+            )
+            rotate_subsets = [
+                tuple(sorted(c))
+                for k in range(d + 1)
+                for c in combinations(dims, k)
+            ]
+            for out_style in output_styles:
+                for leaf in leaf_choices:
+                    for tiled in tiled_subsets:
+                        # One-shot (no sequenced loop).
+                        emit(Decision(
+                            grid=shape,
+                            dist=dist,
+                            tiled=tiled,
+                            output_style=out_style,
+                            leaf=leaf,
+                        ))
+                        if not tiled:
+                            continue
+                        for seq in undist_red:
+                            steppable = [
+                                t for t in tiled
+                                if _indexed_by(assignment, t, seq)
+                            ]
+                            if not steppable:
+                                continue
+                            step_subsets = [
+                                tuple(sorted(c))
+                                for k in range(1, len(steppable) + 1)
+                                for c in combinations(steppable, k)
+                            ]
+                            seq_extent = domains[IndexVar(seq)]
+                            for steps_dim in step_dims:
+                                if (
+                                    seq_extent is not None
+                                    and shape[steps_dim] > seq_extent
+                                ):
+                                    continue
+                                for rot in rotate_subsets:
+                                    for step_comm in step_subsets:
+                                        emit(Decision(
+                                            grid=shape,
+                                            dist=dist,
+                                            seq=seq,
+                                            steps_dim=steps_dim,
+                                            rotate=rot,
+                                            tiled=tiled,
+                                            step_comm=step_comm,
+                                            output_style=out_style,
+                                            leaf=leaf,
+                                        ))
+    return [seen[k] for k in sorted(seen)]
+
+
+def _indexed_by(assignment: Assignment, tensor: str, var: str) -> bool:
+    for access in _input_accesses(assignment):
+        if access.tensor.name == tensor:
+            return var in {v.name for v in access.indices}
+    return False
+
+
+# ----------------------------------------------------------------------
+# Coarse projections (successive halving's cheap rung).
+# ----------------------------------------------------------------------
+
+
+def coarsen(decision: Decision, target_procs: int) -> Decision:
+    """Shrink a decision's grid to at most ``target_procs`` points.
+
+    Extents shrink by their smallest prime factor, largest extent
+    first, so the grid's *shape character* (square vs. skewed vs.
+    one-dimensional) survives the projection — that is what the coarse
+    rung is ranking.
+    """
+    grid = list(decision.grid)
+    while math.prod(grid) > target_procs:
+        idx = max(range(len(grid)), key=lambda j: (grid[j], -j))
+        g = grid[idx]
+        if g <= 1:
+            break
+        factor = _smallest_prime_factor(g)
+        grid[idx] = g // factor
+    return replace(decision, grid=tuple(grid))
+
+
+def _smallest_prime_factor(n: int) -> int:
+    f = 2
+    while f * f <= n:
+        if n % f == 0:
+            return f
+        f += 1
+    return n
+
+
+def scale_assignment(
+    assignment: Assignment, scale: float, multiple: int = 8
+) -> Assignment:
+    """A fresh copy of an assignment with every index extent scaled.
+
+    Used to weak-scale the problem alongside a coarsened machine so
+    per-processor footprints — and therefore OOM feasibility — carry
+    over to the cheap rung. Tensor formats are reset (the tuner applies
+    per-candidate formats anyway).
+    """
+    new_extent: Dict[str, int] = {}
+    for var, extent in assignment.domains().items():
+        if extent is None:
+            continue
+        scaled = max(1, int(round(extent * scale)))
+        if extent >= multiple:
+            scaled = max(multiple, round(scaled / multiple) * multiple)
+        new_extent[var.name] = min(scaled, extent)
+    tensors: Dict[str, TensorVar] = {}
+
+    def rebuild_tensor(access: Access) -> TensorVar:
+        old = access.tensor
+        if old.name not in tensors:
+            shape = tuple(
+                new_extent.get(v.name, e)
+                for v, e in zip(access.indices, old.shape)
+            )
+            tensors[old.name] = TensorVar(
+                old.name, shape, Format(memory=old.format.memory),
+                dtype=old.dtype,
+            )
+        return tensors[old.name]
+
+    def rebuild(expr: Expr) -> Expr:
+        if isinstance(expr, Access):
+            return Access(rebuild_tensor(expr), expr.indices)
+        if isinstance(expr, Literal):
+            return Literal(expr.value)
+        if isinstance(expr, (Add, Mul)):
+            return type(expr)(rebuild(expr.lhs), rebuild(expr.rhs))
+        raise TypeError(f"unexpected expression node {expr!r}")
+
+    lhs = Access(rebuild_tensor(assignment.lhs), assignment.lhs.indices)
+    return Assignment(lhs, rebuild(assignment.rhs), assignment.accumulate)

@@ -1,0 +1,95 @@
+"""Named tuning workloads (fresh assignments for the CLI and tests).
+
+Each builder returns a *new* :class:`~repro.ir.tensor.Assignment` with
+default (undistributed) formats — the tuner derives formats per
+candidate, so workloads carry only shapes and structure. Sizes default
+to the paper's weak-scaling rule: matrix sides grow with
+``sqrt(nodes)``, 3-tensor sides with ``cbrt(nodes)`` (Section 7.1).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+from repro.bench.weak_scaling import weak_cube_side, weak_matrix_size
+from repro.ir.expr import index_vars
+from repro.ir.tensor import Assignment, TensorVar
+
+
+def matmul(n: int) -> Assignment:
+    """Square GEMM ``A(i,j) = B(i,k) C(k,j)`` (Figure 9's workload)."""
+    A = TensorVar("A", (n, n))
+    B = TensorVar("B", (n, n))
+    C = TensorVar("C", (n, n))
+    i, j, k = index_vars("i j k")
+    return Assignment(A[i, j], B[i, k] * C[k, j])
+
+
+def matmul_rect(m: int, k: int, n: int) -> Assignment:
+    """Rectangular GEMM — small-k problems favour stationary-output
+    pull schedules over systolic rotation."""
+    A = TensorVar("A", (m, n))
+    B = TensorVar("B", (m, k))
+    C = TensorVar("C", (k, n))
+    i, j, kk = index_vars("i j k")
+    return Assignment(A[i, j], B[i, kk] * C[kk, j])
+
+
+def ttv(n: int) -> Assignment:
+    """Tensor-times-vector ``A(i,j) = B(i,j,k) c(k)``."""
+    A = TensorVar("A", (n, n))
+    B = TensorVar("B", (n, n, n))
+    c = TensorVar("c", (n,))
+    i, j, k = index_vars("i j k")
+    return Assignment(A[i, j], B[i, j, k] * c[k])
+
+
+def ttm(n: int, r: Optional[int] = None) -> Assignment:
+    """Tensor-times-matrix ``A(i,j,l) = B(i,j,k) C(k,l)``."""
+    if r is None:
+        r = max(16, n // 4)
+    A = TensorVar("A", (n, n, r))
+    B = TensorVar("B", (n, n, n))
+    C = TensorVar("C", (n, r))
+    i, j, k, l = index_vars("i j k l")
+    return Assignment(A[i, j, l], B[i, j, k] * C[k, l])
+
+
+def mttkrp(n: int, r: int = 64) -> Assignment:
+    """MTTKRP ``A(i,l) = B(i,j,k) C(j,l) D(k,l)``."""
+    A = TensorVar("A", (n, r))
+    B = TensorVar("B", (n, n, n))
+    C = TensorVar("C", (n, r))
+    D = TensorVar("D", (n, r))
+    i, j, k, l = index_vars("i j k l")
+    return Assignment(A[i, l], B[i, j, k] * C[j, l] * D[k, l])
+
+
+def sized(workload: str, n: int) -> Assignment:
+    """A named workload at an explicit side length ``n``.
+
+    Rectangular matmul derives its contraction dimension from ``n``
+    (the small-k regime the workload exists to exercise).
+    """
+    if workload == "matmul-rect":
+        return matmul_rect(n, max(256, n // 64), n)
+    builder = WORKLOADS.get(workload)
+    if builder is None:
+        raise ValueError(f"unknown workload {workload!r}")
+    return builder(n)
+
+
+def weak_scaled(workload: str, nodes: int, base: int = 8192) -> Assignment:
+    """A named workload at the paper's weak-scaled size for ``nodes``."""
+    if workload in ("matmul", "matmul-rect"):
+        return sized(workload, weak_matrix_size(base, nodes))
+    return sized(workload, weak_cube_side(min(base, 512), nodes))
+
+
+WORKLOADS: Dict[str, Callable] = {
+    "matmul": matmul,
+    "matmul-rect": matmul_rect,
+    "ttv": ttv,
+    "ttm": ttm,
+    "mttkrp": mttkrp,
+}

@@ -1,6 +1,9 @@
 """The BENCH_simulator.json perf trajectory writer."""
 
 import json
+import multiprocessing
+
+import pytest
 
 from repro.bench.perf_log import append_record, log_path
 
@@ -30,3 +33,70 @@ class TestPerfLog:
         assert path.name == "BENCH_simulator.json"
         # src/repro/bench -> three levels up.
         assert (path.parent / "src" / "repro" / "bench").is_dir()
+
+
+class TestCrashSafety:
+    def test_salvages_and_quarantines_torn_tail(self, tmp_path, monkeypatch):
+        """A log truncated mid-record keeps its valid prefix; the corrupt
+        original is quarantined next to the log."""
+        log = tmp_path / "BENCH_simulator.json"
+        monkeypatch.setenv("REPRO_BENCH_LOG", str(log))
+        assert append_record("one", 1.0)
+        assert append_record("two", 2.0)
+        intact = log.read_text()
+        torn = intact[: intact.rindex("{") + 20]  # cut inside record two
+        log.write_text(torn)
+        assert append_record("three", 3.0)
+        records = json.loads(log.read_text())
+        assert [r["name"] for r in records] == ["one", "three"]
+        quarantine = tmp_path / "BENCH_simulator.json.corrupt"
+        assert quarantine.read_text() == torn
+
+    def test_truncated_before_first_record(self, tmp_path, monkeypatch):
+        log = tmp_path / "BENCH_simulator.json"
+        monkeypatch.setenv("REPRO_BENCH_LOG", str(log))
+        log.write_text("[\n {\"name\": \"half")
+        assert append_record("fresh", 1.0)
+        records = json.loads(log.read_text())
+        assert [r["name"] for r in records] == ["fresh"]
+
+    def test_atomic_replace_leaves_no_partial_log(self, tmp_path, monkeypatch):
+        log = tmp_path / "BENCH_simulator.json"
+        monkeypatch.setenv("REPRO_BENCH_LOG", str(log))
+        assert append_record("one", 1.0)
+        # The write path goes through a temp file + os.replace: after a
+        # successful append no *.tmp litter remains and the log parses.
+        assert append_record("two", 2.0)
+        leftovers = [p for p in tmp_path.iterdir() if p.suffix == ".tmp"]
+        assert leftovers == []
+        assert len(json.loads(log.read_text())) == 2
+
+    def test_parallel_appends_lose_nothing(self, tmp_path, monkeypatch):
+        """Concurrent appenders (forked --jobs workers) serialize on the
+        lock: every record lands and the log stays a valid JSON list."""
+        log = tmp_path / "BENCH_simulator.json"
+        monkeypatch.setenv("REPRO_BENCH_LOG", str(log))
+        if "fork" not in multiprocessing.get_all_start_methods():
+            pytest.skip("fork start method unavailable")
+        ctx = multiprocessing.get_context("fork")
+        procs = [
+            ctx.Process(target=_append_many, args=(str(log), i))
+            for i in range(4)
+        ]
+        for p in procs:
+            p.start()
+        for p in procs:
+            p.join()
+        records = json.loads(log.read_text())
+        assert len(records) == 4 * 8
+        assert {r["name"] for r in records} == {
+            f"w{i}:{j}" for i in range(4) for j in range(8)
+        }
+
+
+def _append_many(log, worker):
+    import os
+
+    os.environ["REPRO_BENCH_LOG"] = log
+    for j in range(8):
+        assert append_record(f"w{worker}:{j}", 0.1)

@@ -1,0 +1,122 @@
+"""The public entry points: Kernel.autoschedule, Kernel.tune, the CLI."""
+
+import json
+
+import pytest
+
+from repro import Grid, Kernel, Machine, Schedule, compile_kernel
+from repro.machine.cluster import Cluster
+from repro.tuner.search import TuneResult
+from repro.tuner.space import realize
+from repro.tuner.workloads import matmul
+
+
+class TestAutoschedule:
+    def test_compiles_the_heuristic(self, rng):
+        stmt = matmul(16)
+        kern = Kernel.autoschedule(stmt, Machine.flat(2, 2))
+        assert isinstance(kern, Kernel)
+        kern.execute(
+            {"B": rng.random((16, 16)), "C": rng.random((16, 16))},
+            verify=True,
+        )
+
+    def test_matches_auto_schedule_module(self):
+        from repro.core.autoschedule import auto_schedule
+
+        machine = Machine.flat(2, 2)
+        kern = Kernel.autoschedule(matmul(64), machine)
+        ref = auto_schedule(matmul(64), machine)
+        assert kern.plan.pretty() == compile_kernel(
+            ref.schedule, machine
+        ).plan.pretty()
+
+    def test_gpu_machines_default_to_framebuffer(self):
+        from repro.machine.cluster import MemoryKind
+
+        cluster = Cluster.gpu_cluster(1)
+        machine = Machine(cluster, Grid(2, 2))
+        kern = Kernel.autoschedule(matmul(64), machine)
+        for tensor in kern.plan.tensors.values():
+            assert tensor.format.memory is MemoryKind.GPU_FB
+
+
+class TestKernelTune:
+    def test_accepts_cluster(self):
+        result = Kernel.tune(matmul(1024), Cluster.cpu_cluster(2))
+        assert isinstance(result, TuneResult)
+        assert isinstance(result.schedule, Schedule)
+        assert result.search.best.cost <= result.search.seed_outcome.cost
+
+    def test_accepts_machine_and_seeds_its_grid(self):
+        cluster = Cluster.cpu_cluster(2)
+        machine = Machine(cluster, Grid(4, 1))
+        result = Kernel.tune(matmul(1024), machine)
+        assert result.search.seed_outcome.decision.grid in ((4, 1), (1, 4))
+
+    def test_rejects_hierarchical_machines(self):
+        cluster = Cluster.gpu_cluster(4)
+        machine = Machine(cluster, Grid(2, 2), Grid(2, 2))
+        with pytest.raises(ValueError):
+            Kernel.tune(matmul(1024), machine)
+
+    def test_result_replays_from_decision_vector(self):
+        """The returned schedule is an ordinary Schedule + formats that
+        replay byte-identically from the decision vector alone."""
+        result = Kernel.tune(matmul(1024), Cluster.cpu_cluster(2))
+        replay_stmt = matmul(1024)
+        sched, fmts = realize(
+            replay_stmt, result.machine, result.decision
+        )
+        replay_plan = compile_kernel(sched, result.machine).plan.pretty()
+        assert replay_plan == result.kernel.plan.pretty()
+        assert {n: f.notation() for n, f in fmts.items()} == {
+            n: f.notation() for n, f in result.formats.items()
+        }
+
+    def test_tuned_kernel_is_executable(self, rng):
+        result = Kernel.tune(matmul(16), Cluster.cpu_cluster(2))
+        result.kernel.execute(
+            {"B": rng.random((16, 16)), "C": rng.random((16, 16))},
+            verify=True,
+        )
+
+    def test_describe_mentions_costs(self):
+        result = Kernel.tune(matmul(1024), Cluster.cpu_cluster(2))
+        text = result.describe()
+        assert "heuristic seed" in text
+        assert "best" in text
+        assert "format A" in text
+
+
+class TestCli:
+    def test_demo_smoke(self, capsys, tmp_path, monkeypatch):
+        from repro.tune import main
+
+        log = tmp_path / "BENCH_simulator.json"
+        monkeypatch.setenv("REPRO_BENCH_LOG", str(log))
+        assert main(["--demo", "--jobs", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "heuristic cost" in out
+        assert "tuned cost" in out
+        records = json.loads(log.read_text())
+        assert records[-1]["name"] == "tune:matmul"
+        assert "tuned_cost_s" in records[-1]["metrics"]
+
+    def test_ledger_roundtrip_through_cli(self, tmp_path, monkeypatch):
+        from repro.tune import main
+
+        monkeypatch.setenv(
+            "REPRO_BENCH_LOG", str(tmp_path / "bench.json")
+        )
+        ledger = tmp_path / "ledger.json"
+        args = [
+            "--workload", "matmul", "--nodes", "2", "--size", "1024",
+            "--ledger", str(ledger),
+        ]
+        assert main(args) == 0
+        data = json.loads(ledger.read_text())
+        first = len(data["entries"])
+        assert first > 0
+        assert main(args) == 0
+        assert len(json.loads(ledger.read_text())["entries"]) == first
