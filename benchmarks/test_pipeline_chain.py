@@ -1,0 +1,79 @@
+"""Acceptance benchmark: joint pipeline tuning at paper scale.
+
+The full-size variant of ``tests/pipeline/test_joint.py``: the
+``(A@B)@C`` chain at 256 one-socket nodes with the weak-scaled 65536
+problem, jointly tuned through the parallel oracle inside the suite's
+240 s budget. The joint schedule must eliminate the intermediate's
+redistribution outright and strictly beat independently tuned stages,
+and TTMc must behave the same way at 256 GPU-less nodes with plentiful
+memory (the mismatch there comes from grid shapes, not capacity).
+"""
+
+import os
+import time
+
+import pytest
+
+from repro import LASSEN, Pipeline
+from repro.tuner.joint import tune_pipeline
+from repro.tuner.workloads import lean_cluster, matmul_chain, ttmc
+
+JOBS = int(os.environ.get("REPRO_TUNE_JOBS", "8"))
+
+
+@pytest.fixture(scope="module")
+def chain_result():
+    from repro.bench.perf_log import append_record
+
+    cluster = lean_cluster(256, mem_gib=2)
+    pipeline = Pipeline(matmul_chain(65536, 512), cluster)
+    start = time.monotonic()
+    result = tune_pipeline(
+        pipeline,
+        LASSEN,
+        top_k=5,
+        max_dims=2,
+        coarse_procs=16,
+        jobs=JOBS,
+    )
+    wall = time.monotonic() - start
+    append_record("tune-pipeline:chain_256nodes", wall, metrics={
+        "combinations": result.combinations,
+        "evaluations": result.evaluations,
+        "joint_cost_s": result.report.combined.total_time,
+        "independent_cost_s": (
+            result.independent_report.combined.total_time
+        ),
+    })
+    return result
+
+
+class TestChainAtScale:
+    def test_joint_eliminates_redistribution(self, chain_result):
+        assert chain_result.independent_report.redistribution_bytes > 0
+        assert chain_result.report.redistribution_bytes == 0.0
+
+    def test_joint_strictly_beats_independent(self, chain_result):
+        joint = chain_result.report.combined.total_time
+        independent = (
+            chain_result.independent_report.combined.total_time
+        )
+        assert joint < independent
+
+    def test_handoff_is_direct_or_matched(self, chain_result):
+        assert chain_result.handoffs["T"] in ("direct", "redistribute")
+        assert chain_result.report.edges[0].matched
+
+
+class TestTTMcAtScale:
+    def test_grid_shape_mismatch_resolved_jointly(self):
+        cluster = lean_cluster(256, mem_gib=4)
+        pipeline = Pipeline(ttmc(1024), cluster)
+        result = tune_pipeline(
+            pipeline, LASSEN, top_k=5, coarse_procs=16, jobs=JOBS
+        )
+        assert result.report is not None
+        joint = result.report.combined.total_time
+        independent = result.independent_report.combined.total_time
+        assert joint < independent
+        assert result.report.redistribution_bytes == 0.0

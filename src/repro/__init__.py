@@ -46,7 +46,14 @@ from repro.core.kernel import Kernel, compile_kernel
 # a top-level ``repro.tune`` re-export would be shadowed by the
 # ``python -m repro.tune`` CLI module of the same name.
 from repro.tuner import Decision, TuneResult, TuningLedger
-from repro.core.transfer import redistribution_bytes, transfer_kernel
+from repro.core.transfer import (
+    formats_equivalent,
+    redistribution_bytes,
+    redistribution_trace,
+    transfer_kernel,
+)
+from repro.pipeline import Pipeline, PipelinePlan, PipelineReport, Stage
+from repro.tuner.joint import PipelineTuneResult, tune_pipeline
 from repro.formats.distribution import Distribution
 from repro.formats.format import Format
 from repro.ir.expr import Access, IndexVar, index_vars
@@ -61,6 +68,7 @@ from repro.util.errors import (
     DistributionError,
     LoweringError,
     OutOfMemoryError,
+    PipelineError,
     ReproError,
     ScheduleError,
 )
@@ -89,15 +97,24 @@ __all__ = [
     "Memory",
     "MemoryKind",
     "OutOfMemoryError",
+    "Pipeline",
+    "PipelineError",
+    "PipelinePlan",
+    "PipelineReport",
+    "PipelineTuneResult",
     "ProcessorKind",
     "ReproError",
     "ScheduleError",
     "Schedule",
     "SimReport",
+    "Stage",
     "TensorVar",
     "TuneResult",
     "TuningLedger",
     "compile_kernel",
+    "formats_equivalent",
     "index_vars",
+    "redistribution_trace",
     "reference_einsum",
+    "tune_pipeline",
 ]

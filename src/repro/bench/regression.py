@@ -1,0 +1,144 @@
+"""Perf-regression gate over the ``BENCH_simulator.json`` trajectory.
+
+``python -m repro.bench.regression --baseline OLD.json`` compares the
+*latest* record of every tracked name in the current perf log against
+the latest record of the same name in a baseline log (CI uses the
+last committed trajectory, snapshotted before the benchmark run
+appends to it). A name regresses when its wall-clock grew by more than
+``--threshold`` (default 25%) *and* by more than ``--min-seconds``
+(default 0.05 s — sub-tick timings jitter far above 25% without
+meaning anything). Names present only in one log are reported but
+never fail the gate; exit status is 1 iff at least one tracked timing
+regressed.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+from repro.bench.perf_log import log_path
+
+#: Defaults of the CI gate.
+DEFAULT_THRESHOLD = 0.25
+DEFAULT_MIN_SECONDS = 0.05
+
+
+def latest_by_name(records: List[Dict]) -> Dict[str, Dict]:
+    """The last record of every name, in trajectory (append) order."""
+    latest: Dict[str, Dict] = {}
+    for record in records:
+        name = record.get("name")
+        if isinstance(name, str) and "wall_s" in record:
+            latest[name] = record
+    return latest
+
+
+def load_records(path: Path) -> List[Dict]:
+    try:
+        data = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError) as err:
+        raise SystemExit(f"cannot read perf log {path}: {err}")
+    if not isinstance(data, list):
+        raise SystemExit(f"perf log {path} is not a JSON list")
+    return data
+
+
+def compare(
+    baseline: Dict[str, Dict],
+    current: Dict[str, Dict],
+    threshold: float = DEFAULT_THRESHOLD,
+    min_seconds: float = DEFAULT_MIN_SECONDS,
+) -> Tuple[List[Tuple[str, float, float]], List[str], List[str]]:
+    """(regressions, names only in baseline, names only in current).
+
+    A regression is ``(name, baseline wall_s, current wall_s)`` where
+    the current timing exceeds the baseline by more than both the
+    relative threshold and the absolute floor.
+    """
+    regressions: List[Tuple[str, float, float]] = []
+    for name in sorted(set(baseline) & set(current)):
+        base = float(baseline[name]["wall_s"])
+        cur = float(current[name]["wall_s"])
+        if cur > base * (1.0 + threshold) and cur - base > min_seconds:
+            regressions.append((name, base, cur))
+    missing = sorted(set(baseline) - set(current))
+    new = sorted(set(current) - set(baseline))
+    return regressions, missing, new
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench.regression",
+        description="Fail when a tracked benchmark timing regressed "
+        "against a baseline perf trajectory.",
+    )
+    parser.add_argument(
+        "--baseline",
+        required=True,
+        help="baseline perf log (e.g. the last committed "
+        "BENCH_simulator.json, snapshotted before the run)",
+    )
+    parser.add_argument(
+        "--log",
+        default=None,
+        help="current perf log (default: the repository trajectory, "
+        "honouring REPRO_BENCH_LOG)",
+    )
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=DEFAULT_THRESHOLD,
+        help="relative slowdown that counts as a regression "
+        "(default 0.25 = +25%%)",
+    )
+    parser.add_argument(
+        "--min-seconds",
+        type=float,
+        default=DEFAULT_MIN_SECONDS,
+        help="absolute slowdown floor; smaller deltas are noise",
+    )
+    args = parser.parse_args(argv)
+
+    baseline_path = Path(args.baseline)
+    current_path = Path(args.log) if args.log else log_path()
+    baseline = latest_by_name(load_records(baseline_path))
+    current = latest_by_name(load_records(current_path))
+    regressions, missing, new = compare(
+        baseline, current, args.threshold, args.min_seconds
+    )
+
+    tracked = sorted(set(baseline) & set(current))
+    print(
+        f"comparing {len(tracked)} tracked timing(s) against "
+        f"{baseline_path}"
+    )
+    for name in tracked:
+        base = float(baseline[name]["wall_s"])
+        cur = float(current[name]["wall_s"])
+        delta = cur - base
+        flag = "REGRESSED" if any(r[0] == name for r in regressions) else "ok"
+        print(
+            f"  {name:<44s} {base:9.3f}s -> {cur:9.3f}s "
+            f"({delta:+.3f}s) {flag}"
+        )
+    if new:
+        print(f"new (untracked) names: {', '.join(new)}")
+    if missing:
+        print(f"not re-measured this run: {', '.join(missing)}")
+    if regressions:
+        print(
+            f"{len(regressions)} timing(s) regressed more than "
+            f"{args.threshold:.0%} (+{args.min_seconds}s floor)",
+            file=sys.stderr,
+        )
+        return 1
+    print("no tracked timing regressed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -11,7 +11,9 @@ change requires (including multi-owner splits).
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import List, Optional, Tuple
+
+import numpy as np
 
 from repro.codegen.lower import lower_to_plan
 from repro.core.kernel import Kernel
@@ -19,8 +21,11 @@ from repro.formats.format import Format
 from repro.formats.distribution import DimName
 from repro.ir.expr import IndexVar
 from repro.ir.tensor import Assignment, TensorVar
+from repro.machine.cluster import Memory, MemoryKind, Processor
 from repro.machine.machine import Machine
+from repro.runtime.trace import Copy, Trace
 from repro.scheduling.schedule import Schedule
+from repro.util.geometry import Rect
 
 
 def transfer_kernel(
@@ -80,3 +85,179 @@ def redistribution_bytes(
     kernel = transfer_kernel(src, dst_format, machine)
     result = kernel.trace(check_capacity=False)
     return result.trace.total_copy_bytes
+
+
+# ----------------------------------------------------------------------
+# Direct redistribution planning (no kernel compilation).
+# ----------------------------------------------------------------------
+
+
+def formats_equivalent(
+    src_format: Format,
+    src_machine: Machine,
+    dst_format: Format,
+    dst_machine: Machine,
+) -> bool:
+    """Do two (format, machine) pairs describe the same physical layout?
+
+    A :class:`~repro.formats.distribution.Distribution` is symbolic —
+    the blocking adapts to the grid it is applied to — so equal notation
+    only means equal placement when the grids agree too. The comparison
+    is per machine *level*, not on the concatenated shape: a flat
+    ``Grid(2, 4)`` and a hierarchical ``Grid(2) x Grid(4)`` have the
+    same shape but place grid points on different processors. The
+    memory kind is part of the layout: moving a tensor from system
+    memory into framebuffers is a real transfer even when the blocking
+    is unchanged.
+    """
+    return (
+        src_format.notation() == dst_format.notation()
+        and src_format.memory is dst_format.memory
+        and tuple(g.shape for g in src_machine.levels)
+        == tuple(g.shape for g in dst_machine.levels)
+    )
+
+
+def _instance_memory(
+    machine: Machine, proc: Processor, wants: MemoryKind
+) -> Memory:
+    """Where an instance lives on a processor (mirrors the runtime's
+    ``InstanceTable._memory_for`` placement rule)."""
+    if wants is MemoryKind.GPU_FB and proc.memory.kind is MemoryKind.GPU_FB:
+        return proc.memory
+    if wants is MemoryKind.SYSTEM_MEM:
+        node = machine.cluster.nodes[proc.node_id]
+        if node.system_memory is not None:
+            return node.system_memory
+    return proc.memory
+
+
+def _canonical_coords(machine: Machine, proc_id: int) -> Tuple[int, ...]:
+    """A machine coordinate placed on ``proc_id`` (row-major inverse of
+    the flat placement rule; used to resolve replicated source dims to
+    a holder that is local to the destination whenever one exists)."""
+    index = proc_id % machine.size
+    coords = []
+    for extent in reversed(machine.shape):
+        coords.append(index % extent)
+        index //= extent
+    return tuple(reversed(coords))
+
+
+def redistribution_trace(
+    tensor: TensorVar,
+    src_format: Format,
+    src_machine: Machine,
+    dst_format: Format,
+    dst_machine: Machine,
+) -> Trace:
+    """Plan the copies that move ``tensor`` between two layouts.
+
+    The direct planner behind pipeline handoffs: instead of compiling
+    the identity kernel (:func:`transfer_kernel`, which requires both
+    layouts to target one machine grid), it enumerates every
+    destination home piece and resolves its source owner with the same
+    vectorized distribution arithmetic the orbit executor uses
+    (:meth:`~repro.formats.format.Format.owner_pattern_batch`), so the
+    two machines may organize the cluster into different grids.
+
+    Pieces that are already resident at their destination processor (in
+    the right memory) cost nothing; a matched layout therefore plans an
+    empty trace. Replicated source dimensions resolve to the
+    destination's canonical coordinate — a local replica when the
+    destination holds one, a deterministic holder otherwise. Requests
+    spanning several source pieces fall back to the scalar
+    :meth:`~repro.formats.format.Format.owner_pieces` decomposition.
+
+    Replicated *destination* dimensions are materialized: every replica
+    holder receives its piece (the cost model groups the equal-source
+    copies into one multicast). This is the honest cost of handing a
+    tensor to a pull-replicated consumer, and is deliberately more than
+    the compiled identity kernel of :func:`transfer_kernel` moves — the
+    latter writes one output copy and leaves replicas to materialize
+    lazily on first use.
+
+    The returned trace carries pure :class:`Copy` traffic (one step, no
+    leaf work, no memory accounting): feed it to
+    :class:`~repro.sim.costmodel.CostModel.time_trace` for a
+    :class:`~repro.sim.report.SimReport` of the handoff.
+    """
+    if src_machine.cluster is not dst_machine.cluster:
+        raise ValueError(
+            "redistribution endpoints must share one physical cluster"
+        )
+    src_format.check(tensor.ndim, src_machine)
+    dst_format.check(tensor.ndim, dst_machine)
+    trace = Trace()
+    step = trace.new_step(f"redistribute {tensor.name}")
+
+    # Destination home pieces, one per machine point that owns data.
+    dst_rects: List[Rect] = []
+    dst_procs: List[Processor] = []
+    dst_coords: List[Tuple[int, ...]] = []
+    for coords in dst_machine.points():
+        rect = dst_format.owned_rect(dst_machine, coords, tensor.shape)
+        if rect is None or rect.is_empty:
+            continue
+        dst_rects.append(rect)
+        dst_procs.append(dst_machine.proc_at(coords))
+        dst_coords.append(coords)
+    if not dst_rects:
+        return trace
+    k = len(dst_rects)
+    ndim = tensor.ndim
+    los = his = None
+    if ndim:
+        los = np.array([r.lo for r in dst_rects], dtype=np.int64).T
+        his = np.array([r.hi for r in dst_rects], dtype=np.int64).T
+
+    # Source owners, batched; replica dims (-1) concretize to the
+    # destination's canonical source-machine coordinate.
+    pattern, valid = src_format.owner_pattern_batch(
+        src_machine, los, his, tensor.shape, count=k
+    )
+    canon = np.array(
+        [_canonical_coords(src_machine, p.proc_id) for p in dst_procs],
+        dtype=np.int64,
+    ).T
+    src_coords = np.where(pattern >= 0, pattern, canon)
+
+    src_mem_kind = src_format.memory
+    dst_mem_kind = dst_format.memory
+    itemsize = tensor.itemsize
+    for j in range(k):
+        dst_proc = dst_procs[j]
+        dst_mem = _instance_memory(dst_machine, dst_proc, dst_mem_kind)
+        if valid[j]:
+            pieces = [(tuple(int(c) for c in src_coords[:, j]), dst_rects[j])]
+        else:
+            # Multi-piece request: scalar decomposition, replica dims
+            # resolved exactly like the batched path.
+            pieces = []
+            for pat, piece in src_format.owner_pieces(
+                src_machine, dst_rects[j], tensor.shape
+            ):
+                coords = tuple(
+                    p if p is not None else int(canon[d, j])
+                    for d, p in enumerate(pat)
+                )
+                pieces.append((coords, piece))
+        for coords, piece in pieces:
+            if piece.is_empty:
+                continue
+            src_proc = src_machine.proc_at(coords)
+            src_mem = _instance_memory(src_machine, src_proc, src_mem_kind)
+            if src_proc.proc_id == dst_proc.proc_id and src_mem is dst_mem:
+                continue  # already resident: nothing to move
+            step.copies.append(Copy(
+                tensor=tensor.name,
+                rect=piece,
+                nbytes=piece.volume * itemsize,
+                src_proc=src_proc,
+                dst_proc=dst_proc,
+                src_mem=src_mem,
+                dst_mem=dst_mem,
+                src_coords=coords,
+                dst_coords=dst_coords[j],
+            ))
+    return trace

@@ -1,0 +1,31 @@
+"""Kernel pipelines: multi-kernel DAGs with inter-stage redistribution.
+
+See :mod:`repro.pipeline.pipeline` for the DAG model and
+:mod:`repro.tuner.joint` for joint (format-aware) pipeline tuning.
+"""
+
+from repro.pipeline.pipeline import (
+    HANDOFF_DIRECT,
+    HANDOFF_REDISTRIBUTE,
+    Pipeline,
+    PipelineEdge,
+    PipelinePlan,
+    ScheduledStage,
+    Stage,
+)
+from repro.pipeline.redistribute import redistribution_report
+from repro.pipeline.report import EdgeCost, PipelineReport, StageCost
+
+__all__ = [
+    "HANDOFF_DIRECT",
+    "HANDOFF_REDISTRIBUTE",
+    "EdgeCost",
+    "Pipeline",
+    "PipelineEdge",
+    "PipelinePlan",
+    "PipelineReport",
+    "ScheduledStage",
+    "Stage",
+    "StageCost",
+    "redistribution_report",
+]

@@ -5,14 +5,24 @@ Usage::
     python -m repro.tune --workload matmul --nodes 64 [--gpu]
         [--jobs 8] [--strategy auto|exhaustive|beam] [--seed 0]
         [--beam 8] [--size N] [--ledger PATH] [--max-dims 3]
+    python -m repro.tune --pipeline chain-matmul --nodes 64 [--top-k 6]
     python -m repro.tune --demo
 
 Searches the schedule space of the named workload on a Lassen-like
 cluster, using the orbit-compressed simulator as the cost oracle, and
 prints the heuristic-vs-tuned comparison plus the winning decision
-vector. ``--demo`` runs a seconds-scale exhaustive tune (the CI smoke
-test). Wall-clock and headline results are appended to the
-``BENCH_simulator.json`` perf trajectory.
+vector. ``--pipeline`` tunes a multi-kernel pipeline *jointly* —
+per-stage decision vectors plus the handoff format of every
+intermediate tensor — and prints the independent-vs-joint comparison
+with the per-stage and redistribution breakdown. ``--demo`` runs a
+seconds-scale exhaustive tune (the CI smoke test). Wall-clock and
+headline results are appended to the ``BENCH_simulator.json`` perf
+trajectory.
+
+Exit status is non-zero when the tuning run raises, when any oracle
+simulation fails (candidate compile/simulation errors — simulated OOMs
+are a legitimate outcome and do not count), or when a requested ledger
+cannot be written.
 """
 
 from __future__ import annotations
@@ -20,17 +30,153 @@ from __future__ import annotations
 import argparse
 import sys
 import time
+import traceback
 
 from repro.machine.cluster import Cluster
 from repro.sim.params import LASSEN
+from repro.tuner.oracle import TuningLedger
 from repro.tuner.search import tune
-from repro.tuner.workloads import WORKLOADS, sized, weak_scaled
+from repro.tuner.workloads import (
+    PIPELINES,
+    WORKLOADS,
+    pipeline_stages,
+    sized,
+    weak_scaled,
+    weak_scaled_pipeline,
+)
 
 
 def _fmt_cost(outcome) -> str:
     if outcome is None or not outcome.feasible:
         return "OOM"
     return f"{outcome.cost:.4f}s"
+
+
+def _append_perf(name: str, wall: float, metrics: dict):
+    try:
+        from repro.bench.perf_log import append_record
+
+        append_record(name, wall, metrics=metrics)
+    except Exception:
+        pass  # the perf log must never fail a tuning run
+
+
+def _run_single(args, cluster, ledger) -> int:
+    if args.size is not None:
+        assignment = sized(args.workload, args.size)
+    else:
+        assignment = weak_scaled(args.workload, args.nodes)
+
+    sizes = {t.name: t.shape for t in assignment.tensors()}
+    print(
+        f"tuning {args.workload} {sizes} on {cluster!r} "
+        f"({cluster.num_processors} processors)"
+    )
+    start = time.monotonic()
+    result = tune(
+        assignment,
+        cluster,
+        LASSEN,
+        strategy=args.strategy,
+        beam_width=args.beam,
+        seed=args.seed,
+        jobs=args.jobs,
+        max_dims=args.max_dims,
+        ledger=ledger,
+    )
+    wall = time.monotonic() - start
+    search = result.search
+
+    print(search.describe())
+    heuristic = search.seed_outcome
+    best = search.best
+    print(f"heuristic cost: {_fmt_cost(heuristic)}")
+    print(f"tuned cost:     {_fmt_cost(best)}")
+    if heuristic.feasible and best.feasible and best.cost > 0:
+        print(f"speedup over heuristic: {heuristic.cost / best.cost:.2f}x")
+    print(f"wall-clock: {wall:.2f}s "
+          f"({search.evaluations} simulations, strategy {search.strategy})")
+
+    _append_perf(f"tune:{args.workload}", wall, {
+        "workload": args.workload,
+        "nodes": args.nodes,
+        "space": search.space_size,
+        "evaluations": search.evaluations,
+        "tuned_cost_s": None if not best.feasible else best.cost,
+        "heuristic_cost_s": (
+            None if not heuristic.feasible else heuristic.cost
+        ),
+    })
+    return search.errors
+
+
+def _run_pipeline(args, cluster, ledger) -> int:
+    from repro.pipeline import Pipeline
+    from repro.tuner.joint import tune_pipeline
+
+    if args.size is not None:
+        stages = pipeline_stages(args.pipeline, args.size)
+    else:
+        stages = weak_scaled_pipeline(args.pipeline, args.nodes)
+    pipeline = Pipeline(stages, cluster)
+    shapes = {
+        t.name: t.shape
+        for stage in pipeline.stages
+        for t in stage.assignment.tensors()
+    }
+    print(
+        f"jointly tuning pipeline {args.pipeline} {shapes} on {cluster!r} "
+        f"({cluster.num_processors} processors)"
+    )
+    start = time.monotonic()
+    result = tune_pipeline(
+        pipeline,
+        LASSEN,
+        top_k=args.top_k,
+        strategy=args.strategy,
+        beam_width=args.beam,
+        seed=args.seed,
+        jobs=args.jobs,
+        max_dims=args.max_dims,
+        ledger=ledger,
+    )
+    wall = time.monotonic() - start
+
+    print(result.describe())
+    if result.report is not None:
+        print(result.report.describe())
+    joint = result.report
+    independent = result.independent_report
+    if joint is not None and independent is not None:
+        saved = (
+            independent.combined.total_time - joint.combined.total_time
+        )
+        print(
+            f"joint vs independent: "
+            f"{joint.combined.total_time:.4f}s vs "
+            f"{independent.combined.total_time:.4f}s "
+            f"({saved:+.4f}s from joint scheduling)"
+        )
+    print(
+        f"wall-clock: {wall:.2f}s "
+        f"({result.combinations} combinations, "
+        f"{result.evaluations} pipeline simulations)"
+    )
+
+    _append_perf(f"tune-pipeline:{args.pipeline}", wall, {
+        "pipeline": args.pipeline,
+        "nodes": args.nodes,
+        "combinations": result.combinations,
+        "evaluations": result.evaluations,
+        "joint_cost_s": (
+            None if joint is None else joint.combined.total_time
+        ),
+        "independent_cost_s": (
+            None if independent is None
+            else independent.combined.total_time
+        ),
+    })
+    return result.errors
 
 
 def main(argv=None) -> int:
@@ -40,6 +186,13 @@ def main(argv=None) -> int:
     )
     parser.add_argument(
         "--workload", choices=sorted(WORKLOADS), default="matmul"
+    )
+    parser.add_argument(
+        "--pipeline",
+        choices=sorted(PIPELINES),
+        default=None,
+        help="jointly tune a multi-kernel pipeline instead of a single "
+        "kernel (per-stage schedules plus handoff formats)",
     )
     parser.add_argument(
         "--nodes", type=int, default=16, help="cluster node count"
@@ -68,6 +221,12 @@ def main(argv=None) -> int:
     )
     parser.add_argument("--beam", type=int, default=8)
     parser.add_argument(
+        "--top-k",
+        type=int,
+        default=6,
+        help="per-stage candidates the joint pipeline product ranges over",
+    )
+    parser.add_argument(
         "--seed", type=int, default=0, help="deterministic search seed"
     )
     parser.add_argument(
@@ -86,8 +245,10 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
 
     if args.demo:
-        args.workload, args.nodes, args.size = "matmul", 4, 4096
+        args.nodes, args.size = 4, 4096
         args.strategy = "exhaustive"
+        if args.pipeline is None:
+            args.workload = "matmul"
 
     if args.gpu:
         cluster = Cluster.gpu_cluster(args.nodes)
@@ -98,58 +259,30 @@ def main(argv=None) -> int:
     else:
         cluster = Cluster.cpu_cluster(args.nodes)
 
-    if args.size is not None:
-        assignment = sized(args.workload, args.size)
-    else:
-        assignment = weak_scaled(args.workload, args.nodes)
-
-    sizes = {t.name: t.shape for t in assignment.tensors()}
-    print(
-        f"tuning {args.workload} {sizes} on {cluster!r} "
-        f"({cluster.num_processors} processors)"
-    )
-    start = time.monotonic()
-    result = tune(
-        assignment,
-        cluster,
-        LASSEN,
-        strategy=args.strategy,
-        beam_width=args.beam,
-        seed=args.seed,
-        jobs=args.jobs,
-        max_dims=args.max_dims,
-        ledger_path=args.ledger,
-    )
-    wall = time.monotonic() - start
-    search = result.search
-
-    print(search.describe())
-    heuristic = search.seed_outcome
-    best = search.best
-    print(f"heuristic cost: {_fmt_cost(heuristic)}")
-    print(f"tuned cost:     {_fmt_cost(best)}")
-    if heuristic.feasible and best.feasible and best.cost > 0:
-        print(f"speedup over heuristic: {heuristic.cost / best.cost:.2f}x")
-    print(f"wall-clock: {wall:.2f}s "
-          f"({search.evaluations} simulations, strategy {search.strategy})")
-
+    ledger = TuningLedger(args.ledger) if args.ledger else None
     try:
-        from repro.bench.perf_log import append_record
-
-        metrics = {
-            "workload": args.workload,
-            "nodes": args.nodes,
-            "space": search.space_size,
-            "evaluations": search.evaluations,
-            "tuned_cost_s": None if not best.feasible else best.cost,
-            "heuristic_cost_s": (
-                None if not heuristic.feasible else heuristic.cost
-            ),
-        }
-        append_record(f"tune:{args.workload}", wall, metrics=metrics)
+        if args.pipeline is not None:
+            errors = _run_pipeline(args, cluster, ledger)
+        else:
+            errors = _run_single(args, cluster, ledger)
     except Exception:
-        pass  # the perf log must never fail a tuning run
-    return 0
+        traceback.print_exc()
+        print("tuning run failed", file=sys.stderr)
+        return 1
+    status = 0
+    if errors:
+        print(
+            f"{errors} oracle simulation(s) failed (see ledger/errors)",
+            file=sys.stderr,
+        )
+        status = 1
+    if ledger is not None and ledger.save_failures:
+        print(
+            f"tuning ledger could not be written to {ledger.path}",
+            file=sys.stderr,
+        )
+        status = 1
+    return status
 
 
 if __name__ == "__main__":

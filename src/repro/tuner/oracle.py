@@ -134,6 +134,10 @@ class TuningLedger:
         self.entries: Dict[str, Dict] = {}
         self.hits = 0
         self.misses = 0
+        #: Saves that should have persisted but could not (an unwritable
+        #: path — counted so callers like the CLI can fail loudly; a
+        #: pathless in-memory ledger never counts).
+        self.save_failures = 0
         if self.path is not None:
             self.entries = self._read_entries()
 
@@ -173,6 +177,7 @@ class TuningLedger:
         try:
             self.path.parent.mkdir(parents=True, exist_ok=True)
         except OSError:
+            self.save_failures += 1
             return False
         with locked(self.path):
             merged = self._read_entries()
@@ -183,7 +188,10 @@ class TuningLedger:
                 "entries": {k: merged[k] for k in sorted(merged)},
             }
             text = json.dumps(payload, indent=1, sort_keys=True) + "\n"
-            return write_atomic(self.path, text)
+            ok = write_atomic(self.path, text)
+        if not ok:
+            self.save_failures += 1
+        return ok
 
     def __len__(self) -> int:
         return len(self.entries)
@@ -363,6 +371,9 @@ class Oracle:
         self.jobs = max(1, jobs)
         self.ledger = ledger
         self.simulated = 0
+        #: Candidates whose compile or simulation *errored* — OOMs are a
+        #: legitimate search outcome and do not count.
+        self.errors = 0
 
     def for_cluster(self, cluster: Cluster) -> "Oracle":
         """A sibling oracle on a different (e.g. coarsened) cluster."""
@@ -400,6 +411,8 @@ class Oracle:
             if hit is not None:
                 self.ledger.hits += 1
                 outcomes[decision] = hit
+                if hit.error and not hit.oom:
+                    self.errors += 1
             else:
                 if self.ledger is not None:
                     self.ledger.misses += 1
@@ -408,6 +421,8 @@ class Oracle:
         if pending:
             for outcome in self._evaluate_pending(assignment, pending):
                 outcomes[outcome.decision] = outcome
+                if outcome.error and not outcome.oom:
+                    self.errors += 1
                 if self.ledger is not None:
                     self.ledger.put(wsig, outcome)
             self.simulated += len(pending)

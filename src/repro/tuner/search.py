@@ -51,6 +51,10 @@ from repro.tuner.space import (
 #: ``strategy="auto"``.
 EXHAUSTIVE_THRESHOLD = 128
 
+#: How many top-ranked outcomes a search keeps for its callers (the
+#: joint pipeline tuner builds per-stage candidate pools from these).
+RANKED_KEEP = 32
+
 
 @dataclass
 class SearchOutcome:
@@ -62,6 +66,10 @@ class SearchOutcome:
     space_size: int
     evaluations: int
     rungs: List[Dict] = field(default_factory=list)
+    #: Top outcomes of the final (full-scale) rung, best first.
+    ranked: List[EvalOutcome] = field(default_factory=list)
+    #: Candidates whose compile/simulation *errored* (OOMs excluded).
+    errors: int = 0
 
     @property
     def improved(self) -> bool:
@@ -196,16 +204,25 @@ def beam_search(
     exponent = _problem_exponent(assignment)
     rungs: List[Dict] = []
     prev_ranking: List[Decision] = []
+    rung0_ranking: List[Decision] = []
     for level, procs in enumerate(targets):
         last = level == len(targets) - 1
         if last:
             outcomes = oracle.evaluate(assignment, candidates)
             ranked = _rank(outcomes)
             # Refill: if nothing in the beam fits at full scale, pull
-            # the next-ranked survivors of the previous rung.
+            # the next-ranked survivors of the previous rung, then —
+            # because coarse rungs are blind to fetch-staging OOMs that
+            # only appear at scale — fall all the way back to the full
+            # rung-0 ranking before giving up.
+            tried = set(candidates)
             pool = [
                 d for d in prev_ranking
-                if d not in set(candidates) and d not in dead
+                if d not in tried and d not in dead
+            ]
+            pool += [
+                d for d in rung0_ranking
+                if d not in tried and d not in set(pool) and d not in dead
             ]
             while pool and not any(o.feasible for o in ranked):
                 refill, pool = pool[:beam_width], pool[beam_width:]
@@ -229,6 +246,7 @@ def beam_search(
             coarse_assignment, [coarsen(c, actual) for c in alive]
         )))
         oracle.simulated += coarse_oracle.simulated
+        oracle.errors += coarse_oracle.errors
         outcomes = []
         for original in candidates:
             if original in dead:
@@ -250,6 +268,8 @@ def beam_search(
             ))
         ranked = _rank(outcomes)
         prev_ranking = [o.decision for o in ranked]
+        if level == 0:
+            rung0_ranking = prev_ranking
         remaining = len(targets) - 1 - level
         keep = max(beam_width * eta ** (remaining - 1), beam_width)
         survivors = [o.decision for o in ranked[:keep]]
@@ -341,6 +361,7 @@ def tune(
     jobs: int = 1,
     max_dims: int = 3,
     ledger_path=None,
+    ledger: Optional[TuningLedger] = None,
 ) -> TuneResult:
     """Search the schedule space for one assignment on one cluster.
 
@@ -361,7 +382,8 @@ def tune(
     if seed_decision not in space:
         space = sorted(space + [seed_decision], key=Decision.key)
 
-    ledger = TuningLedger(ledger_path) if ledger_path is not None else None
+    if ledger is None and ledger_path is not None:
+        ledger = TuningLedger(ledger_path)
     oracle = Oracle(
         cluster,
         params=params,
@@ -408,6 +430,8 @@ def tune(
         space_size=len(space),
         evaluations=oracle.simulated,
         rungs=rungs,
+        ranked=ranked[:RANKED_KEEP],
+        errors=oracle.errors,
     )
 
     from repro.machine.grid import Grid

@@ -392,12 +392,19 @@ def realize(
     decision: Decision,
     memory: MemoryKind = MemoryKind.SYSTEM_MEM,
     apply_formats: bool = True,
+    format_overrides: Optional[Dict[str, Format]] = None,
 ) -> Tuple[Schedule, Dict[str, Format]]:
     """Deterministically rebuild the schedule a decision describes.
 
     The same decision replayed on the same assignment and machine
     produces a byte-identical plan (``compile_kernel(...).pretty()``),
     which is what makes the tuning ledger and cache keys sound.
+
+    ``format_overrides`` pins named tensors to externally supplied
+    formats instead of the decision-derived ones — how pipeline stages
+    read an upstream tensor in the layout its producer left behind
+    (the *direct* handoff) rather than redistributing first. Overridden
+    formats must target the same machine grid.
     """
     if machine.levels[0].shape != decision.grid:
         raise ScheduleError(
@@ -411,6 +418,14 @@ def realize(
             f"decision distributes unknown index variables {missing}"
         )
     formats = formats_for(assignment, decision, memory)
+    if format_overrides:
+        tensor_names = {t.name for t in assignment.tensors()}
+        for name, fmt in format_overrides.items():
+            if name not in tensor_names:
+                raise ScheduleError(
+                    f"format override names unknown tensor {name!r}"
+                )
+            formats[name] = fmt
     if apply_formats:
         for tensor in assignment.tensors():
             if tensor.name in formats:

@@ -9,11 +9,31 @@ to the paper's weak-scaling rule: matrix sides grow with
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Optional
+from typing import Callable, Dict, List, Optional
 
 from repro.bench.weak_scaling import weak_cube_side, weak_matrix_size
 from repro.ir.expr import index_vars
 from repro.ir.tensor import Assignment, TensorVar
+from repro.machine.cluster import Cluster, MemoryKind, ProcessorKind
+
+GIB = 1024 ** 3
+
+
+def lean_cluster(nodes: int, mem_gib: int = 1) -> Cluster:
+    """One-socket CPU nodes with little memory.
+
+    The pipeline demos and acceptance tests all run on this anatomy:
+    replication-heavy schedules OOM, so layout choice (and the handoff
+    between stages) decides the race rather than raw flops.
+    """
+    return Cluster.build(
+        num_nodes=nodes,
+        procs_per_node=1,
+        proc_kind=ProcessorKind.CPU_SOCKET,
+        proc_mem_kind=MemoryKind.SYSTEM_MEM,
+        proc_mem_capacity=mem_gib * GIB,
+        system_mem_capacity=mem_gib * GIB,
+    )
 
 
 def matmul(n: int) -> Assignment:
@@ -93,3 +113,74 @@ WORKLOADS: Dict[str, Callable] = {
     "ttm": ttm,
     "mttkrp": mttkrp,
 }
+
+
+# ----------------------------------------------------------------------
+# Pipeline workloads: lists of stages sharing intermediate tensors.
+# ----------------------------------------------------------------------
+
+
+def matmul_chain(n: int, r: Optional[int] = None) -> List[Assignment]:
+    """``(A@B)@C``: two chained GEMMs through the intermediate ``T``.
+
+    ``r`` is the width of the trailing matrix (default square). A
+    narrow tail (``r << n``) is the projection-style chain where the
+    two stages prefer *different* grids — the regime where joint
+    tuning of the ``T`` handoff pays off.
+    """
+    if r is None:
+        r = n
+    A = TensorVar("A", (n, n))
+    B = TensorVar("B", (n, n))
+    C = TensorVar("C", (n, r))
+    T = TensorVar("T", (n, n))
+    D = TensorVar("D", (n, r))
+    i, j, k, l = index_vars("i j k l")
+    return [
+        Assignment(T[i, j], A[i, k] * B[k, j]),
+        Assignment(D[i, l], T[i, j] * C[j, l]),
+    ]
+
+
+def ttmc(n: int, r: Optional[int] = None) -> List[Assignment]:
+    """TTMc: a 3-tensor contracted with two matrices, mode by mode.
+
+    ``T(i,j,l) = B(i,j,k) C(k,l)`` then ``Z(i,m,l) = T(i,j,l) D(j,m)``
+    — the Tucker-decomposition building block whose handoff (the dense
+    intermediate ``T``) dominates naive implementations.
+    """
+    if r is None:
+        r = max(16, n // 4)
+    B = TensorVar("B", (n, n, n))
+    C = TensorVar("C", (n, r))
+    D = TensorVar("D", (n, r))
+    T = TensorVar("T", (n, n, r))
+    Z = TensorVar("Z", (n, r, r))
+    i, j, k, l, m = index_vars("i j k l m")
+    return [
+        Assignment(T[i, j, l], B[i, j, k] * C[k, l]),
+        Assignment(Z[i, m, l], T[i, j, l] * D[j, m]),
+    ]
+
+
+PIPELINES: Dict[str, Callable] = {
+    "chain-matmul": matmul_chain,
+    "ttmc": ttmc,
+}
+
+
+def pipeline_stages(name: str, n: int) -> List[Assignment]:
+    """A named pipeline workload at an explicit side length ``n``."""
+    builder = PIPELINES.get(name)
+    if builder is None:
+        raise ValueError(f"unknown pipeline workload {name!r}")
+    return builder(n)
+
+
+def weak_scaled_pipeline(
+    name: str, nodes: int, base: int = 8192
+) -> List[Assignment]:
+    """A named pipeline at the paper's weak-scaled size for ``nodes``."""
+    if name == "chain-matmul":
+        return pipeline_stages(name, weak_matrix_size(base, nodes))
+    return pipeline_stages(name, weak_cube_side(min(base, 512), nodes))

@@ -34,6 +34,11 @@ class LoweringError(ReproError):
     """Concrete index notation could not be lowered to a runtime plan."""
 
 
+class PipelineError(ReproError):
+    """An ill-formed kernel pipeline (cycle, duplicate producer, shape
+    mismatch between stages, or an invalid handoff choice)."""
+
+
 class OutOfMemoryError(ReproError):
     """A simulated memory exceeded its capacity.
 

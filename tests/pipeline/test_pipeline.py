@@ -1,0 +1,169 @@
+"""Pipeline DAG construction, validation, and scheduling."""
+
+import pytest
+
+from repro import Pipeline, PipelineError, Stage, TensorVar, index_vars
+from repro.ir.tensor import Assignment
+from repro.machine.cluster import Cluster
+from repro.tuner.space import Decision, normalize
+from repro.tuner.workloads import matmul, matmul_chain, ttmc
+
+
+@pytest.fixture
+def cluster():
+    return Cluster.cpu_cluster(2)
+
+
+class TestConstruction:
+    def test_stages_named_after_outputs(self, cluster):
+        pipe = Pipeline(matmul_chain(256), cluster)
+        assert [s.name for s in pipe.stages] == ["T", "D"]
+        assert pipe.intermediates == ("T",)
+        assert pipe.external_inputs == ("A", "B", "C")
+
+    def test_edges_connect_producer_to_consumer(self, cluster):
+        pipe = Pipeline(matmul_chain(256), cluster)
+        assert len(pipe.edges) == 1
+        edge = pipe.edges[0]
+        assert (edge.tensor, edge.producer, edge.consumer) == ("T", "T", "D")
+        assert pipe.consumers_of("T") == ["D"]
+
+    def test_stages_sorted_topologically(self, cluster):
+        stages = matmul_chain(256)
+        pipe = Pipeline(list(reversed(stages)), cluster)
+        assert [s.name for s in pipe.stages] == ["T", "D"]
+
+    def test_named_stage_pairs(self, cluster):
+        s1, s2 = matmul_chain(256)
+        pipe = Pipeline([("first", s1), ("second", s2)], cluster)
+        assert [s.name for s in pipe.stages] == ["first", "second"]
+        assert pipe.stage("first").output == "T"
+
+    def test_single_stage(self, cluster):
+        pipe = Pipeline([matmul(256)], cluster)
+        assert pipe.intermediates == ()
+        assert pipe.edges == []
+
+    def test_empty_rejected(self, cluster):
+        with pytest.raises(PipelineError):
+            Pipeline([], cluster)
+
+    def test_duplicate_producer_rejected(self, cluster):
+        s1, _ = matmul_chain(256)
+        s1b, _ = matmul_chain(256)
+        with pytest.raises(PipelineError, match="produced by both"):
+            Pipeline([("x", s1), ("y", s1b)], cluster)
+
+    def test_duplicate_stage_names_rejected(self, cluster):
+        s1, s2 = matmul_chain(256)
+        with pytest.raises(PipelineError, match="duplicate"):
+            Pipeline([("x", s1), ("x", s2)], cluster)
+
+    def test_cycle_rejected(self, cluster):
+        # X reads Y's output and vice versa.
+        X = TensorVar("X", (16, 16))
+        Y = TensorVar("Y", (16, 16))
+        i, j, k = index_vars("i j k")
+        sx = Assignment(X[i, j], Y[i, k] * Y[k, j])
+        sy = Assignment(Y[i, j], X[i, k] * X[k, j])
+        with pytest.raises(PipelineError, match="cycle"):
+            Pipeline([sx, sy], cluster)
+
+    def test_self_read_rejected(self, cluster):
+        X = TensorVar("X", (16, 16))
+        i, j, k = index_vars("i j k")
+        with pytest.raises(PipelineError, match="own output"):
+            Stage("X", Assignment(X[i, j], X[i, k] * X[k, j]))
+
+    def test_shape_mismatch_rejected(self, cluster):
+        T1 = TensorVar("T", (16, 16))
+        T2 = TensorVar("T", (32, 32))
+        A = TensorVar("A", (16, 16))
+        Z = TensorVar("Z", (32, 32))
+        i, j, k = index_vars("i j k")
+        s1 = Assignment(T1[i, j], A[i, k] * A[k, j])
+        s2 = Assignment(Z[i, j], T2[i, k] * T2[k, j])
+        with pytest.raises(PipelineError, match="in one stage"):
+            Pipeline([s1, s2], cluster)
+
+
+class TestScheduling:
+    def test_missing_decision_rejected(self, cluster):
+        pipe = Pipeline(matmul_chain(256), cluster)
+        d = normalize(
+            pipe.stage("T").assignment,
+            Decision(grid=(2, 2), dist=("i", "j")),
+        )
+        with pytest.raises(PipelineError, match="no decision"):
+            pipe.schedule_with({"T": d})
+
+    def test_unknown_handoff_tensor_rejected(self, cluster):
+        pipe = Pipeline(matmul_chain(256), cluster)
+        plan_decisions = {
+            "T": normalize(
+                pipe.stage("T").assignment,
+                Decision(grid=(2, 2), dist=("i", "j")),
+            ),
+            "D": normalize(
+                pipe.stage("D").assignment,
+                Decision(grid=(2, 2), dist=("i", "l")),
+            ),
+        }
+        with pytest.raises(PipelineError, match="not an .*intermediate"):
+            pipe.schedule_with(plan_decisions, handoffs={"A": "direct"})
+        with pytest.raises(PipelineError, match="unknown handoff"):
+            pipe.schedule_with(plan_decisions, handoffs={"T": "teleport"})
+
+    def test_direct_handoff_needs_matching_grids(self, cluster):
+        pipe = Pipeline(matmul_chain(256), cluster)
+        decisions = {
+            "T": normalize(
+                pipe.stage("T").assignment,
+                Decision(grid=(2, 2), dist=("i", "j")),
+            ),
+            "D": normalize(
+                pipe.stage("D").assignment,
+                Decision(grid=(4,), dist=("i",)),
+            ),
+        }
+        with pytest.raises(PipelineError, match="matching grids"):
+            pipe.schedule_with(decisions, handoffs={"T": "direct"})
+
+    def test_direct_handoff_propagates_producer_format(self, cluster):
+        pipe = Pipeline(matmul_chain(256), cluster)
+        decisions = {
+            "T": normalize(
+                pipe.stage("T").assignment,
+                Decision(grid=(2, 2), dist=("i", "j")),
+            ),
+            "D": normalize(
+                pipe.stage("D").assignment,
+                Decision(grid=(2, 2), dist=("i", "l")),
+            ),
+        }
+        plan = pipe.schedule_with(decisions, handoffs={"T": "direct"})
+        src, src_m, dst, dst_m = plan.handoff_formats(pipe.edges[0])
+        assert src.notation() == dst.notation()
+        assert src_m.shape == dst_m.shape
+
+    def test_autoschedule_compiles_every_stage(self, cluster):
+        pipe = Pipeline(ttmc(64, 16), cluster)
+        plan = pipe.autoschedule()
+        assert len(plan.stages) == 2
+        assert "stage" in plan.pretty()
+        report = plan.simulate()
+        assert report.combined.total_time > 0
+
+    def test_schedule_does_not_mutate_shared_formats(self, cluster):
+        """Stages own private assignment copies: compiling the consumer
+        must not clobber the producer's realized formats."""
+        pipe = Pipeline(matmul_chain(256), cluster)
+        plan = pipe.autoschedule()
+        producer = plan.stage("T")
+        consumer = plan.stage("D")
+        assert producer.tensor("T") is not consumer.tensor("T")
+        # The producer's plan still sees its own output format.
+        assert (
+            producer.kernel.plan.tensors["T"].format.notation()
+            == producer.formats["T"].notation()
+        )

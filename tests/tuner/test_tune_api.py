@@ -120,3 +120,75 @@ class TestCli:
         assert first > 0
         assert main(args) == 0
         assert len(json.loads(ledger.read_text())["entries"]) == first
+
+    def test_pipeline_smoke(self, capsys, tmp_path, monkeypatch):
+        from repro.tune import main
+
+        log = tmp_path / "BENCH_simulator.json"
+        monkeypatch.setenv("REPRO_BENCH_LOG", str(log))
+        args = [
+            "--pipeline", "chain-matmul", "--nodes", "2",
+            "--size", "1024", "--top-k", "2",
+        ]
+        assert main(args) == 0
+        out = capsys.readouterr().out
+        assert "joint pipeline" in out
+        assert "independent" in out
+        records = json.loads(log.read_text())
+        assert records[-1]["name"] == "tune-pipeline:chain-matmul"
+        assert "joint_cost_s" in records[-1]["metrics"]
+
+
+class TestCliExitCodes:
+    """`python -m repro.tune` fails loudly, like `repro.bench` does."""
+
+    def test_unwritable_ledger_exits_nonzero(
+        self, tmp_path, monkeypatch, capsys
+    ):
+        from repro.tune import main
+
+        monkeypatch.setenv(
+            "REPRO_BENCH_LOG", str(tmp_path / "bench.json")
+        )
+        # /dev/null is a file, so the ledger's parent mkdir must fail.
+        args = [
+            "--workload", "matmul", "--nodes", "2", "--size", "1024",
+            "--ledger", "/dev/null/nested/ledger.json",
+        ]
+        assert main(args) == 1
+        assert "could not be written" in capsys.readouterr().err
+
+    def test_oracle_simulation_failure_exits_nonzero(
+        self, tmp_path, monkeypatch, capsys
+    ):
+        import repro.tune as tune_cli
+
+        monkeypatch.setenv(
+            "REPRO_BENCH_LOG", str(tmp_path / "bench.json")
+        )
+        real_tune = tune_cli.tune
+
+        def failing_tune(*args, **kwargs):
+            result = real_tune(*args, **kwargs)
+            result.search.errors = 3
+            return result
+
+        monkeypatch.setattr(tune_cli, "tune", failing_tune)
+        args = ["--workload", "matmul", "--nodes", "2", "--size", "1024"]
+        assert tune_cli.main(args) == 1
+        assert "simulation(s) failed" in capsys.readouterr().err
+
+    def test_crash_exits_nonzero(self, tmp_path, monkeypatch, capsys):
+        import repro.tune as tune_cli
+
+        monkeypatch.setenv(
+            "REPRO_BENCH_LOG", str(tmp_path / "bench.json")
+        )
+
+        def exploding_tune(*args, **kwargs):
+            raise RuntimeError("oracle died")
+
+        monkeypatch.setattr(tune_cli, "tune", exploding_tune)
+        args = ["--workload", "matmul", "--nodes", "2", "--size", "1024"]
+        assert tune_cli.main(args) == 1
+        assert "tuning run failed" in capsys.readouterr().err
