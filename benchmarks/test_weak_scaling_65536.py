@@ -1,0 +1,72 @@
+"""The ``weak65536`` axis: out to 256x the paper's largest machine.
+
+The fallback-free orbit executor plus phase replay (translation /
+rotation transport — see ``docs/simulator.md``) put five-figure node
+counts in reach: 131,072 processors, 512 communication phases whose
+steady state replays instead of re-resolving. Like every benchmark
+here the default run reduces the axis to fit the suite budget — the
+trio through the small counts plus Cannon alone at 32,768 nodes
+(~2 min of exact per-member column arithmetic on one core); set
+``REPRO_FULL_SWEEP=1`` to push the top point to the full 65,536 nodes
+(~6 min, the `python -m repro.bench weak65536` axis top). Broadcast
+algorithms stop at the small counts: they have no replayable phase
+structure and would dominate the budget without adding information
+about the scaling claim, which is Cannon's.
+"""
+
+import os
+
+from conftest import node_counts
+
+from repro.bench.perf_log import append_record
+from repro.bench.weak_scaling import matmul_weak_scaling
+
+
+def series(rows, system):
+    return {
+        int(r["nodes"]): r["value"] for r in rows if r["system"] == system
+    }
+
+
+def test_weak_scaling_toward_65536_nodes(run_once):
+    counts = node_counts(extra=(512,))
+    top = 65536 if os.environ.get("REPRO_FULL_SWEEP") else 32768
+
+    def sweep():
+        rows = matmul_weak_scaling(
+            node_counts=counts,
+            algorithms=("cannon", "summa", "johnson"),
+            jobs=4,
+        )
+        rows += matmul_weak_scaling(
+            node_counts=[top], algorithms=("cannon",), jobs=1
+        )
+        return rows
+
+    rows = run_once(sweep)
+
+    print()
+    print(f"== Weak scaling to {top} nodes (GFLOP/s/node) ==")
+    axis = counts + [top]
+    header = f"{'algorithm':<10s}" + "".join(f"{n:>10d}" for n in axis)
+    print(header)
+    for system in ("cannon", "summa", "johnson"):
+        curve = series(rows, system)
+        cells = "".join(
+            f"{'—':>10s}" if n not in curve
+            else f"{'OOM':>10s}" if curve[n] is None
+            else f"{curve[n]:>10.1f}"
+            for n in axis
+        )
+        print(f"{system:<10s}" + cells)
+
+    cannon = series(rows, "cannon")
+    assert cannon[top] is not None
+    # Weak scaling holds to the top count: per-node throughput within
+    # 25% of one node.
+    assert cannon[top] > 0.75 * cannon[1]
+    append_record(
+        f"weak65536:cannon_gflops_per_node_{top}",
+        0.0,
+        metrics={str(n): cannon[n] for n in cannon},
+    )

@@ -7,14 +7,18 @@ Usage::
     python -m repro.bench ttv|innerprod|ttm|mttkrp [--gpu]
     python -m repro.bench weak512 [--gpu]
     python -m repro.bench weak4096 [--gpu]
+    python -m repro.bench weak65536 [--gpu]
     python -m repro.bench headline
     python -m repro.bench all [--profile]
+    python -m repro.bench --list
 
 Prints the corresponding paper table. ``--jobs N`` distributes sweep
 points over worker processes; ``--profile`` prints per-figure
 wall-clock and appends it (with headline simulated metrics) to the
-``BENCH_simulator.json`` perf trajectory at the repo root. A sweep that
-raises produces a non-zero exit code.
+``BENCH_simulator.json`` perf trajectory at the repo root. ``--list``
+prints the available sweep names one per line (CI workflows iterate it
+instead of hard-coding names). A sweep that raises produces a non-zero
+exit code.
 """
 
 from __future__ import annotations
@@ -40,6 +44,12 @@ from repro.bench.weak_scaling import (
 
 HIGHER_ORDER = ("ttv", "innerprod", "ttm", "mttkrp")
 
+#: Every invocable sweep, in display order (`--list` prints these).
+SWEEPS = (
+    "fig15a", "fig15b", *HIGHER_ORDER, "weak512", "weak4096",
+    "weak65536", "headline", "all",
+)
+
 
 def parse_nodes(text):
     return [int(x) for x in text.split(",") if x]
@@ -52,10 +62,13 @@ def main(argv=None) -> int:
     )
     parser.add_argument(
         "figure",
-        choices=[
-            "fig15a", "fig15b", "weak512", "weak4096", "headline", "all",
-            *HIGHER_ORDER,
-        ],
+        nargs="?",
+        choices=list(SWEEPS),
+    )
+    parser.add_argument(
+        "--list",
+        action="store_true",
+        help="print the available sweep names (one per line) and exit",
     )
     parser.add_argument(
         "--nodes",
@@ -79,6 +92,13 @@ def main(argv=None) -> int:
         "BENCH_simulator.json",
     )
     args = parser.parse_args(argv)
+    if args.list:
+        for sweep in SWEEPS:
+            if sweep != "all":
+                print(sweep)
+        return 0
+    if args.figure is None:
+        parser.error("a sweep name (or --list) is required")
     nodes = args.nodes or DEFAULT_NODE_COUNTS
     profile: list = []
 
@@ -111,22 +131,48 @@ def main(argv=None) -> int:
                 print(format_table(
                     rows, f"Figure 16: {kernel} weak scaling ({label})"
                 ))
-        # `all` includes the 512-node sweep; the 4096-node axis runs
-        # only when asked for by name.
+        # `all` includes the 512-node sweep; the larger axes run only
+        # when asked for by name.
         sweep = None
         if args.figure in ("weak512", "all"):
             sweep = ("weak512", EXTENDED_NODE_COUNTS)
         elif args.figure == "weak4096":
-            sweep = ("weak4096", EXTREME_NODE_COUNTS)
+            sweep = (
+                "weak4096",
+                [n for n in EXTREME_NODE_COUNTS if n <= 4096],
+            )
+        elif args.figure == "weak65536":
+            sweep = ("weak65536", EXTREME_NODE_COUNTS)
         if sweep is not None:
             name, axis = sweep
             counts = args.nodes or axis
             label = "GPU" if args.gpu else "CPU"
-            rows = timed(name, lambda c=counts: matmul_weak_scaling(
-                node_counts=c, gpu=args.gpu, jobs=args.jobs))
+            trio = [n for n in counts if n <= 4096]
+            top = [n for n in counts if n > 4096]
+
+            def run_sweep(trio=trio, top=top):
+                rows = []
+                if trio:
+                    rows += matmul_weak_scaling(
+                        node_counts=trio, gpu=args.gpu, jobs=args.jobs
+                    )
+                if top:
+                    # Beyond 4096 nodes only Cannon's systolic phases
+                    # replay; the broadcast algorithms re-resolve every
+                    # phase and would take hours at 131k processors.
+                    rows += matmul_weak_scaling(
+                        node_counts=top,
+                        algorithms=("cannon",),
+                        gpu=args.gpu,
+                        jobs=args.jobs,
+                    )
+                return rows
+
+            rows = timed(name, run_sweep)
+            suffix = "; cannon-only beyond 4096" if top else ""
             print(format_table(
                 rows,
-                f"Weak scaling to {counts[-1]} nodes ({label})",
+                f"Weak scaling to {counts[-1]} nodes ({label}{suffix})",
             ))
         if args.figure in ("headline", "all"):
             ratios = timed(

@@ -96,6 +96,16 @@ class SimulationCache:
         self.hits = 0
         self.misses = 0
 
+    @staticmethod
+    def _key(kernel, params: MachineParams, check_capacity: bool,
+             mode: str) -> Tuple:
+        return (
+            kernel_fingerprint(kernel),
+            params_key(params),
+            check_capacity,
+            mode,
+        )
+
     def simulate(
         self,
         kernel,
@@ -104,12 +114,7 @@ class SimulationCache:
         mode: str = "orbit",
     ) -> SimReport:
         """``kernel.simulate(params, check_capacity, mode)``, memoized."""
-        key = (
-            kernel_fingerprint(kernel),
-            params_key(params),
-            check_capacity,
-            mode,
-        )
+        key = self._key(kernel, params, check_capacity, mode)
         hit = self._store.get(key)
         if hit is not None:
             self.hits += 1
@@ -127,6 +132,25 @@ class SimulationCache:
             raise
         self._store[key] = ("ok", report)
         return report
+
+    def cached(self, kernel, params: MachineParams, check_capacity: bool,
+               mode: str):
+        """The stored outcome for a configuration, or ``None``.
+
+        Returns ``("ok", report)`` / ``("oom", args)`` without touching
+        the hit counters; used by the tuner's incremental oracle, which
+        layers a phase-structure store on top of this cache.
+        """
+        return self._store.get(
+            self._key(kernel, params, check_capacity, mode)
+        )
+
+    def put(self, kernel, params: MachineParams, check_capacity: bool,
+            mode: str, outcome: Tuple[str, object]):
+        """Install an externally computed outcome for a configuration."""
+        self._store[
+            self._key(kernel, params, check_capacity, mode)
+        ] = outcome
 
     def clear(self):
         self._store.clear()

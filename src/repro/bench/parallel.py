@@ -22,6 +22,7 @@ runs the points sequentially in-process.
 from __future__ import annotations
 
 import multiprocessing
+import os
 from typing import Callable, Dict, List, Sequence
 
 from repro.bench.cache import (
@@ -68,24 +69,43 @@ def _run_point(payload):
 
 
 def run_points(
-    name: str, per_point_kwargs: Sequence[dict], jobs: int
+    name: str,
+    per_point_kwargs: Sequence[dict],
+    jobs: int,
+    costs: Sequence[float] = None,
 ) -> List:
     """Run one sweep function over many kwargs sets, possibly in parallel.
 
     Returns the concatenated row lists in input order. With ``jobs > 1``
     the points run in forked worker processes and their cache deltas are
     merged back into this process's global caches.
+
+    ``costs`` (optional, one per point) orders the dispatch: expensive
+    points start first, one task per worker pull (no chunk batching), so
+    a sweep's largest configurations never serialize behind each other
+    in one worker while the others sit idle. Row order is unaffected.
     """
     tasks = [(name, kwargs) for kwargs in per_point_kwargs]
-    jobs = min(jobs, len(tasks))
+    # More workers than cores just adds fork and scheduling overhead —
+    # single-core runners (CI containers) degrade to a clean sequential
+    # pass instead of time-slicing forks.
+    jobs = min(jobs, len(tasks), os.cpu_count() or 1)
     if jobs <= 1 or len(tasks) <= 1 or not _fork_available():
         rows: List = []
         for task in tasks:
             rows.extend(_resolve(name)(**task[1]))
         return rows
+    order = list(range(len(tasks)))
+    if costs is not None:
+        order.sort(key=lambda i: -costs[i])
     ctx = multiprocessing.get_context("fork")
     with ctx.Pool(processes=jobs) as pool:
-        results = pool.map(_run_point, tasks)
+        dispatched = pool.map(
+            _run_point, [tasks[i] for i in order], chunksize=1
+        )
+    results = [None] * len(tasks)
+    for slot, result in zip(order, dispatched):
+        results[slot] = result
     rows = []
     for point_rows, sim_delta, base_delta in results:
         SIM_CACHE.install(sim_delta)

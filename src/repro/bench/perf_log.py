@@ -28,11 +28,31 @@ from __future__ import annotations
 
 import json
 import os
+import sys
 import tempfile
 import time
 from contextlib import contextmanager
 from pathlib import Path
 from typing import Dict, List, Optional, Tuple
+
+#: The executor mode benchmark timings are recorded under by default.
+DEFAULT_MODE = "orbit"
+
+
+def environment(mode: str = DEFAULT_MODE) -> Dict[str, object]:
+    """The recording environment attached to every perf record.
+
+    Wall-clock timings are only comparable between equal environments —
+    a 2-core CI runner legitimately takes longer than a 32-core laptop.
+    ``repro.bench.regression`` compares records whose environments
+    match and treats everything else as incomparable instead of
+    false-flagging it.
+    """
+    return {
+        "python": f"{sys.version_info[0]}.{sys.version_info[1]}",
+        "cpus": os.cpu_count() or 1,
+        "mode": mode,
+    }
 
 
 def log_path() -> Path:
@@ -46,11 +66,20 @@ def log_path() -> Path:
 @contextmanager
 def locked(path: Path):
     """Best-effort advisory lock serializing concurrent writers of
-    ``path`` (shared by the perf log and the tuner's ledger)."""
+    ``path`` (shared by the perf log and the tuner's ledger).
+
+    The lock file lives *beside* the target (same directory), so logs
+    pointed into temporary directories (``REPRO_BENCH_LOG`` in tests,
+    per-run ledgers) lock within that directory — never at a shared
+    global location — and the sidecar is a runtime artifact covered by
+    ``.gitignore``, not repository content. A missing parent directory
+    is created first, so a fresh temp path can be locked immediately.
+    """
     lock_file = None
     try:
         import fcntl
 
+        path.parent.mkdir(parents=True, exist_ok=True)
         lock_file = open(path.with_name(path.name + ".lock"), "a+")
         fcntl.flock(lock_file.fileno(), fcntl.LOCK_EX)
     except (ImportError, OSError):
@@ -146,11 +175,16 @@ def write_atomic(path: Path, text: str) -> bool:
 
 
 def append_record(
-    name: str, wall_s: float, metrics: Optional[Dict] = None
+    name: str,
+    wall_s: float,
+    metrics: Optional[Dict] = None,
+    mode: str = DEFAULT_MODE,
 ) -> bool:
     """Append one perf record; returns False when the log is unwritable
     or holds something that is not (a salvageable prefix of) a JSON
-    list — foreign content is never clobbered."""
+    list — foreign content is never clobbered. Each record carries the
+    recording environment (:func:`environment`), so the regression gate
+    never compares timings across machines."""
     path = log_path()
     with locked(path):
         records, salvaged = _load(path)
@@ -167,6 +201,7 @@ def append_record(
             "name": name,
             "wall_s": round(float(wall_s), 4),
             "timestamp": int(time.time()),
+            "env": environment(mode),
         }
         if metrics:
             record["metrics"] = metrics

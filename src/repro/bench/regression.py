@@ -27,13 +27,31 @@ DEFAULT_THRESHOLD = 0.25
 DEFAULT_MIN_SECONDS = 0.05
 
 
-def latest_by_name(records: List[Dict]) -> Dict[str, Dict]:
-    """The last record of every name, in trajectory (append) order."""
+#: "No environment filter" sentinel — distinct from ``None``, which
+#: matches exactly the legacy records that carry no ``env`` block.
+ANY_ENV = object()
+
+
+def latest_by_name(
+    records: List[Dict], env: object = ANY_ENV
+) -> Dict[str, Dict]:
+    """The last record of every name, in trajectory (append) order.
+
+    With ``env`` given (including ``None``), only records whose
+    recording environment equals it are considered — wall-clock timings
+    from a different machine class (cpu count, python version, executor
+    mode) are not comparable, so the gate must never pair them. A
+    ``None`` filter matches exactly the legacy records that carry no
+    ``env`` block.
+    """
     latest: Dict[str, Dict] = {}
     for record in records:
         name = record.get("name")
-        if isinstance(name, str) and "wall_s" in record:
-            latest[name] = record
+        if not (isinstance(name, str) and "wall_s" in record):
+            continue
+        if env is not ANY_ENV and record.get("env") != env:
+            continue
+        latest[name] = record
     return latest
 
 
@@ -105,10 +123,30 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     baseline_path = Path(args.baseline)
     current_path = Path(args.log) if args.log else log_path()
-    baseline = latest_by_name(load_records(baseline_path))
-    current = latest_by_name(load_records(current_path))
-    regressions, missing, new = compare(
+    current_all = latest_by_name(load_records(current_path))
+    # Pair records per name only when both sides were recorded in the
+    # same environment: the current run's environment (per name) picks
+    # the comparable baseline record, so a CI runner never false-flags
+    # a laptop-recorded baseline.
+    baseline_records = load_records(baseline_path)
+    baseline: Dict[str, Dict] = {}
+    incomparable: List[str] = []
+    for name, record in current_all.items():
+        env = record.get("env")
+        matched = latest_by_name(baseline_records, env).get(name)
+        if matched is not None:
+            baseline[name] = matched
+        elif name in latest_by_name(baseline_records):
+            incomparable.append(name)
+    current = current_all
+    regressions, _filtered_missing, new = compare(
         baseline, current, args.threshold, args.min_seconds
+    )
+    # "Not re-measured" must consider every baseline name, not just the
+    # env-comparable subset, so a benchmark silently vanishing from the
+    # trajectory is still reported.
+    missing = sorted(
+        set(latest_by_name(baseline_records)) - set(current)
     )
 
     tracked = sorted(set(baseline) & set(current))
@@ -116,6 +154,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         f"comparing {len(tracked)} tracked timing(s) against "
         f"{baseline_path}"
     )
+    if incomparable:
+        print(
+            "baseline recorded in a different environment (not "
+            "compared): " + ", ".join(sorted(incomparable))
+        )
     for name in tracked:
         base = float(baseline[name]["wall_s"])
         cur = float(current[name]["wall_s"])

@@ -100,9 +100,13 @@ def factor3(p: int) -> Tuple[int, int, int]:
 #: The extended weak-scaling axis: the paper's 1..256 plus 512 nodes.
 EXTENDED_NODE_COUNTS = [1, 2, 4, 8, 16, 32, 64, 128, 256, 512]
 
-#: The orbit-compressed executor's axis: out to 4096 nodes (8192
-#: processors), ``python -m repro.bench weak4096``.
-EXTREME_NODE_COUNTS = EXTENDED_NODE_COUNTS + [1024, 2048, 4096]
+#: The orbit-compressed executor's axis, out to 65,536 nodes (131,072
+#: processors — ``python -m repro.bench weak65536``); the phase-replay
+#: fast paths make the top counts simulable at all. ``weak4096`` runs
+#: the prefix up to 4096.
+EXTREME_NODE_COUNTS = EXTENDED_NODE_COUNTS + [
+    1024, 2048, 4096, 8192, 16384, 32768, 65536,
+]
 
 
 def matmul_weak_scaling(
@@ -123,21 +127,26 @@ def matmul_weak_scaling(
     merging their cache deltas back into this process.
     """
     node_counts = list(node_counts or EXTENDED_NODE_COUNTS)
-    if jobs > 1 and len(node_counts) > 1:
+    if jobs > 1 and len(node_counts) * len(algorithms) > 1:
         from repro.bench.parallel import run_points
 
+        # One point per (node count, algorithm): the largest node counts
+        # dominate the sweep, so splitting them by algorithm keeps every
+        # worker busy instead of serializing the whole top count in one.
         return run_points(
             "matmul_weak_scaling",
             [
                 {
                     "node_counts": [n],
                     "base_n": base_n,
-                    "algorithms": tuple(algorithms),
+                    "algorithms": (algo,),
                     "gpu": gpu,
                 }
                 for n in node_counts
+                for algo in algorithms
             ],
             jobs,
+            costs=[n for n in node_counts for _ in algorithms],
         )
     # Imported here: the algorithms pull in the full compilation
     # pipeline, which this sizing module should not load eagerly.

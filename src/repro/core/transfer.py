@@ -25,7 +25,7 @@ from repro.machine.cluster import Memory, MemoryKind, Processor
 from repro.machine.machine import Machine
 from repro.runtime.trace import Copy, Trace
 from repro.scheduling.schedule import Schedule
-from repro.util.geometry import Rect
+from repro.util.geometry import Interval, Rect
 
 
 def transfer_kernel(
@@ -191,25 +191,41 @@ def redistribution_trace(
     trace = Trace()
     step = trace.new_step(f"redistribute {tensor.name}")
 
-    # Destination home pieces, one per machine point that owns data.
-    dst_rects: List[Rect] = []
-    dst_procs: List[Processor] = []
-    dst_coords: List[Tuple[int, ...]] = []
-    for coords in dst_machine.points():
-        rect = dst_format.owned_rect(dst_machine, coords, tensor.shape)
-        if rect is None or rect.is_empty:
-            continue
-        dst_rects.append(rect)
-        dst_procs.append(dst_machine.proc_at(coords))
-        dst_coords.append(coords)
-    if not dst_rects:
-        return trace
-    k = len(dst_rects)
+    # Destination home pieces, one per machine point that owns data —
+    # derived for every point at once (the per-point `owned_rect` walk
+    # dominated large-machine handoff planning).
     ndim = tensor.ndim
+    all_coords = np.stack(
+        np.unravel_index(
+            np.arange(dst_machine.size), tuple(dst_machine.shape)
+        ),
+        axis=1,
+    ).astype(np.int64)
+    b_lo, b_hi, ok = dst_format.owned_rect_batch(
+        dst_machine, all_coords, tensor.shape
+    )
+    live = ok.copy()
+    for d in range(ndim):
+        live &= b_hi[d] > b_lo[d]
+    sel = np.flatnonzero(live)
+    if sel.size == 0:
+        return trace
+    k = sel.size
+    dst_coords = [tuple(int(c) for c in all_coords[i]) for i in sel]
+    dst_procs = [dst_machine.proc_at(c) for c in dst_coords]
+    dst_rects = [
+        Rect(
+            tuple(
+                Interval(int(b_lo[d, i]), int(b_hi[d, i]))
+                for d in range(ndim)
+            )
+        )
+        for i in sel
+    ]
     los = his = None
     if ndim:
-        los = np.array([r.lo for r in dst_rects], dtype=np.int64).T
-        his = np.array([r.hi for r in dst_rects], dtype=np.int64).T
+        los = b_lo[:, sel]
+        his = b_hi[:, sel]
 
     # Source owners, batched; replica dims (-1) concretize to the
     # destination's canonical source-machine coordinate.

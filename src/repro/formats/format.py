@@ -215,6 +215,59 @@ class Format:
             offset += grid.dim
         return pattern, valid
 
+    def owned_rect_batch(
+        self,
+        machine: Machine,
+        coords: np.ndarray,
+        tensor_shape: Sequence[int],
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Vectorized :meth:`owned_rect` over machine-coordinate rows.
+
+        ``coords`` is a ``(k, machine.dim)`` int64 matrix of machine
+        points. Returns ``(lo, hi, ok)``:
+
+        * ``lo``/``hi`` — ``(ndim, k)`` endpoint columns of each point's
+          home sub-rectangle;
+        * ``ok[j]`` — True when the point holds a piece at all (exactly
+          when the scalar method returns a rectangle; the rectangle may
+          still be empty for trailing blocks of non-divisible extents —
+          callers test ``hi > lo`` where emptiness matters).
+
+        The arithmetic mirrors ``Distribution.owned_rect`` element-wise
+        (``split_evenly`` blocked partitioning), composing hierarchical
+        levels exactly as the scalar chain does.
+        """
+        k = coords.shape[0]
+        ndim = len(tensor_shape)
+        lo = np.zeros((ndim, k), dtype=np.int64)
+        hi = np.empty((ndim, k), dtype=np.int64)
+        for d in range(ndim):
+            hi[d, :] = tensor_shape[d]
+        if not self.distributions:
+            # Undistributed tensors are homed at the machine origin.
+            ok = ~np.any(coords != 0, axis=1)
+            return lo, hi, ok
+        ok = np.ones(k, dtype=bool)
+        offset = 0
+        for dist, grid in zip(self.distributions, machine.levels):
+            for j, mdim in enumerate(dist.machine_dims):
+                c = coords[:, offset + j]
+                if isinstance(mdim, Fixed):
+                    ok &= c == mdim.value
+                elif isinstance(mdim, DimName):
+                    tdim = dist.partitioned[j]
+                    base_lo = lo[tdim]
+                    size = hi[tdim] - base_lo
+                    pieces = grid.shape[j]
+                    # split_evenly(size, pieces, c).shift(base_lo)
+                    tile = -(-size // pieces)
+                    piece_lo = base_lo + np.minimum(c * tile, size)
+                    piece_hi = np.minimum(piece_lo + tile, base_lo + size)
+                    lo[tdim] = piece_lo
+                    hi[tdim] = piece_hi
+            offset += grid.dim
+        return lo, hi, ok
+
     def owner_pieces(
         self,
         machine: Machine,

@@ -37,7 +37,8 @@ Per step (bulk-synchronous phase):
 
 from __future__ import annotations
 
-from typing import List, Optional
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -47,6 +48,67 @@ from repro.sim.params import MachineParams
 from repro.sim.report import SimReport
 
 GEMM_KERNELS = {"blas_gemm", "cublas_gemm", "gemm"}
+
+#: One processor-class's leaf work inside a skeleton step:
+#: ``(proc_id, ((kernel, flops), ...), bytes_touched, staged_bytes,
+#: invocations, count)``.
+WorkEntry = Tuple[int, Tuple[Tuple[Optional[str], float], ...], float,
+                  float, int, int]
+
+
+@dataclass
+class TraceSkeleton:
+    """A priced sub-trace: everything needed to re-derive a
+    :class:`SimReport` without the trace.
+
+    Communication is pre-priced per step (``t_comm`` — leaf-kernel
+    independent, since copies never depend on the leaf substitution);
+    compute is kept as per-processor work entries so the tuner's
+    incremental oracle can re-price a shared phase structure under a
+    different leaf kernel (:mod:`repro.tuner.oracle`). Skeletons are
+    small — per-class work rows and one float per step — independent of
+    the machine size.
+    """
+
+    steps: List[Tuple[float, Tuple[WorkEntry, ...]]]
+    inter_node_bytes: float
+    total_copy_bytes: float
+    num_nodes: int
+    memory_high_water: Dict[str, int] = field(default_factory=dict)
+
+
+def _work_entries(step: Step) -> Tuple[WorkEntry, ...]:
+    """A step's work table as skeleton entries (one layout, one place)."""
+    return tuple(
+        (
+            proc_id,
+            tuple(w.kernel_flops.items()),
+            w.bytes_touched,
+            w.staged_bytes,
+            w.invocations,
+            w.count,
+        )
+        for proc_id, w in step.work.items()
+    )
+
+
+def _step_digest(cols: CopyColumns) -> Tuple:
+    """Content digest of a step's copy batch (collision-checked only by
+    probability; used to reuse a *price* across identical steps, where a
+    collision would mis-time both executors identically)."""
+    return (
+        cols.n,
+        cols.num_groups,
+        hash(cols.nbytes.tobytes()),
+        hash(cols.src_proc.tobytes()),
+        hash(cols.dst_proc.tobytes()),
+        hash(cols.group.tobytes()),
+        hash(cols.reduce.tobytes()),
+        hash(cols.gpu_resident.tobytes()),
+        hash(cols.src_gpu.tobytes()),
+        hash(cols.dst_gpu.tobytes()),
+        hash(cols.count.tobytes()),
+    )
 
 
 class CostModel:
@@ -63,38 +125,78 @@ class CostModel:
 
     def time_trace(self, trace: Trace) -> SimReport:
         """Total time and derived rates for a full kernel execution."""
+        return self.price_skeleton(self.skeleton_of(trace))
+
+    def skeleton_of(self, trace: Trace) -> TraceSkeleton:
+        """Price a trace's communication and capture its work entries.
+
+        Steps with byte-identical copy batches (a systolic algorithm's
+        steady state repeats one batch every iteration) are priced once
+        via a content digest, so communication pricing scales with the
+        number of *distinct* steps.
+        """
+        steps: List[Tuple[float, Tuple[WorkEntry, ...]]] = []
+        priced: Dict[Tuple, float] = {}
+        for step in trace.steps:
+            cols = step.columns()
+            if cols.n == 0:
+                t_comm = 0.0
+            else:
+                digest = _step_digest(cols)
+                t_comm = priced.get(digest)
+                if t_comm is None:
+                    t_comm = self.comm_time(cols)
+                    priced[digest] = t_comm
+            steps.append((t_comm, _work_entries(step)))
+        return TraceSkeleton(
+            steps=steps,
+            inter_node_bytes=trace.inter_node_bytes,
+            total_copy_bytes=trace.total_copy_bytes,
+            num_nodes=self.cluster.num_nodes,
+            memory_high_water=dict(trace.memory_high_water),
+        )
+
+    def price_skeleton(
+        self,
+        skeleton: TraceSkeleton,
+        kernel_map: Optional[Dict[Optional[str], Optional[str]]] = None,
+    ) -> SimReport:
+        """A :class:`SimReport` from a priced sub-trace.
+
+        ``kernel_map`` relabels leaf kernels before compute pricing —
+        the incremental oracle's re-pricing of a cached phase structure
+        whose candidate differs only in the substituted leaf.
+        """
         total = 0.0
         comm_total = 0.0
         compute_total = 0.0
-        for step in trace.steps:
-            t_comm = self.comm_time(step.copies, columns=step.columns())
-            t_compute = self.compute_time(step)
+        flops = 0.0
+        bytes_touched = 0.0
+        for t_comm, work in skeleton.steps:
+            t_compute = self._compute_entries(work, kernel_map)
             if self.params.overlap:
                 t_step = max(t_comm, t_compute)
             else:
                 t_step = t_comm + t_compute
             t_step += self.params.task_overhead * max(
-                (w.invocations for w in step.work.values()), default=1
+                (entry[4] for entry in work), default=1
             )
             total += t_step
             comm_total += t_comm
             compute_total += t_compute
-        flops = trace.total_flops
-        bytes_touched = sum(
-            w.bytes_touched * w.count
-            for s in trace.steps
-            for w in s.work.values()
-        )
+            for entry in work:
+                flops += sum(fl for _k, fl in entry[1]) * entry[5]
+                bytes_touched += entry[2] * entry[5]
         return SimReport(
             total_time=total,
             comm_time=comm_total,
             compute_time=compute_total,
             total_flops=flops,
             bytes_touched=bytes_touched,
-            inter_node_bytes=trace.inter_node_bytes,
-            total_copy_bytes=trace.total_copy_bytes,
-            num_nodes=self.cluster.num_nodes,
-            memory_high_water=dict(trace.memory_high_water),
+            inter_node_bytes=skeleton.inter_node_bytes,
+            total_copy_bytes=skeleton.total_copy_bytes,
+            num_nodes=skeleton.num_nodes,
+            memory_high_water=dict(skeleton.memory_high_water),
         )
 
     # ------------------------------------------------------------------
@@ -102,27 +204,36 @@ class CostModel:
     # ------------------------------------------------------------------
 
     def compute_time(self, step: Step) -> float:
-        if not step.work:
+        return self._compute_entries(_work_entries(step), None)
+
+    def _compute_entries(
+        self,
+        entries: Tuple[WorkEntry, ...],
+        kernel_map: Optional[Dict[Optional[str], Optional[str]]],
+    ) -> float:
+        if not entries:
             return 0.0
         params = self.params
-        n = len(step.work)
+        n = len(entries)
         gemm_flops = np.empty(n)
         other_flops = np.empty(n)
         bytes_touched = np.empty(n)
         staged = np.empty(n)
         is_gpu = np.empty(n, dtype=bool)
-        for i, (proc_id, work) in enumerate(step.work.items()):
-            is_gpu[i] = self._procs[proc_id].kind is ProcessorKind.GPU
+        for i, entry in enumerate(entries):
+            is_gpu[i] = self._procs[entry[0]].kind is ProcessorKind.GPU
             g = o = 0.0
-            for kern, fl in work.kernel_flops.items():
+            for kern, fl in entry[1]:
+                if kernel_map is not None:
+                    kern = kernel_map.get(kern, kern)
                 if kern in GEMM_KERNELS:
                     g += fl
                 else:
                     o += fl
             gemm_flops[i] = g
             other_flops[i] = o
-            bytes_touched[i] = work.bytes_touched
-            staged[i] = work.staged_bytes
+            bytes_touched[i] = entry[2]
+            staged[i] = entry[3]
         rate = np.where(
             is_gpu,
             params.gpu_gflops,
@@ -147,12 +258,21 @@ class CostModel:
 
     def comm_time(
         self,
-        copies: List[Copy],
+        copies,
         columns: Optional[CopyColumns] = None,
     ) -> float:
-        cols = columns if columns is not None else CopyColumns.from_copies(
-            copies
-        )
+        """Communication time of one step's copy batch.
+
+        Consumes the columnar view (:class:`CopyColumns`) — pass it
+        directly, or pass a ``Copy`` list to have it columnarized (the
+        convenience path tests and analyses use).
+        """
+        if isinstance(copies, CopyColumns):
+            cols = copies
+        elif columns is not None:
+            cols = columns
+        else:
+            cols = CopyColumns.from_copies(copies)
         if cols.n == 0:
             return 0.0
         # Orbit-compressed rows stand for `count` translated copies each;

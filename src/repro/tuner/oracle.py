@@ -24,11 +24,18 @@ import hashlib
 import json
 import math
 import os
-from dataclasses import dataclass
+import re
+from collections import OrderedDict
+from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence
 
-from repro.bench.cache import SIM_CACHE, cluster_signature, params_key
+from repro.bench.cache import (
+    SIM_CACHE,
+    cluster_signature,
+    kernel_fingerprint,
+    params_key,
+)
 from repro.bench.perf_log import locked, write_atomic
 from repro.bench.parallel import register_sweep, run_points
 from repro.core.kernel import compile_kernel
@@ -37,6 +44,7 @@ from repro.ir.tensor import Assignment
 from repro.machine.cluster import Cluster, MemoryKind, ProcessorKind
 from repro.machine.grid import Grid
 from repro.machine.machine import Machine
+from repro.sim.costmodel import CostModel
 from repro.sim.params import LASSEN, MachineParams
 from repro.tuner.space import Decision, formats_for, realize
 from repro.util.errors import OutOfMemoryError, ReproError
@@ -46,9 +54,152 @@ from repro.util.errors import OutOfMemoryError, ReproError
 INFEASIBLE = float("inf")
 
 
+# ----------------------------------------------------------------------
+# Cross-candidate incremental simulation.
+# ----------------------------------------------------------------------
+
+_LEAF_RE = re.compile(r"leaf\[[^\]]*\]")
+
+
+def phase_fingerprint(kernel, check_capacity: bool, mode: str) -> str:
+    """Identity of a candidate's *phase structure*.
+
+    The plan's printed form pins the launch grid, the per-phase request
+    structure (communication points, loop extents, access expressions —
+    the bounds analysis is a pure function of these), reductions, and
+    the tensor formats; the substituted leaf kernel is masked out
+    because it never changes the executed trace — only how the work is
+    priced. Candidates that differ only in leaf substitution therefore
+    share a fingerprint, and beam rungs re-price a cached sub-trace
+    instead of re-executing it.
+    """
+    fp = kernel_fingerprint(kernel)
+    raw = "|".join(
+        str(x)
+        for x in (
+            _LEAF_RE.sub("leaf[*]", fp[0]),
+            fp[1:],
+            check_capacity,
+            mode,
+        )
+    )
+    return hashlib.sha256(raw.encode()).hexdigest()[:16]
+
+
+def _leaf_kernels(plan) -> List[Optional[str]]:
+    """Substituted leaf kernel names, in plan order."""
+    node = plan.root
+    while not hasattr(node, "assigns"):
+        node = node.body
+    return [node.kernel]
+
+
+class _SkeletonStore:
+    """Per-process LRU of priced sub-traces, keyed by phase structure.
+
+    Values are ``("ok", TraceSkeleton, leaf kernels)`` or ``("oom",
+    error args)``; skeletons are machine-size independent (per-class
+    work rows plus one pre-priced communication float per step), so the
+    store stays small.
+    """
+
+    def __init__(self, cap: int = 256):
+        self.cap = cap
+        self._store: "OrderedDict[str, tuple]" = OrderedDict()
+
+    def get(self, key: str):
+        hit = self._store.get(key)
+        if hit is not None:
+            self._store.move_to_end(key)
+        return hit
+
+    def put(self, key: str, value):
+        self._store[key] = value
+        self._store.move_to_end(key)
+        while len(self._store) > self.cap:
+            self._store.popitem(last=False)
+
+    def clear(self):
+        self._store.clear()
+
+    def __len__(self):
+        return len(self._store)
+
+
+#: Process-global sub-trace store (forked oracle workers inherit it).
+SKELETONS = _SkeletonStore()
+
+
+def oracle_simulate(kernel, params: MachineParams, check_capacity: bool,
+                    mode: str, pkey: Optional[str] = None):
+    """Simulate a candidate, reusing priced sub-traces across candidates.
+
+    Returns ``(report, executed, repriced)``: ``executed`` marks a real
+    trace execution, ``repriced`` a phase-structure hit re-priced under
+    this candidate's leaf kernel (see
+    :meth:`~repro.sim.costmodel.CostModel.price_skeleton`). Raises
+    :class:`OutOfMemoryError` exactly like ``SIM_CACHE.simulate``.
+    """
+    hit = SIM_CACHE.cached(kernel, params, check_capacity, mode)
+    if hit is not None:
+        outcome, payload = hit
+        if outcome == "oom":
+            raise OutOfMemoryError(*payload)
+        return payload, False, False
+    if pkey is None:
+        pkey = phase_fingerprint(kernel, check_capacity, mode)
+    skey = f"{pkey}/{params_key(params)}"
+    cached = SKELETONS.get(skey)
+    if cached is not None:
+        if cached[0] == "oom":
+            SIM_CACHE.put(
+                kernel, params, check_capacity, mode, ("oom", cached[1])
+            )
+            raise OutOfMemoryError(*cached[1])
+        _tag, skeleton, old_leaves = cached
+        new_leaves = _leaf_kernels(kernel.plan)
+        kernel_map = {}
+        consistent = len(old_leaves) == len(new_leaves)
+        if consistent:
+            for old, new in zip(old_leaves, new_leaves):
+                if kernel_map.setdefault(old, new) != new:
+                    consistent = False
+                    break
+        if consistent:
+            model = CostModel(kernel.machine.cluster, params)
+            report = model.price_skeleton(skeleton, kernel_map)
+            SIM_CACHE.put(
+                kernel, params, check_capacity, mode, ("ok", report)
+            )
+            return report, False, True
+    model = CostModel(kernel.machine.cluster, params)
+    try:
+        result = kernel.trace(check_capacity=check_capacity, mode=mode)
+    except OutOfMemoryError as err:
+        args = (err.memory_name, err.needed_bytes, err.capacity_bytes)
+        SKELETONS.put(skey, ("oom", args))
+        SIM_CACHE.put(kernel, params, check_capacity, mode, ("oom", args))
+        raise
+    skeleton = model.skeleton_of(result.trace)
+    report = model.price_skeleton(skeleton)
+    SKELETONS.put(
+        skey, ("ok", skeleton, _leaf_kernels(kernel.plan))
+    )
+    SIM_CACHE.put(kernel, params, check_capacity, mode, ("ok", report))
+    return report, True, False
+
+
 @dataclass(frozen=True)
 class EvalOutcome:
-    """One candidate's simulated summary (picklable, ledger-shaped)."""
+    """One candidate's simulated summary (picklable, ledger-shaped).
+
+    ``structure`` / ``executed`` / ``repriced`` describe *how* the
+    outcome was obtained (phase-structure fingerprint, real trace
+    execution vs. sub-trace re-pricing); they ride back from forked
+    workers for the oracle's incrementality accounting but never enter
+    the ledger records (ledgers must be byte-identical across
+    equal-seed runs, and cache hits vary between processes).
+    """
 
     decision: Decision
     cost: float                 # simulated seconds; inf when infeasible
@@ -58,6 +209,9 @@ class EvalOutcome:
     compute_time: float = 0.0
     inter_node_bytes: float = 0.0
     max_memory_bytes: float = 0.0
+    structure: str = field(default="", compare=False)
+    executed: bool = field(default=False, compare=False)
+    repriced: bool = field(default=False, compare=False)
 
     @property
     def feasible(self) -> bool:
@@ -162,7 +316,7 @@ class TuningLedger:
         key = f"{wsig}/{outcome.decision.encode()}"
         self.entries[key] = outcome.to_record()
 
-    def save(self) -> bool:
+    def save(self, stats: Optional[Dict] = None) -> bool:
         """Persist the ledger; returns False when the path is unset or
         the (atomic) write failed.
 
@@ -171,6 +325,11 @@ class TuningLedger:
         entries win on key conflicts — evaluation is deterministic, so
         conflicting records are equal anyway), so concurrent tunes
         sharing one ledger never drop each other's work.
+
+        ``stats`` (the oracle's hit counts; see :meth:`Oracle.stats`)
+        is recorded under ``"oracle_stats"`` — counters are derived
+        from candidate fingerprints, not cache state, so equal-seed
+        runs still write byte-identical ledgers.
         """
         if self.path is None:
             return False
@@ -187,6 +346,8 @@ class TuningLedger:
                 "version": self.VERSION,
                 "entries": {k: merged[k] for k in sorted(merged)},
             }
+            if stats is not None:
+                payload["oracle_stats"] = stats
             text = json.dumps(payload, indent=1, sort_keys=True) + "\n"
             ok = write_atomic(self.path, text)
         if not ok:
@@ -285,17 +446,23 @@ def evaluate_one(
         return EvalOutcome(
             decision=decision, cost=INFEASIBLE, oom=True, error=STATIC_OOM
         )
+    structure = ""
+    executed = repriced = False
     try:
         machine = Machine(cluster, Grid(*decision.grid))
         schedule, _formats = realize(
             assignment, machine, decision, memory=memory
         )
         kernel = compile_kernel(schedule, machine)
-        report = SIM_CACHE.simulate(
-            kernel, params, check_capacity=check_capacity, mode=mode
+        structure = phase_fingerprint(kernel, check_capacity, mode)
+        report, executed, repriced = oracle_simulate(
+            kernel, params, check_capacity, mode, pkey=structure
         )
     except OutOfMemoryError:
-        return EvalOutcome(decision=decision, cost=INFEASIBLE, oom=True)
+        return EvalOutcome(
+            decision=decision, cost=INFEASIBLE, oom=True,
+            structure=structure,
+        )
     except (ReproError, ValueError) as err:
         return EvalOutcome(
             decision=decision,
@@ -309,6 +476,9 @@ def evaluate_one(
         compute_time=report.compute_time,
         inter_node_bytes=report.inter_node_bytes,
         max_memory_bytes=float(report.max_memory_bytes),
+        structure=structure,
+        executed=executed,
+        repriced=repriced,
     )
 
 
@@ -374,6 +544,16 @@ class Oracle:
         #: Candidates whose compile or simulation *errored* — OOMs are a
         #: legitimate search outcome and do not count.
         self.errors = 0
+        #: Incrementality accounting. ``scored`` counts every decision
+        #: requested; ``structures`` the distinct phase-structure
+        #: fingerprints among simulated candidates (a seed-deterministic
+        #: quantity — what goes into the ledger); ``trace_executions`` /
+        #: ``repriced`` the live behaviour (cache-state dependent).
+        self.scored = 0
+        self.structures = set()
+        self.structure_scored = 0
+        self.trace_executions = 0
+        self.repriced = 0
 
     def for_cluster(self, cluster: Cluster) -> "Oracle":
         """A sibling oracle on a different (e.g. coarsened) cluster."""
@@ -418,17 +598,54 @@ class Oracle:
                     self.ledger.misses += 1
                 pending.append(decision)
                 queued.add(decision)
+        self.scored += len(decisions)
         if pending:
             for outcome in self._evaluate_pending(assignment, pending):
                 outcomes[outcome.decision] = outcome
                 if outcome.error and not outcome.oom:
                     self.errors += 1
+                if outcome.structure:
+                    self.structures.add(outcome.structure)
+                    self.structure_scored += 1
+                self.trace_executions += outcome.executed
+                self.repriced += outcome.repriced
                 if self.ledger is not None:
                     self.ledger.put(wsig, outcome)
             self.simulated += len(pending)
             if self.ledger is not None:
-                self.ledger.save()
+                self.ledger.save(stats=self.stats())
         return [outcomes[d] for d in decisions]
+
+    def stats(self) -> Dict[str, int]:
+        """Deterministic incrementality counters for the ledger.
+
+        ``structure_hits`` counts simulated candidates that shared a
+        phase-structure fingerprint with an earlier one — the
+        re-priced-not-re-executed population. Derived from fingerprints
+        rather than cache state, so equal-seed runs write equal stats.
+        """
+        return {
+            "scored": self.scored,
+            "simulated": self.simulated,
+            "structures": len(self.structures),
+            "structure_hits": self.structure_scored - len(self.structures),
+            "ledger_hits": (
+                self.ledger.hits if self.ledger is not None else 0
+            ),
+            "ledger_misses": (
+                self.ledger.misses if self.ledger is not None else 0
+            ),
+        }
+
+    def merge_counters(self, other: "Oracle"):
+        """Fold a sibling (coarse-rung) oracle's accounting into ours."""
+        self.simulated += other.simulated
+        self.errors += other.errors
+        self.scored += other.scored
+        self.structures |= other.structures
+        self.structure_scored += other.structure_scored
+        self.trace_executions += other.trace_executions
+        self.repriced += other.repriced
 
     def _evaluate_pending(
         self, assignment: Assignment, pending: List[Decision]

@@ -70,6 +70,12 @@ class SearchOutcome:
     ranked: List[EvalOutcome] = field(default_factory=list)
     #: Candidates whose compile/simulation *errored* (OOMs excluded).
     errors: int = 0
+    #: Incremental-oracle accounting: real trace executions, candidates
+    #: scored by re-pricing a shared phase structure, and the distinct
+    #: structure count (see :mod:`repro.tuner.oracle`).
+    trace_executions: int = 0
+    repriced: int = 0
+    structures: int = 0
 
     @property
     def improved(self) -> bool:
@@ -79,7 +85,10 @@ class SearchOutcome:
     def describe(self) -> str:
         lines = [
             f"strategy {self.strategy}: {self.space_size} candidates, "
-            f"{self.evaluations} evaluated",
+            f"{self.evaluations} evaluated "
+            f"({self.trace_executions} trace executions, "
+            f"{self.repriced} re-priced from {self.structures} "
+            f"phase structures)",
         ]
         for rung in self.rungs:
             lines.append(
@@ -245,8 +254,7 @@ def beam_search(
         coarse_outcomes = dict(zip(alive, coarse_oracle.evaluate(
             coarse_assignment, [coarsen(c, actual) for c in alive]
         )))
-        oracle.simulated += coarse_oracle.simulated
-        oracle.errors += coarse_oracle.errors
+        oracle.merge_counters(coarse_oracle)
         outcomes = []
         for original in candidates:
             if original in dead:
@@ -432,6 +440,9 @@ def tune(
         rungs=rungs,
         ranked=ranked[:RANKED_KEEP],
         errors=oracle.errors,
+        trace_executions=oracle.trace_executions,
+        repriced=oracle.repriced,
+        structures=len(oracle.structures),
     )
 
     from repro.machine.grid import Grid

@@ -1,0 +1,153 @@
+"""The former scalar escape hatches, now class-batched — parity pinned.
+
+PR 2's orbit executor fell back to the per-context scalar machinery on
+three paths: requests spanning several home pieces (multi-piece
+redistribution), reduction flushes, and leaf-level communication. All
+three now execute as columnar class-level operations; these tests pin
+
+* byte-identical ``SimReport``s against the scalar reference
+  interpreter on schedules that exercise each path,
+* that the executor *counts zero* re-entries into the per-context
+  fallback (``fallback_events``), and
+* that the batched replacements actually ran (coverage counters), so a
+  regression cannot silently re-route through an untested path.
+"""
+
+import pytest
+
+from repro import (
+    Assignment,
+    Format,
+    Grid,
+    Machine,
+    Schedule,
+    TensorVar,
+    compile_kernel,
+    index_vars,
+)
+from repro.algorithms.higher_order import innerprod, mttkrp
+from repro.algorithms.matmul import cannon, cosma, solomonik, summa
+from repro.core.transfer import transfer_kernel
+from repro.machine.cluster import Cluster
+from repro.runtime.orbit import OrbitExecutor
+from repro.sim.costmodel import CostModel
+from repro.sim.params import LASSEN
+
+
+def run_orbit(kernel, check_capacity=False):
+    """Execute on a fresh orbit executor; return (executor, report)."""
+    executor = OrbitExecutor(kernel.plan, check_capacity=check_capacity)
+    result = executor.run()
+    model = CostModel(kernel.machine.cluster, LASSEN)
+    return executor, model.time_trace(result.trace)
+
+
+def assert_parity_no_fallback(kernel, check_capacity=False):
+    executor, orbit = run_orbit(kernel, check_capacity)
+    scalar = kernel.simulate(
+        LASSEN, check_capacity=check_capacity, mode="scalar"
+    )
+    assert orbit == scalar, f"{orbit!r} != {scalar!r}"
+    assert executor.fallback_events == 0
+    return executor
+
+
+@pytest.fixture
+def m44():
+    return Machine(Cluster.cpu_cluster(8), Grid(4, 4))
+
+
+@pytest.fixture
+def m222():
+    return Machine(Cluster.cpu_cluster(4), Grid(2, 2, 2))
+
+
+class TestReductionFlushes:
+    """Reduction write-backs: columnar flush batches, no fallback."""
+
+    def test_solomonik_flush(self, m222):
+        executor = assert_parity_no_fallback(solomonik(m222, 256))
+        assert executor.flush_batches > 0
+
+    def test_mttkrp_flush(self, m222):
+        executor = assert_parity_no_fallback(mttkrp(m222, 64, r=16))
+        assert executor.flush_batches > 0
+
+    def test_innerprod_flush(self, m44):
+        executor = assert_parity_no_fallback(innerprod(m44, 64))
+        assert executor.flush_batches > 0
+
+    def test_prime_extent_reduction(self, m222):
+        # Ragged partials: per-member rect columns are non-uniform.
+        executor = assert_parity_no_fallback(solomonik(m222, 101))
+        assert executor.flush_batches > 0
+
+
+class TestMultiPieceFetch:
+    """Requests spanning several home pieces resolve per rect class."""
+
+    def test_cosma_stays_exact(self):
+        # COSMA's recursive splits stress non-uniform phases (its former
+        # fallback copies were reduction flushes).
+        executor = assert_parity_no_fallback(
+            cosma(Cluster.cpu_cluster(8), 256)
+        )
+        assert executor.flush_batches > 0
+
+    def test_redistribution_transfer_kernel(self):
+        # A pipeline-style redistribution: the identity kernel between
+        # mismatched layouts splits nearly every request across owners.
+        cluster = Cluster.cpu_cluster(8)
+        machine = Machine(cluster, Grid(4, 4))
+        src = TensorVar("S", (128, 128), Format("xy -> xy"))
+        # Row-replicating the 2-D-tiled source: every destination task
+        # reads a full row panel, which spans four source pieces.
+        kernel = transfer_kernel(src, Format("xy -> x*"), machine)
+        executor = assert_parity_no_fallback(kernel)
+        assert executor.multi_piece_batches > 0
+
+
+class TestLeafComm:
+    """Leaf-level communication phases run the batched orbit path."""
+
+    def _leaf_comm_kernel(self, n=64, k=96):
+        f = Format("xy -> xy")
+        A = TensorVar("A", (n, n), f)
+        B = TensorVar("B", (n, k), f)
+        C = TensorVar("C", (k, n), f)
+        i, j, kk = index_vars("i j k")
+        io, ii, jo, ji = index_vars("io ii jo ji")
+        stmt = Assignment(A[i, j], B[i, kk] * C[kk, j])
+        sched = Schedule(stmt).distribute(
+            [i, j], [io, jo], [ii, ji], Grid(2, 2)
+        )
+        return compile_kernel(
+            sched, Machine(Cluster.cpu_cluster(2), Grid(2, 2))
+        )
+
+    def test_default_lowered_matmul(self):
+        # Tensors without an explicit communicate tag fetch (and the
+        # output flushes) at the leaf — the naive completion.
+        executor = assert_parity_no_fallback(self._leaf_comm_kernel())
+        assert executor.leaf_comm_phases > 0
+
+    def test_non_divisible_leaf_comm(self):
+        executor = assert_parity_no_fallback(self._leaf_comm_kernel(n=67, k=51))
+        assert executor.leaf_comm_phases > 0
+
+
+class TestNoFallbackAcrossSuite:
+    """The flagship schedules never re-enter the scalar machinery."""
+
+    @pytest.mark.parametrize("build,n", [
+        (cannon, 256), (summa, 256), (cannon, 257),
+    ])
+    def test_matmuls(self, m44, build, n):
+        assert_parity_no_fallback(build(m44, n))
+
+    def test_rotation_replay_stays_exact(self):
+        # Long systolic loops hit the translation/rotation replay fast
+        # paths; the reports must stay byte-identical to scalar.
+        m = Machine(Cluster.cpu_cluster(64), Grid(16, 8))
+        assert_parity_no_fallback(cannon(m, 2048))
+        assert_parity_no_fallback(summa(m, 1999))

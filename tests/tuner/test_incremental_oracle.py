@@ -1,0 +1,89 @@
+"""Cross-candidate incremental simulation (`tuner/oracle.py`).
+
+Candidates sharing a phase structure — same grid, formats, request
+structure, different substituted leaf kernel — must execute one trace
+and re-price the rest; the hit counts must land in the tuning ledger
+without breaking its byte-determinism.
+"""
+
+import json
+
+import pytest
+
+from repro.bench.cache import SIM_CACHE
+from repro.machine.cluster import Cluster
+from repro.tuner.oracle import SKELETONS, phase_fingerprint
+from repro.tuner.search import tune
+from repro.tuner.workloads import matmul
+
+
+@pytest.fixture(autouse=True)
+def fresh_caches():
+    SIM_CACHE.clear()
+    SKELETONS.clear()
+    yield
+    SIM_CACHE.clear()
+    SKELETONS.clear()
+
+
+class TestIncrementalOracle:
+    def test_fewer_trace_executions_than_candidates(self, tmp_path):
+        result = tune(
+            matmul(4096), Cluster.cpu_cluster(8), jobs=1,
+            ledger_path=tmp_path / "ledger.json",
+        )
+        search = result.search
+        assert search.evaluations > 0
+        # The gemm-vs-loops leaf axis shares every phase structure, so
+        # at most half the scored candidates execute a trace.
+        assert search.trace_executions < search.evaluations
+        assert search.repriced > 0
+        assert search.trace_executions == search.structures
+
+    def test_hit_counts_logged_in_ledger(self, tmp_path):
+        path = tmp_path / "ledger.json"
+        tune(matmul(4096), Cluster.cpu_cluster(8), jobs=1, ledger_path=path)
+        data = json.loads(path.read_text())
+        stats = data["oracle_stats"]
+        assert stats["scored"] == stats["simulated"] + stats["ledger_hits"]
+        assert stats["structure_hits"] > 0
+        assert stats["structures"] < stats["simulated"]
+
+    def test_repriced_reports_match_executed(self):
+        # Re-pricing a cached skeleton must reproduce exactly what a
+        # fresh execution reports: clear the caches, evaluate the same
+        # space twice, compare costs decision by decision.
+        cluster = Cluster.cpu_cluster(4)
+        first = tune(matmul(2048), cluster, strategy="exhaustive")
+        SIM_CACHE.clear()
+        SKELETONS.clear()
+        second = tune(matmul(2048), cluster, strategy="exhaustive")
+        costs_a = {
+            o.decision: o.cost for o in first.search.ranked
+        }
+        costs_b = {
+            o.decision: o.cost for o in second.search.ranked
+        }
+        assert costs_a == costs_b
+        assert first.decision == second.decision
+
+    def test_fingerprint_masks_leaf_kernel_only(self):
+        from repro.core.kernel import compile_kernel
+        from repro.machine.grid import Grid
+        from repro.machine.machine import Machine
+        from repro.tuner.space import enumerate_space, realize
+
+        cluster = Cluster.cpu_cluster(4)
+        assignment = matmul(1024)
+        space = enumerate_space(assignment, cluster.num_processors)
+        by_key = {}
+        for decision in space:
+            machine = Machine(cluster, Grid(*decision.grid))
+            schedule, _ = realize(assignment, machine, decision)
+            kernel = compile_kernel(schedule, machine)
+            key = phase_fingerprint(kernel, True, "orbit")
+            by_key.setdefault(key, set()).add(decision.leaf)
+        # At least one structure is shared by both leaf choices, and no
+        # two different comm/format structures collapse to one key.
+        assert any(len(leaves) > 1 for leaves in by_key.values())
+        assert len(by_key) < len(space)
