@@ -1,0 +1,46 @@
+"""Static schedule analysis: passes over decision vectors and traces.
+
+Four passes, all independent of the simulator:
+
+* :mod:`repro.analysis.legality` — reject ill-formed decision vectors
+  with structured diagnostics before any compilation.
+* :mod:`repro.analysis.membound` — per-node peak-footprint lower/upper
+  bounds from the decision vector alone.
+* :mod:`repro.analysis.commbound` — per-kernel communication lower
+  bounds (Irony–Toledo–Tishby / Loomis–Whitney for matmul, volume-based
+  for higher-order contractions).
+* :mod:`repro.analysis.sanitizer` — an independent consistency check
+  over execution traces (write–write races, misplaced reductions,
+  copies whose source never held the data).
+
+:mod:`repro.analysis.prune` glues the first two into the tuner's
+zero-simulation static pruner.
+"""
+
+from repro.analysis.commbound import CommBound, comm_lower_bound
+from repro.analysis.diagnostics import Diagnostic
+from repro.analysis.legality import check_legal, verify_legality
+from repro.analysis.membound import MemoryBound, memory_bounds
+from repro.analysis.prune import (
+    STATIC_DOMINATED,
+    STATIC_OOM,
+    prune_reason,
+)
+from repro.analysis.report import AnalysisReport, analyze_kernel
+from repro.analysis.sanitizer import sanitize_trace
+
+__all__ = [
+    "AnalysisReport",
+    "CommBound",
+    "Diagnostic",
+    "MemoryBound",
+    "STATIC_DOMINATED",
+    "STATIC_OOM",
+    "analyze_kernel",
+    "check_legal",
+    "comm_lower_bound",
+    "memory_bounds",
+    "prune_reason",
+    "sanitize_trace",
+    "verify_legality",
+]

@@ -1,0 +1,22 @@
+"""Structured diagnostics shared by every analysis pass."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One finding from an analysis pass.
+
+    ``rule`` is a stable kebab-case identifier tests can assert on;
+    ``field`` names the offending decision field (legality) or trace
+    entity (sanitizer); ``message`` is the human-readable explanation.
+    """
+
+    rule: str
+    field: str
+    message: str
+
+    def __str__(self):
+        return f"[{self.rule}] {self.field}: {self.message}"

@@ -1,0 +1,70 @@
+"""Static pruning verdicts the tuner consults before simulating.
+
+Two rules keep candidates out of the simulator entirely:
+
+* **memory infeasibility** — the :mod:`~repro.analysis.membound` peak
+  lower bound already exceeds the target memory's capacity, so every
+  simulation would end in the same OOM.
+* **leaf dominance** — a ``loops``-leaf candidate whose ``gemm`` twin is
+  a *distinct* canonical candidate. The phase fingerprint masks the
+  leaf, so both candidates replay the identical trace; communication is
+  identical and the loops leaf is priced at the lower (or equal)
+  ``naive_leaf_efficiency``, so its cost can never beat the twin's and
+  the ranking tie-break (decision key, ``"gemm" < "loops"``) prefers
+  the twin even on equality. The rule only fires when the machine
+  params actually order the efficiencies that way.
+
+:func:`prune_reason` returns the human-readable reason string (one of
+the module constants) or ``None`` when the candidate must be simulated.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Optional
+
+from repro.analysis.membound import memory_bounds
+from repro.ir.tensor import Assignment
+from repro.machine.cluster import Cluster, MemoryKind
+from repro.sim.params import MachineParams
+
+STATIC_OOM = "static: home-instance lower bound exceeds memory capacity"
+STATIC_DOMINATED = (
+    "static: loops leaf dominated by its gemm twin "
+    "(identical trace, lower efficiency)"
+)
+
+
+def prune_reason(
+    assignment: Assignment,
+    decision,
+    cluster: Cluster,
+    memory: MemoryKind = MemoryKind.SYSTEM_MEM,
+    params: Optional[MachineParams] = None,
+    check_capacity: bool = True,
+) -> Optional[str]:
+    """Why ``decision`` need not be simulated, or ``None``."""
+    if check_capacity:
+        if memory_bounds(assignment, decision, cluster, memory).infeasible:
+            return STATIC_OOM
+    if params is not None and _dominated_loops(
+        assignment, decision, params
+    ):
+        return STATIC_DOMINATED
+    return None
+
+
+def _dominated_loops(
+    assignment: Assignment, decision, params: MachineParams
+) -> bool:
+    from repro.tuner.space import LEAF_GEMM, LEAF_LOOPS, normalize
+
+    if decision.leaf != LEAF_LOOPS:
+        return False
+    if params.naive_leaf_efficiency > params.gemm_efficiency:
+        return False
+    twin = normalize(assignment, replace(decision, leaf=LEAF_GEMM))
+    # The twin must be a real, distinct candidate of the canonical
+    # space: normalize folds non-contractions back to the loops leaf,
+    # in which case there is nothing dominating this decision.
+    return twin.leaf == LEAF_GEMM and twin != decision

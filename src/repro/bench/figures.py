@@ -39,7 +39,6 @@ from repro.bench.weak_scaling import (
     Row,
     cube_grid,
     factor3,
-    figure_row as _row,
     grid_25d,
     run_point as _run,
     square_grid,
@@ -118,8 +117,6 @@ def fig15a_cpu_matmul(
         n = weak_matrix_size(base_n, nodes)
         gx, gy = square_grid(p)
         m2 = Machine(cluster, Grid(gx, gy))
-        q, _q, c = grid_25d(p)
-        m25 = Machine(cluster, Grid(q, q, c))
         g3 = cube_grid(p)
         m3 = Machine(cluster, Grid(*g3))
 
@@ -189,8 +186,6 @@ def fig15b_gpu_matmul(
         n = weak_matrix_size(base_n, nodes)
         gx, gy = square_grid(p)
         m2 = Machine(cluster, Grid(gx, gy))
-        q, _q, c = grid_25d(p)
-        m25 = Machine(cluster, Grid(q, q, c))
         g3 = cube_grid(p)
         m3 = Machine(cluster, Grid(*g3))
 

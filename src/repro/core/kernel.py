@@ -81,7 +81,10 @@ class Kernel:
     # ------------------------------------------------------------------
 
     def trace(
-        self, check_capacity: bool = True, mode: str = "batched"
+        self,
+        check_capacity: bool = True,
+        mode: str = "batched",
+        sanitize: bool = False,
     ) -> ExecutionResult:
         """Symbolic execution: the full phase trace, no data movement.
 
@@ -90,13 +93,17 @@ class Kernel:
         scalar) or ``"orbit"`` (orbit-compressed: class-representative
         copies with multiplicities; identical simulated times, but the
         per-copy record is compressed). Trace analyses default to the
-        full ``"batched"`` record.
+        full ``"batched"`` record. ``sanitize=True`` replays the trace
+        through the analyzer's independent consistency checks and
+        raises :class:`~repro.util.errors.TraceSanityError` on any
+        finding.
         """
         if mode == "orbit":
             from repro.runtime.orbit import OrbitExecutor
 
             executor = OrbitExecutor(
-                self.plan, check_capacity=check_capacity
+                self.plan, check_capacity=check_capacity,
+                sanitize=sanitize,
             )
         elif mode in ("batched", "scalar"):
             executor = Executor(
@@ -104,6 +111,7 @@ class Kernel:
                 materialize=False,
                 check_capacity=check_capacity,
                 batched=(mode == "batched"),
+                sanitize=sanitize,
             )
         else:
             raise ValueError(
@@ -134,6 +142,25 @@ class Kernel:
         result = self.trace(check_capacity=check_capacity, mode=mode)
         model = CostModel(self.machine.cluster, params)
         return model.time_trace(result.trace)
+
+    def analyze(
+        self,
+        params: MachineParams = LASSEN,
+        check_capacity: bool = False,
+    ):
+        """Run the static analyzer over this kernel.
+
+        Executes one full (uncompressed) symbolic trace, replays it
+        through the trace sanitizer, and certifies the simulated
+        cross-node traffic against the schedule-independent
+        communication lower bound. Returns a
+        :class:`~repro.analysis.report.AnalysisReport`.
+        """
+        from repro.analysis.report import analyze_kernel
+
+        return analyze_kernel(
+            self, params=params, check_capacity=check_capacity
+        )
 
     # ------------------------------------------------------------------
     # Automatic scheduling (Section 9): heuristic and search.

@@ -11,7 +11,7 @@ change requires (including multi-owner splits).
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
+from typing import Optional, Tuple
 
 import numpy as np
 

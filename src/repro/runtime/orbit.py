@@ -49,7 +49,7 @@ from repro.machine.machine import Machine
 from repro.runtime.batchbounds import CtxBlock, batch_bounds
 from repro.runtime.executor import ExecutionResult, Executor, _Ctx
 from repro.runtime.instances import DataEnvironment
-from repro.runtime.trace import Copy, CopyColumns, Step, Trace, Work
+from repro.runtime.trace import Copy, CopyColumns, Step, Trace
 from repro.util.errors import OutOfMemoryError
 from repro.util.geometry import Interval, Rect
 
@@ -945,10 +945,12 @@ class _StepBuilder:
 class OrbitExecutor(Executor):
     """Symbolic interpreter with orbit-compressed phase execution."""
 
-    def __init__(self, plan, check_capacity: bool = False):
+    def __init__(
+        self, plan, check_capacity: bool = False, sanitize: bool = False
+    ):
         super().__init__(
             plan, materialize=False, check_capacity=check_capacity,
-            batched=True,
+            batched=True, sanitize=sanitize,
         )
         self._mt = machine_tables(self.machine)
         self._regions: Dict[int, "_Region"] = {}
@@ -1001,6 +1003,16 @@ class OrbitExecutor(Executor):
         for builder in self._builders.values():
             builder.finalize(self._mt, self._tensor_ids, extent_cap)
         self.trace.memory_high_water = dict(self.env.high_water)
+        if self.sanitize:
+            # Orbit traces are class-compressed (one representative copy
+            # per orbit); the sanitizer's hold tracking needs the full
+            # per-context trace, so the debug mode replays the plan
+            # through the exact batched interpreter and checks that.
+            full = Executor(
+                self.plan, materialize=False,
+                check_capacity=self.check_capacity,
+            ).run(None)
+            self._sanity_check(full.trace)
         return ExecutionResult(
             trace=self.trace,
             outputs={},
@@ -1508,7 +1520,6 @@ class OrbitExecutor(Executor):
                 return out
         memo.outcome_valid = False
         memo.registered_all = False
-        prev_rem = memo.rem_mask
         memo.rem_mask = remaining.copy()
         # Holder-locality and holder candidates: join requests against
         # the live instance mirror on exact rect equality. When the

@@ -43,7 +43,7 @@ from typing import Dict, List, Optional, Tuple
 import numpy as np
 
 from repro.machine.cluster import Cluster, ProcessorKind
-from repro.runtime.trace import Copy, CopyColumns, Step, Trace
+from repro.runtime.trace import CopyColumns, Step, Trace
 from repro.sim.params import MachineParams
 from repro.sim.report import SimReport
 

@@ -32,7 +32,8 @@ import sys
 import time
 import traceback
 
-from repro.machine.cluster import Cluster
+from repro.analysis import comm_lower_bound, memory_bounds, verify_legality
+from repro.machine.cluster import Cluster, MemoryKind, ProcessorKind
 from repro.sim.params import LASSEN
 from repro.tuner.oracle import TuningLedger
 from repro.tuner.search import tune
@@ -95,7 +96,32 @@ def _run_single(args, cluster, ledger) -> int:
     if heuristic.feasible and best.feasible and best.cost > 0:
         print(f"speedup over heuristic: {heuristic.cost / best.cost:.2f}x")
     print(f"wall-clock: {wall:.2f}s "
-          f"({search.evaluations} simulations, strategy {search.strategy})")
+          f"({search.evaluations} simulations, "
+          f"{search.pruned_static} statically pruned, "
+          f"strategy {search.strategy})")
+
+    illegal = verify_legality(
+        assignment, best.decision, num_procs=cluster.num_processors
+    )
+    for diag in illegal:
+        print(f"ILLEGAL winning decision: {diag}", file=sys.stderr)
+
+    if args.analyze:
+        memory = (
+            MemoryKind.GPU_FB
+            if cluster.processor_kind is ProcessorKind.GPU
+            else MemoryKind.SYSTEM_MEM
+        )
+        bound = memory_bounds(assignment, best.decision, cluster, memory)
+        comm = comm_lower_bound(assignment, cluster, LASSEN)
+        print(f"winner memory: {bound.describe()}")
+        print(f"winner {comm.describe()}")
+        cert = comm.certificate(best.inter_node_bytes)
+        if cert is not None:
+            print(
+                f"winner certified within {cert:.2f}x of the "
+                "communication lower bound"
+            )
 
     _append_perf(f"tune:{args.workload}", wall, {
         "workload": args.workload,
@@ -107,6 +133,12 @@ def _run_single(args, cluster, ledger) -> int:
             None if not heuristic.feasible else heuristic.cost
         ),
     })
+    if illegal:
+        print(
+            "the winning candidate fails the legality verifier",
+            file=sys.stderr,
+        )
+        return search.errors + len(illegal)
     return search.errors
 
 
@@ -241,6 +273,11 @@ def main(argv=None) -> int:
         "--demo",
         action="store_true",
         help="seconds-scale smoke tune (4 nodes, small matmul)",
+    )
+    parser.add_argument(
+        "--analyze",
+        action="store_true",
+        help="print the winner's static memory/communication bounds",
     )
     args = parser.parse_args(argv)
 

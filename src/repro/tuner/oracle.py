@@ -30,6 +30,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence
 
+from repro.analysis.prune import STATIC_OOM, prune_reason
 from repro.bench.cache import (
     SIM_CACHE,
     cluster_signature,
@@ -209,6 +210,11 @@ class EvalOutcome:
     compute_time: float = 0.0
     inter_node_bytes: float = 0.0
     max_memory_bytes: float = 0.0
+    #: Decided by the static analyzer without simulating (see
+    #: :mod:`repro.analysis.prune`). Pruned candidates are never
+    #: counted as oracle *errors* even when ``error`` carries the
+    #: pruning reason.
+    pruned: bool = False
     structure: str = field(default="", compare=False)
     executed: bool = field(default=False, compare=False)
     repriced: bool = field(default=False, compare=False)
@@ -227,6 +233,7 @@ class EvalOutcome:
             "compute_time": self.compute_time,
             "inter_node_bytes": self.inter_node_bytes,
             "max_memory_bytes": self.max_memory_bytes,
+            "pruned": self.pruned,
         }
 
     @staticmethod
@@ -241,6 +248,7 @@ class EvalOutcome:
             compute_time=record.get("compute_time", 0.0),
             inter_node_bytes=record.get("inter_node_bytes", 0.0),
             max_memory_bytes=record.get("max_memory_bytes", 0.0),
+            pruned=bool(record.get("pruned", False)),
         )
 
 
@@ -426,9 +434,6 @@ def statically_infeasible(
 # ----------------------------------------------------------------------
 
 
-STATIC_OOM = "static: home-instance lower bound exceeds memory capacity"
-
-
 def evaluate_one(
     assignment: Assignment,
     cluster: Cluster,
@@ -437,15 +442,27 @@ def evaluate_one(
     memory: MemoryKind,
     mode: str,
     check_capacity: bool,
+    static_prune: bool = True,
 ) -> EvalOutcome:
     """Realize, compile, and simulate one candidate (mutates the
     assignment's tensor formats; pass a private copy)."""
-    if check_capacity and statically_infeasible(
-        assignment, decision, cluster, memory
-    ):
-        return EvalOutcome(
-            decision=decision, cost=INFEASIBLE, oom=True, error=STATIC_OOM
+    if static_prune:
+        reason = prune_reason(
+            assignment,
+            decision,
+            cluster,
+            memory,
+            params=params,
+            check_capacity=check_capacity,
         )
+        if reason is not None:
+            return EvalOutcome(
+                decision=decision,
+                cost=INFEASIBLE,
+                oom=reason == STATIC_OOM,
+                error=reason,
+                pruned=True,
+            )
     structure = ""
     executed = repriced = False
     try:
@@ -490,6 +507,7 @@ def tuner_eval_batch(
     memory: MemoryKind,
     mode: str,
     check_capacity: bool,
+    static_prune: bool = True,
 ) -> List[EvalOutcome]:
     """One fork-pool task: evaluate a chunk of candidates.
 
@@ -500,7 +518,8 @@ def tuner_eval_batch(
     work = copy.deepcopy(assignment)
     return [
         evaluate_one(
-            work, cluster, decision, params, memory, mode, check_capacity
+            work, cluster, decision, params, memory, mode,
+            check_capacity, static_prune,
         )
         for decision in decisions
     ]
@@ -526,6 +545,7 @@ class Oracle:
         check_capacity: bool = True,
         jobs: int = 1,
         ledger: Optional[TuningLedger] = None,
+        static_prune: bool = True,
     ):
         self.cluster = cluster
         self.params = params
@@ -540,10 +560,14 @@ class Oracle:
         self.check_capacity = check_capacity
         self.jobs = max(1, jobs)
         self.ledger = ledger
+        self.static_prune = static_prune
         self.simulated = 0
         #: Candidates whose compile or simulation *errored* — OOMs are a
         #: legitimate search outcome and do not count.
         self.errors = 0
+        #: Candidates rejected by the static analyzer without a single
+        #: simulation (see :mod:`repro.analysis.prune`).
+        self.pruned_static = 0
         #: Incrementality accounting. ``scored`` counts every decision
         #: requested; ``structures`` the distinct phase-structure
         #: fingerprints among simulated candidates (a seed-deterministic
@@ -565,6 +589,7 @@ class Oracle:
             check_capacity=self.check_capacity,
             jobs=self.jobs,
             ledger=self.ledger,
+            static_prune=self.static_prune,
         )
 
     def evaluate(
@@ -591,7 +616,9 @@ class Oracle:
             if hit is not None:
                 self.ledger.hits += 1
                 outcomes[decision] = hit
-                if hit.error and not hit.oom:
+                if hit.pruned:
+                    self.pruned_static += 1
+                elif hit.error and not hit.oom:
                     self.errors += 1
             else:
                 if self.ledger is not None:
@@ -602,7 +629,9 @@ class Oracle:
         if pending:
             for outcome in self._evaluate_pending(assignment, pending):
                 outcomes[outcome.decision] = outcome
-                if outcome.error and not outcome.oom:
+                if outcome.pruned:
+                    self.pruned_static += 1
+                elif outcome.error and not outcome.oom:
                     self.errors += 1
                 if outcome.structure:
                     self.structures.add(outcome.structure)
@@ -627,6 +656,7 @@ class Oracle:
         return {
             "scored": self.scored,
             "simulated": self.simulated,
+            "pruned_static": self.pruned_static,
             "structures": len(self.structures),
             "structure_hits": self.structure_scored - len(self.structures),
             "ledger_hits": (
@@ -641,6 +671,7 @@ class Oracle:
         """Fold a sibling (coarse-rung) oracle's accounting into ours."""
         self.simulated += other.simulated
         self.errors += other.errors
+        self.pruned_static += other.pruned_static
         self.scored += other.scored
         self.structures |= other.structures
         self.structure_scored += other.structure_scored
@@ -657,6 +688,7 @@ class Oracle:
             memory=self.memory,
             mode=self.mode,
             check_capacity=self.check_capacity,
+            static_prune=self.static_prune,
         )
         if self.jobs <= 1 or len(pending) <= 1:
             # In-process: evaluate against a private copy so the

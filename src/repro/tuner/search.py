@@ -21,7 +21,6 @@ therefore evaluate the same candidates and write identical ledgers.
 
 from __future__ import annotations
 
-import math
 import random
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
@@ -30,20 +29,19 @@ from repro.ir.tensor import Assignment
 from repro.machine.cluster import Cluster
 from repro.machine.machine import Machine
 from repro.sim.params import LASSEN, MachineParams
+from repro.analysis.prune import prune_reason
 from repro.tuner.oracle import (
     EvalOutcome,
     INFEASIBLE,
     Oracle,
     STATIC_OOM,
     TuningLedger,
-    statically_infeasible,
 )
 from repro.tuner.space import (
     Decision,
     coarsen,
     enumerate_space,
     from_heuristic,
-    normalize,
     scale_assignment,
 )
 
@@ -70,6 +68,10 @@ class SearchOutcome:
     ranked: List[EvalOutcome] = field(default_factory=list)
     #: Candidates whose compile/simulation *errored* (OOMs excluded).
     errors: int = 0
+    #: Candidates the static analyzer rejected before any simulation
+    #: (provable OOMs and dominated leaves — see
+    #: :mod:`repro.analysis.prune`).
+    pruned_static: int = 0
     #: Incremental-oracle accounting: real trace executions, candidates
     #: scored by re-pricing a shared phase structure, and the distinct
     #: structure count (see :mod:`repro.tuner.oracle`).
@@ -86,7 +88,8 @@ class SearchOutcome:
         lines = [
             f"strategy {self.strategy}: {self.space_size} candidates, "
             f"{self.evaluations} evaluated "
-            f"({self.trace_executions} trace executions, "
+            f"({self.pruned_static} statically pruned, "
+            f"{self.trace_executions} trace executions, "
             f"{self.repriced} re-priced from {self.structures} "
             f"phase structures)",
         ]
@@ -193,14 +196,20 @@ def beam_search(
         if seed_decision not in sampled:
             sampled.append(seed_decision)
         candidates = sampled
-    dead = {
-        c
-        for c in candidates
-        if oracle.check_capacity
-        and statically_infeasible(
-            assignment, c, oracle.cluster, oracle.memory
-        )
-    }
+    dead: Dict[Decision, str] = {}
+    if oracle.static_prune:
+        for c in candidates:
+            reason = prune_reason(
+                assignment,
+                c,
+                oracle.cluster,
+                oracle.memory,
+                params=oracle.params,
+                check_capacity=oracle.check_capacity,
+            )
+            if reason is not None:
+                dead[c] = reason
+        oracle.pruned_static += len(dead)
 
     # Rung ladder: coarse, coarse*eta, ..., full.
     targets: List[int] = []
@@ -258,9 +267,10 @@ def beam_search(
         outcomes = []
         for original in candidates:
             if original in dead:
+                reason = dead[original]
                 outcomes.append(EvalOutcome(
-                    decision=original, cost=INFEASIBLE, oom=True,
-                    error=STATIC_OOM,
+                    decision=original, cost=INFEASIBLE,
+                    oom=reason == STATIC_OOM, error=reason, pruned=True,
                 ))
                 continue
             co = coarse_outcomes[original]
@@ -363,6 +373,7 @@ def tune(
     mode: str = "orbit",
     check_capacity: bool = True,
     strategy: str = "auto",
+    static_prune: bool = True,
     beam_width: int = 8,
     coarse_procs: int = 64,
     seed: int = 0,
@@ -400,6 +411,7 @@ def tune(
         check_capacity=check_capacity,
         jobs=jobs,
         ledger=ledger,
+        static_prune=static_prune,
     )
     if strategy == "auto":
         strategy = (
@@ -440,6 +452,7 @@ def tune(
         rungs=rungs,
         ranked=ranked[:RANKED_KEEP],
         errors=oracle.errors,
+        pruned_static=oracle.pruned_static,
         trace_executions=oracle.trace_executions,
         repriced=oracle.repriced,
         structures=len(oracle.structures),

@@ -406,17 +406,12 @@ def realize(
     (the *direct* handoff) rather than redistributing first. Overridden
     formats must target the same machine grid.
     """
-    if machine.levels[0].shape != decision.grid:
-        raise ScheduleError(
-            f"decision targets grid {decision.grid} but the machine's "
-            f"outer level is {machine.levels[0].shape}"
-        )
+    from repro.analysis.legality import check_legal  # local: cycle
+
+    check_legal(
+        assignment, decision, grid_shape=machine.levels[0].shape
+    )
     by_name = {v.name: v for v in assignment.all_vars}
-    missing = [n for n in decision.dist if n not in by_name]
-    if missing:
-        raise ScheduleError(
-            f"decision distributes unknown index variables {missing}"
-        )
     formats = formats_for(assignment, decision, memory)
     if format_overrides:
         tensor_names = {t.name for t in assignment.tensors()}
@@ -506,10 +501,14 @@ def from_heuristic(
     grid_shape = tuple(int(g) for g in grid_shape)
     dist = choose_distributed_vars(assignment, len(grid_shape))
     if len(dist) < len(grid_shape):
-        raise ScheduleError(
-            f"assignment has {len(dist)} distributable variables but the "
-            f"grid has {len(grid_shape)} dimensions"
-        )
+        from repro.analysis.diagnostics import Diagnostic
+        from repro.util.errors import LegalityError
+
+        raise LegalityError([Diagnostic(
+            "dist-arity", "dist",
+            f"assignment has {len(dist)} distributable variables but "
+            f"the grid has {len(grid_shape)} dimensions",
+        )])
     leaf = (
         LEAF_GEMM
         if assignment.reduction_vars and len(assignment.all_vars) >= 2

@@ -30,6 +30,37 @@ class UnsupportedScheduleError(ScheduleError):
     """
 
 
+class LegalityError(ScheduleError):
+    """A decision vector rejected by the static legality verifier.
+
+    Carries the verifier's structured findings (``diagnostics``: rule id,
+    offending decision field, message) so callers can report or test
+    against individual rules instead of parsing the message.
+    """
+
+    def __init__(self, diagnostics):
+        self.diagnostics = list(diagnostics)
+        lines = "; ".join(
+            f"[{d.rule}] {d.field}: {d.message}" for d in self.diagnostics
+        )
+        super().__init__(f"illegal schedule decision: {lines}")
+
+
+class TraceSanityError(ReproError):
+    """The trace sanitizer found an inconsistent execution trace.
+
+    Raised only in the opt-in ``sanitize=True`` executor debug mode;
+    ``findings`` holds the sanitizer's structured diagnostics.
+    """
+
+    def __init__(self, findings):
+        self.findings = list(findings)
+        lines = "; ".join(
+            f"[{d.rule}] {d.field}: {d.message}" for d in self.findings
+        )
+        super().__init__(f"trace failed sanity checks: {lines}")
+
+
 class LoweringError(ReproError):
     """Concrete index notation could not be lowered to a runtime plan."""
 

@@ -1,6 +1,5 @@
 """Tests for the higher-order kernels of Section 7.2."""
 
-import numpy as np
 import pytest
 
 from repro import Machine

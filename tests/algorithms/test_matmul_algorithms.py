@@ -1,10 +1,9 @@
 """The Figure 9 case studies: all six algorithms, verified and
 characterized by their communication patterns."""
 
-import numpy as np
 import pytest
 
-from repro import Cluster, Grid, Machine
+from repro import Cluster, Machine
 from repro.algorithms import (
     cannon,
     cosma,

@@ -1,0 +1,242 @@
+"""The legality verifier: one test per rule, plus the property that
+every candidate the tuner enumerates verifies cleanly."""
+
+import pytest
+
+from repro.analysis import check_legal, verify_legality
+from repro.machine.cluster import Cluster
+from repro.machine.grid import Grid
+from repro.machine.machine import Machine
+from repro.tuner.space import Decision, enumerate_space, realize
+from repro.tuner.workloads import matmul, matmul_rect, mttkrp, ttm
+from repro.util.errors import LegalityError, ScheduleError
+
+
+def rules(diags):
+    return {(d.rule, d.field) for d in diags}
+
+
+def flagged(assignment, decision, **kwargs):
+    return rules(verify_legality(assignment, decision, **kwargs))
+
+
+LEGAL_CANNON = Decision(
+    grid=(2, 2), dist=("i", "j"), seq="k", steps_dim=0,
+    rotate=(0, 1), tiled=("B", "C"), step_comm=("B", "C"), leaf="gemm",
+)
+
+
+class TestRules:
+    def test_legal_decision_has_no_diagnostics(self):
+        assert verify_legality(matmul(256), LEGAL_CANNON, num_procs=4) == []
+
+    def test_grid_empty(self):
+        stmt = matmul(256)
+        assert ("grid-empty", "grid") in flagged(
+            stmt, Decision(grid=(), dist=())
+        )
+        assert ("grid-empty", "grid") in flagged(
+            stmt, Decision(grid=(2, 0), dist=("i", "j"))
+        )
+
+    def test_grid_factorization_processor_count(self):
+        diags = flagged(
+            matmul(256), Decision(grid=(3,), dist=("i",)), num_procs=4
+        )
+        assert ("grid-factorization", "grid") in diags
+
+    def test_grid_factorization_machine_shape(self):
+        diags = flagged(
+            matmul(256),
+            Decision(grid=(2, 2), dist=("i", "j")),
+            grid_shape=(4, 1),
+        )
+        assert ("grid-factorization", "grid") in diags
+
+    def test_dist_arity(self):
+        assert ("dist-arity", "dist") in flagged(
+            matmul(256), Decision(grid=(2, 2), dist=("i",))
+        )
+
+    def test_unbound_var(self):
+        assert ("unbound-var", "dist") in flagged(
+            matmul(256), Decision(grid=(2, 2), dist=("i", "z"))
+        )
+
+    def test_duplicate_var(self):
+        assert ("duplicate-var", "dist") in flagged(
+            matmul(256), Decision(grid=(2, 2), dist=("i", "i"))
+        )
+
+    def test_extent_mismatch(self):
+        assert ("extent-mismatch", "dist") in flagged(
+            matmul(256), Decision(grid=(512,), dist=("i",))
+        )
+
+    def test_seq_unbound(self):
+        assert ("seq-unbound", "seq") in flagged(
+            matmul(256),
+            Decision(grid=(4,), dist=("i",), seq="z", steps_dim=0),
+        )
+
+    def test_seq_distributed(self):
+        assert ("seq-distributed", "seq") in flagged(
+            matmul(256),
+            Decision(grid=(2, 2), dist=("i", "k"), seq="k", steps_dim=0),
+        )
+
+    def test_seq_not_reduction(self):
+        assert ("seq-not-reduction", "seq") in flagged(
+            matmul(256),
+            Decision(grid=(4,), dist=("j",), seq="i", steps_dim=0),
+        )
+
+    def test_reduction_order_seq_without_steps(self):
+        assert ("reduction-order", "steps_dim") in flagged(
+            matmul(256), Decision(grid=(4,), dist=("i",), seq="k")
+        )
+
+    def test_reduction_order_steps_without_seq(self):
+        assert ("reduction-order", "steps_dim") in flagged(
+            matmul(256), Decision(grid=(4,), dist=("i",), steps_dim=0)
+        )
+
+    def test_reduction_order_step_comm_without_seq(self):
+        assert ("reduction-order", "step_comm") in flagged(
+            matmul(256),
+            Decision(
+                grid=(4,), dist=("i",), tiled=("C",), step_comm=("C",)
+            ),
+        )
+
+    def test_steps_dim_range(self):
+        assert ("steps-dim-range", "steps_dim") in flagged(
+            matmul(256),
+            Decision(grid=(2, 2), dist=("i", "j"), seq="k", steps_dim=5),
+        )
+
+    def test_steps_extent(self):
+        # 512 sequenced steps over a contraction of extent 256.
+        stmt = matmul_rect(1024, 256, 1024)
+        assert ("steps-extent", "steps_dim") in flagged(
+            stmt,
+            Decision(grid=(512,), dist=("i",), seq="k", steps_dim=0),
+        )
+
+    def test_rotation_range(self):
+        stmt = matmul(256)
+        base = dict(grid=(2, 2), dist=("i", "j"), seq="k", steps_dim=0)
+        assert ("rotation-range", "rotate") in flagged(
+            stmt, Decision(rotate=(7,), **base)
+        )
+        assert ("rotation-range", "rotate") in flagged(
+            stmt, Decision(rotate=(0, 0), **base)
+        )
+
+    def test_rotation_without_seq(self):
+        assert ("rotation-without-seq", "rotate") in flagged(
+            matmul(256),
+            Decision(grid=(2, 2), dist=("i", "j"), rotate=(0,)),
+        )
+
+    def test_rotation_aliases_dest(self):
+        # The rotation source dimension carries the sequenced variable
+        # itself: the source set aliases the destination loop.
+        assert ("rotation-aliases-dest", "rotate") in flagged(
+            matmul(256),
+            Decision(
+                grid=(2, 2), dist=("i", "k"), seq="k", steps_dim=0,
+                rotate=(1,),
+            ),
+        )
+
+    def test_tile_untileable(self):
+        stmt = matmul(256)
+        # The output is never tileable; neither is an unknown tensor.
+        assert ("tile-untileable", "tiled") in flagged(
+            stmt, Decision(grid=(4,), dist=("i",), tiled=("A",))
+        )
+        assert ("tile-untileable", "tiled") in flagged(
+            stmt, Decision(grid=(4,), dist=("i",), tiled=("Z",))
+        )
+        # B(i,k) is indexed by every grid dimension under dist=(i,):
+        # no free grid dimension to tile its k mode across.
+        assert ("tile-untileable", "tiled") in flagged(
+            stmt, Decision(grid=(4,), dist=("i",), tiled=("B",))
+        )
+        # C(k,j) is not indexed by i and has untiled reduction mode k.
+        assert ("tile-untileable", "tiled") not in flagged(
+            stmt, Decision(grid=(4,), dist=("i",), tiled=("C",))
+        )
+
+    def test_step_comm_invalid(self):
+        stmt = ttm(64)
+        base = dict(grid=(2, 2), dist=("i", "j"), seq="k", steps_dim=0)
+        # Not tiled at all.
+        assert ("step-comm-invalid", "step_comm") in flagged(
+            stmt, Decision(step_comm=("B",), **base)
+        )
+        # Tiled, but the sequenced variable k does not index C... it
+        # does (C(k,l)); use a tensor k genuinely does not index: none
+        # in ttm, so check matmul where k indexes both inputs and the
+        # clean case stays clean.
+        assert ("step-comm-invalid", "step_comm") not in flagged(
+            matmul(256), LEGAL_CANNON
+        )
+
+    def test_bad_output_style(self):
+        assert ("bad-output-style", "output_style") in flagged(
+            matmul(256),
+            Decision(grid=(4,), dist=("i",), output_style="weird"),
+        )
+
+    def test_bad_leaf(self):
+        assert ("bad-leaf", "leaf") in flagged(
+            matmul(256), Decision(grid=(4,), dist=("i",), leaf="magic")
+        )
+
+    def test_check_legal_raises_with_diagnostics(self):
+        with pytest.raises(LegalityError) as exc:
+            check_legal(
+                matmul(256), Decision(grid=(2, 2), dist=("i", "i"))
+            )
+        assert any(d.rule == "duplicate-var" for d in exc.value.diagnostics)
+        # LegalityError is a ScheduleError: existing handlers still work.
+        assert isinstance(exc.value, ScheduleError)
+
+
+class TestRealizeIntegration:
+    def test_realize_rejects_illegal_decisions(self):
+        stmt = matmul(256)
+        cluster = Cluster.cpu_cluster(2)
+        machine = Machine(cluster, Grid(2, 2))
+        with pytest.raises(LegalityError) as exc:
+            realize(
+                stmt, machine,
+                Decision(grid=(4,), dist=("i",)),
+            )
+        assert any(
+            d.rule == "grid-factorization" for d in exc.value.diagnostics
+        )
+        with pytest.raises(LegalityError):
+            realize(
+                stmt, machine,
+                Decision(grid=(2, 2), dist=("i", "z")),
+            )
+
+
+class TestEnumeratedSpaceIsLegal:
+    @pytest.mark.parametrize(
+        "assignment", [matmul(512), ttm(64), mttkrp(64, r=16)],
+        ids=["matmul", "ttm", "mttkrp"],
+    )
+    def test_every_candidate_verifies(self, assignment):
+        procs = 8
+        space = enumerate_space(assignment, procs)
+        assert space
+        for decision in space:
+            diags = verify_legality(assignment, decision, num_procs=procs)
+            assert diags == [], (
+                f"{decision.encode()} flagged: "
+                f"{'; '.join(map(str, diags))}"
+            )

@@ -1,6 +1,5 @@
 """Tests for the weak-scaling sizing and grid-selection helpers."""
 
-import math
 
 import pytest
 

@@ -5,7 +5,6 @@ import pytest
 from repro import Machine
 from repro.algorithms import johnson, summa
 from repro.codegen.partitions import derive_partitions, partition_report
-from repro.util.geometry import Rect
 
 
 @pytest.fixture(scope="module")

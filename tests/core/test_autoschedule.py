@@ -1,11 +1,8 @@
 """Tests for automatic schedule + format selection (Section 9)."""
 
-import numpy as np
-import pytest
 
 from repro import (
     Assignment,
-    Format,
     Machine,
     TensorVar,
     compile_kernel,

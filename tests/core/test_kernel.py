@@ -1,6 +1,5 @@
 """Tests for the public Kernel API."""
 
-import numpy as np
 import pytest
 
 from repro import (
@@ -30,7 +29,7 @@ class TestExecute:
     def test_verify_catches_divergence(self, rng, monkeypatch):
         kern = summa(Machine.flat(2, 2), 16)
         inputs = {"B": rng.random((16, 16)), "C": rng.random((16, 16))}
-        res = kern.execute(inputs)
+        kern.execute(inputs)
         # Corrupt the oracle path: executing with different inputs but
         # verifying against the originals must fail.
         import repro.core.kernel as kmod
@@ -43,7 +42,6 @@ class TestExecute:
         monkeypatch.setattr(kmod, "reference_einsum", bad_oracle)
         with pytest.raises(AssertionError):
             kern.execute(inputs, verify=True)
-        del res
 
     def test_outputs_returned(self, rng):
         kern = summa(Machine.flat(2, 2), 16)

@@ -5,7 +5,6 @@ decides where home and cached instances live — which in turn decides
 NIC rates (GPU-direct vs host) and OOM behaviour.
 """
 
-import pytest
 
 from repro import (
     Assignment,

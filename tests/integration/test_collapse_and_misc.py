@@ -1,7 +1,5 @@
 """End-to-end coverage for collapse and mixed schedule features."""
 
-import numpy as np
-import pytest
 
 from repro import (
     Assignment,

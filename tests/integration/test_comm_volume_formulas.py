@@ -12,7 +12,6 @@ communication volumes; the simulator's traced volumes must match them:
   ``sqrt(c)`` asymptotically.
 """
 
-import numpy as np
 import pytest
 
 from repro import Machine

@@ -6,8 +6,6 @@ processors round-robin. These tests pin down that execution stays
 correct and that the performance penalty is visible.
 """
 
-import numpy as np
-import pytest
 
 from repro import Cluster, Grid, Machine
 from repro.algorithms import cannon, johnson, summa

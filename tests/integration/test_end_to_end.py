@@ -1,7 +1,6 @@
 """End-to-end integration: whole-pipeline behaviours from the paper."""
 
 import numpy as np
-import pytest
 
 from repro import (
     Assignment,

@@ -6,8 +6,6 @@ commands ("a distributed algorithm at the node level and another ...
 for the multiple GPUs within a node").
 """
 
-import numpy as np
-import pytest
 
 from repro import (
     Assignment,
@@ -107,7 +105,6 @@ class TestHierarchicalPlacement:
         cl = Cluster.gpu_cluster(2, gpus_per_node=2)
         machine = Machine(cl, Grid(2), Grid(2))
         f = Format("xy -> x")
-        T = TensorVar("T", (8, 8), f)
         r0 = f.owned_rect(machine, (0, 0), (8, 8))
         r1 = f.owned_rect(machine, (0, 1), (8, 8))
         assert r0 == r1

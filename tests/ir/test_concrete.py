@@ -1,11 +1,9 @@
 """Tests for concrete index notation structure and printing."""
 
-import pytest
 
 from repro import Assignment, Schedule, TensorVar, index_vars
 from repro.ir.concrete import (
     Assign,
-    Forall,
     Sequence,
     find_forall,
     loop_order,

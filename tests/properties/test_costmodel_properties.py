@@ -6,13 +6,12 @@ deterministic.
 """
 
 import numpy as np
-import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
 from repro import Cluster, Machine
 from repro.algorithms import summa
-from repro.runtime.trace import Copy, Step, Trace
+from repro.runtime.trace import Copy, Trace
 from repro.sim.costmodel import CostModel
 from repro.sim.params import LASSEN
 from repro.util.geometry import Interval, Rect

@@ -6,7 +6,6 @@ random schedules must all produce the einsum oracle's result.
 """
 
 import numpy as np
-import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 

@@ -5,7 +5,6 @@ with a and b block-distributed over a 1-D machine of 3 processors.
 """
 
 import numpy as np
-import pytest
 
 from repro import (
     Assignment,

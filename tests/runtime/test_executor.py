@@ -1,6 +1,5 @@
 """Executor tests: functional correctness across schedule shapes."""
 
-import numpy as np
 import pytest
 
 from repro import (
@@ -82,16 +81,11 @@ class TestFunctionalShapes:
         # Data tiled 2x2 but computation distributed row-wise over 4:
         # the runtime must redistribute transparently (schedules never
         # affect correctness).
-        f = Format("xy -> xy")
         A = TensorVar("A", (8, 8), Format("xy -> x"))
-        B = TensorVar("B", (8, 8), f)
         i, j = index_vars("i j")
         io, ii = index_vars("io ii")
-        stmt = Assignment(A[i, j], B[i, j])
         machine4 = Machine.flat(4)
 
-        # B's format names 2 machine dims but the machine is 1-D, so use
-        # a row distribution for B on this machine instead.
         B2 = TensorVar("B", (8, 8), Format("xy -> y"))
         stmt2 = Assignment(A[i, j], B2[i, j])
         res = run(

@@ -3,7 +3,7 @@
 import pytest
 
 from repro import Assignment, Grid, Schedule, TensorVar, index_vars
-from repro.ir.concrete import Assign, Forall
+from repro.ir.concrete import Assign
 from repro.util.errors import ScheduleError
 
 

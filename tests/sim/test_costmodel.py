@@ -3,7 +3,7 @@
 import pytest
 
 from repro.machine.cluster import Cluster
-from repro.runtime.trace import Copy, Step, Trace, Work
+from repro.runtime.trace import Copy, Step, Trace
 from repro.sim.costmodel import CostModel
 from repro.sim.params import LASSEN
 from repro.util.geometry import Interval, Rect

@@ -8,7 +8,6 @@ from repro.sim.params import (
     CTF_PARAMS,
     LASSEN,
     SCALAPACK_PARAMS,
-    MachineParams,
 )
 from repro.sim.report import SimReport
 

@@ -28,8 +28,12 @@ def fresh_caches():
 
 class TestIncrementalOracle:
     def test_fewer_trace_executions_than_candidates(self, tmp_path):
+        # static_prune off: the analyzer would otherwise decide the
+        # loops-leaf candidates without simulating, which is exactly
+        # the repricing population this test pins down.
         result = tune(
             matmul(4096), Cluster.cpu_cluster(8), jobs=1,
+            static_prune=False,
             ledger_path=tmp_path / "ledger.json",
         )
         search = result.search
@@ -39,6 +43,32 @@ class TestIncrementalOracle:
         assert search.trace_executions < search.evaluations
         assert search.repriced > 0
         assert search.trace_executions == search.structures
+
+    def test_static_pruning_replaces_repricing(self, tmp_path):
+        # Default path: the same leaf-sharing candidates are now pruned
+        # statically — zero simulations — and the counters say so.
+        result = tune(
+            matmul(4096), Cluster.cpu_cluster(8), jobs=1,
+            ledger_path=tmp_path / "ledger.json",
+        )
+        search = result.search
+        assert search.pruned_static > 0
+        assert search.pruned_static >= search.space_size // 5
+        stats = json.loads(
+            (tmp_path / "ledger.json").read_text()
+        )["oracle_stats"]
+        assert stats["pruned_static"] == search.pruned_static
+        assert stats["scored"] == stats["simulated"] + stats["ledger_hits"]
+
+    def test_pruning_preserves_the_winner(self):
+        cluster = Cluster.cpu_cluster(4)
+        pruned = tune(matmul(2048), cluster, strategy="exhaustive")
+        unpruned = tune(
+            matmul(2048), cluster, strategy="exhaustive",
+            static_prune=False,
+        )
+        assert pruned.decision == unpruned.decision
+        assert pruned.search.best.cost == unpruned.search.best.cost
 
     def test_hit_counts_logged_in_ledger(self, tmp_path):
         path = tmp_path / "ledger.json"

@@ -2,7 +2,6 @@
 
 import json
 
-import pytest
 
 from repro.machine.cluster import Cluster, MemoryKind, ProcessorKind
 from repro.tuner.oracle import (
@@ -37,11 +36,25 @@ class TestOracle:
         cluster = tiny_cluster()
         stmt = matmul(256)
         decisions = enumerate_space(stmt, 4)[:6]
-        oracle = Oracle(cluster)
+        oracle = Oracle(cluster, static_prune=False)
         outcomes = oracle.evaluate(stmt, decisions)
         assert [o.decision for o in outcomes] == decisions
         assert all(o.feasible for o in outcomes)
         assert all(o.cost > 0 for o in outcomes)
+
+    def test_static_pruning_skips_dominated_candidates(self):
+        # With the analyzer on (the default), loops-leaf candidates
+        # whose gemm twin shares the trace are decided statically; they
+        # are neither simulated nor counted as errors.
+        cluster = tiny_cluster()
+        stmt = matmul(256)
+        decisions = enumerate_space(stmt, 4)
+        oracle = Oracle(cluster)
+        outcomes = oracle.evaluate(stmt, decisions)
+        pruned = [o for o in outcomes if o.pruned]
+        assert pruned and oracle.pruned_static == len(pruned)
+        assert oracle.errors == 0
+        assert all(not o.feasible for o in pruned)
 
     def test_oom_candidates_are_infeasible_not_fatal(self):
         # 32 MiB nodes: the heuristic's replicated row/column panels
