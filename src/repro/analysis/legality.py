@@ -257,6 +257,15 @@ def verify_legality(
             f"unknown leaf kernel {decision.leaf!r}",
         )
 
+    tensor_names = {t.name for t in assignment.tensors()}
+    for name in getattr(decision, "checkpoint", ()):
+        if name not in tensor_names:
+            flag(
+                "checkpoint-unknown", "checkpoint",
+                f"checkpointed tensor {name!r} is not a tensor of the "
+                "assignment",
+            )
+
     if not diags:
         # Only meaningful once the vector is structurally sound.
         try:

@@ -23,6 +23,7 @@ from __future__ import annotations
 
 import multiprocessing
 import os
+import traceback
 from typing import Callable, Dict, List, Sequence
 
 from repro.bench.cache import (
@@ -57,15 +58,26 @@ def _resolve(name: str) -> Callable:
 
 
 def _run_point(payload):
+    """One worker task; never raises.
+
+    Exceptions are shipped back as ``("err", traceback text)`` instead
+    of propagating: a raising worker would poison the whole
+    ``pool.map`` and lose the other points' finished work, so the
+    parent decides what to do (retry in-process, then surface the
+    original worker traceback).
+    """
     name, kwargs = payload
     sim_before = SIM_CACHE.key_set()
     base_before = baseline_key_set()
-    rows = _resolve(name)(**kwargs)
-    return (
+    try:
+        rows = _resolve(name)(**kwargs)
+    except Exception:
+        return ("err", traceback.format_exc())
+    return ("ok", (
         rows,
         SIM_CACHE.export(exclude=sim_before),
         export_baselines(exclude=base_before),
-    )
+    ))
 
 
 def run_points(
@@ -107,11 +119,47 @@ def run_points(
     for slot, result in zip(order, dispatched):
         results[slot] = result
     rows = []
-    for point_rows, sim_delta, base_delta in results:
+    for slot, outcome in enumerate(results):
+        status, result = outcome
+        if status == "err":
+            # Retry the failed point once, sequentially in this
+            # process: transient worker trouble (a fork inheriting a
+            # torn cache, resource exhaustion under full fan-out) often
+            # clears on resubmission. A second failure surfaces the
+            # *original worker* traceback — the retry may fail
+            # differently, but the first crash is what to debug.
+            status, result = _retry_point(tasks[slot], result)
+        point_rows, sim_delta, base_delta = result
         SIM_CACHE.install(sim_delta)
         install_baselines(base_delta)
         rows.extend(point_rows)
     return rows
+
+
+def _retry_point(task, worker_traceback: str):
+    """Second (in-process) attempt at a point whose worker failed."""
+    try:
+        return _run_point_strict(task)
+    except Exception as retry_err:
+        raise RuntimeError(
+            f"sweep point {task[0]!r} failed in a pool worker and "
+            f"again on in-process retry ({type(retry_err).__name__}: "
+            f"{retry_err}); original worker traceback:\n"
+            f"{worker_traceback}"
+        ) from retry_err
+
+
+def _run_point_strict(payload):
+    """Like :func:`_run_point`, but lets exceptions propagate."""
+    name, kwargs = payload
+    sim_before = SIM_CACHE.key_set()
+    base_before = baseline_key_set()
+    rows = _resolve(name)(**kwargs)
+    return ("ok", (
+        rows,
+        SIM_CACHE.export(exclude=sim_before),
+        export_baselines(exclude=base_before),
+    ))
 
 
 def _fork_available() -> bool:

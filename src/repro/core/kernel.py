@@ -85,6 +85,7 @@ class Kernel:
         check_capacity: bool = True,
         mode: str = "batched",
         sanitize: bool = False,
+        fault_plan=None,
     ) -> ExecutionResult:
         """Symbolic execution: the full phase trace, no data movement.
 
@@ -96,14 +97,18 @@ class Kernel:
         full ``"batched"`` record. ``sanitize=True`` replays the trace
         through the analyzer's independent consistency checks and
         raises :class:`~repro.util.errors.TraceSanityError` on any
-        finding.
+        finding. ``fault_plan`` (a
+        :class:`~repro.faults.events.FaultPlan`) arms fault injection:
+        a planned node kill raises
+        :class:`~repro.util.errors.NodeFailure` at the exact phase
+        boundary, identically in every mode.
         """
         if mode == "orbit":
             from repro.runtime.orbit import OrbitExecutor
 
             executor = OrbitExecutor(
                 self.plan, check_capacity=check_capacity,
-                sanitize=sanitize,
+                sanitize=sanitize, fault_plan=fault_plan,
             )
         elif mode in ("batched", "scalar"):
             executor = Executor(
@@ -112,6 +117,7 @@ class Kernel:
                 check_capacity=check_capacity,
                 batched=(mode == "batched"),
                 sanitize=sanitize,
+                fault_plan=fault_plan,
             )
         else:
             raise ValueError(
@@ -125,6 +131,7 @@ class Kernel:
         params: MachineParams = LASSEN,
         check_capacity: bool = True,
         mode: str = "orbit",
+        fault_plan=None,
     ) -> SimReport:
         """Symbolically execute and time the kernel on the cost model.
 
@@ -139,7 +146,9 @@ class Kernel:
         ``mode="batched"`` or ``mode="scalar"`` for the uncompressed
         interpreters.
         """
-        result = self.trace(check_capacity=check_capacity, mode=mode)
+        result = self.trace(
+            check_capacity=check_capacity, mode=mode, fault_plan=fault_plan
+        )
         model = CostModel(self.machine.cluster, params)
         return model.time_trace(result.trace)
 

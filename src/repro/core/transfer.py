@@ -11,7 +11,8 @@ change requires (including multi-owner splits).
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
+import itertools
+from typing import Iterable, Optional, Tuple
 
 import numpy as np
 
@@ -144,12 +145,46 @@ def _canonical_coords(machine: Machine, proc_id: int) -> Tuple[int, ...]:
     return tuple(reversed(coords))
 
 
+def _redirect_coords(
+    machine: Machine,
+    coords: Tuple[int, ...],
+    replica_dims: Tuple[int, ...],
+    avoid_nodes: frozenset,
+) -> Tuple[int, ...]:
+    """Re-source a piece away from avoided nodes when a replica allows.
+
+    ``replica_dims`` are the machine dimensions the source layout
+    replicates over — any coordinate along them holds an identical copy.
+    Returns the lexicographically first replica coordinate whose
+    processor survives; when none does (or the piece is not
+    replicated), the original coordinate is returned and the caller
+    sees a dead-source copy (fault replanning turns those into
+    checkpoint restores).
+    """
+    if machine.proc_at(coords).node_id not in avoid_nodes:
+        return coords
+    if not replica_dims:
+        return coords
+    shape = machine.shape
+    for combo in itertools.product(
+        *(range(shape[d]) for d in replica_dims)
+    ):
+        cand = list(coords)
+        for d, v in zip(replica_dims, combo):
+            cand[d] = v
+        cand_t = tuple(cand)
+        if machine.proc_at(cand_t).node_id not in avoid_nodes:
+            return cand_t
+    return coords
+
+
 def redistribution_trace(
     tensor: TensorVar,
     src_format: Format,
     src_machine: Machine,
     dst_format: Format,
     dst_machine: Machine,
+    avoid_src_nodes: Optional[Iterable[int]] = None,
 ) -> Trace:
     """Plan the copies that move ``tensor`` between two layouts.
 
@@ -177,11 +212,21 @@ def redistribution_trace(
     latter writes one output copy and leaves replicas to materialize
     lazily on first use.
 
+    ``avoid_src_nodes`` supports fault recovery: source pieces homed on
+    those nodes are re-sourced from the lexicographically first replica
+    holder on a surviving node (when the source layout replicates the
+    piece). Non-replicated pieces keep their dead source — the fault
+    replanner detects those copies by node id and converts them into
+    checkpoint restores.
+
     The returned trace carries pure :class:`Copy` traffic (one step, no
     leaf work, no memory accounting): feed it to
     :class:`~repro.sim.costmodel.CostModel.time_trace` for a
     :class:`~repro.sim.report.SimReport` of the handoff.
     """
+    avoid = frozenset(
+        int(n) for n in (avoid_src_nodes or ())
+    )
     if src_machine.cluster is not dst_machine.cluster:
         raise ValueError(
             "redistribution endpoints must share one physical cluster"
@@ -245,7 +290,10 @@ def redistribution_trace(
         dst_proc = dst_procs[j]
         dst_mem = _instance_memory(dst_machine, dst_proc, dst_mem_kind)
         if valid[j]:
-            pieces = [(tuple(int(c) for c in src_coords[:, j]), dst_rects[j])]
+            rep = tuple(int(d) for d in np.flatnonzero(pattern[:, j] < 0))
+            pieces = [
+                (tuple(int(c) for c in src_coords[:, j]), dst_rects[j], rep)
+            ]
         else:
             # Multi-piece request: scalar decomposition, replica dims
             # resolved exactly like the batched path.
@@ -257,10 +305,15 @@ def redistribution_trace(
                     p if p is not None else int(canon[d, j])
                     for d, p in enumerate(pat)
                 )
-                pieces.append((coords, piece))
-        for coords, piece in pieces:
+                rep = tuple(
+                    d for d, p in enumerate(pat) if p is None
+                )
+                pieces.append((coords, piece, rep))
+        for coords, piece, rep in pieces:
             if piece.is_empty:
                 continue
+            if avoid:
+                coords = _redirect_coords(src_machine, coords, rep, avoid)
             src_proc = src_machine.proc_at(coords)
             src_mem = _instance_memory(src_machine, src_proc, src_mem_kind)
             if src_proc.proc_id == dst_proc.proc_id and src_mem is dst_mem:

@@ -1,0 +1,62 @@
+"""Fault injection and recovery replanning for simulated executions.
+
+The package splits into three layers:
+
+* :mod:`repro.faults.events` — the deterministic, seeded fault model
+  (:class:`FaultPlan`, :class:`KillNode`, :class:`Resize`) and the
+  trace hook that turns a planned kill into a structured
+  :class:`~repro.util.errors.NodeFailure`;
+* :mod:`repro.faults.replan` — the replanner: price the interrupted
+  prefix, re-tune the remainder on the surviving machine warm-started
+  from the pre-failure decision, charge migration exactly through
+  :func:`~repro.core.transfer.redistribution_trace`
+  (:class:`RecoveryReport`, :func:`replan_kernel`,
+  :func:`replan_pipeline`);
+* :mod:`repro.faults.objective` — the tuner's ``objective="expected"``
+  mode: expected runtime under a per-phase failure rate, with
+  checkpoint placement as a decision
+  (:func:`expected_cost`, :func:`rerank_expected`).
+
+``python -m repro.faults --demo`` runs a deterministic end-to-end
+recovery scenario (also the CI fault-smoke job).
+"""
+
+from repro.faults.events import (
+    FaultPlan,
+    KillNode,
+    Resize,
+    install_fault_hook,
+    lost_instances,
+)
+from repro.faults.objective import (
+    checkpoint_choices,
+    expected_cost,
+    rerank_expected,
+)
+from repro.faults.replan import (
+    PipelineRecoveryReport,
+    RecoveryReport,
+    StageRecovery,
+    replan_kernel,
+    replan_pipeline,
+    sized_cluster,
+)
+from repro.util.errors import NodeFailure
+
+__all__ = [
+    "FaultPlan",
+    "KillNode",
+    "Resize",
+    "NodeFailure",
+    "install_fault_hook",
+    "lost_instances",
+    "checkpoint_choices",
+    "expected_cost",
+    "rerank_expected",
+    "RecoveryReport",
+    "PipelineRecoveryReport",
+    "StageRecovery",
+    "replan_kernel",
+    "replan_pipeline",
+    "sized_cluster",
+]

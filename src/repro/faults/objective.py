@@ -1,0 +1,164 @@
+"""Expected-cost tuning: failure exposure and checkpoint placement.
+
+The tuner's default objective is the simulated fault-free runtime. On
+a machine that loses nodes, the schedule that minimizes that number is
+not necessarily the one that minimizes the *expected* runtime: a long
+run of many phases has more exposure to failure (and loses more work
+per failure), while checkpointing every phase buys cheap recovery at a
+per-phase write cost.
+
+The model is deliberately small and closed-form, priced entirely from
+quantities the oracle already records:
+
+* ``S`` — the candidate's bulk-synchronous phase count
+  (:attr:`~repro.tuner.oracle.EvalOutcome.num_steps`);
+* ``p_fail = 1 - (1 - λ)**S`` — the probability of at least one node
+  failure during the run, for a per-phase failure rate ``λ``;
+* without checkpoints, a failure loses half the run in expectation and
+  recovery re-loads the inputs;
+* with per-phase checkpoints of a tensor set, every phase pays the
+  aggregate-NIC write time of that set, a failure loses only half a
+  *phase*'s work in expectation, and recovery re-loads the snapshot.
+
+``rerank_expected`` expands a ranking's feasible outcomes across the
+checkpoint choices (none, or the output tensor — the accumulating
+state a phase boundary must preserve) and re-sorts by expected cost;
+the winning :class:`~repro.tuner.space.Decision` carries its
+``checkpoint`` field so downstream fault replanning knows which
+instances survive a node loss.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import replace
+from typing import List, Sequence, Tuple
+
+from repro.ir.tensor import Assignment
+from repro.sim.params import MachineParams
+from repro.tuner.oracle import EvalOutcome
+
+
+def tensor_bytes(assignment: Assignment, names: Sequence[str]) -> int:
+    """Total bytes of the named tensors of ``assignment``."""
+    wanted = set(names)
+    total = 0
+    for tensor in assignment.tensors():
+        if tensor.name in wanted:
+            total += tensor.nbytes
+            wanted.discard(tensor.name)
+    return total
+
+
+def input_bytes(assignment: Assignment) -> int:
+    """Total bytes of the assignment's input tensors."""
+    output = assignment.lhs.tensor.name
+    return tensor_bytes(
+        assignment,
+        [t.name for t in assignment.tensors() if t.name != output],
+    )
+
+
+def checkpoint_choices(assignment: Assignment) -> List[Tuple[str, ...]]:
+    """The checkpoint sets the expected-cost re-ranking considers.
+
+    Either nothing, or the output tensor — the accumulating state that
+    cannot be recomputed from inputs without replaying the run. Inputs
+    are immutable (re-loadable from their source), so snapshotting them
+    buys nothing the no-checkpoint restore does not already price.
+    """
+    return [(), (assignment.lhs.tensor.name,)]
+
+
+def expected_cost(
+    base: float,
+    num_steps: int,
+    failure_rate: float,
+    checkpoint_bytes: int,
+    restore_bytes: int,
+    num_nodes: int,
+    params: MachineParams,
+) -> float:
+    """Expected runtime of one candidate under per-phase failures.
+
+    ``checkpoint_bytes == 0`` prices the no-checkpoint policy: no
+    per-phase overhead, half the run lost per failure. A positive
+    ``checkpoint_bytes`` pays its aggregate-NIC write time every phase
+    and loses only half a phase per failure. ``restore_bytes`` is what
+    recovery re-loads (inputs or the snapshot respectively).
+    """
+    if not math.isfinite(base):
+        return base
+    rate = min(max(float(failure_rate), 0.0), 1.0)
+    steps = max(1, int(num_steps))
+    nodes = max(1, int(num_nodes))
+    bw = params.nic_bw * nodes
+    p_fail = 1.0 - (1.0 - rate) ** steps
+    restore = restore_bytes / bw
+    if checkpoint_bytes > 0:
+        overhead = checkpoint_bytes / bw
+        lost = 0.5 * base / steps
+        return base + steps * overhead + p_fail * (lost + restore)
+    return base + p_fail * (0.5 * base + restore)
+
+
+def expected_for(
+    outcome: EvalOutcome,
+    assignment: Assignment,
+    checkpoint: Tuple[str, ...],
+    failure_rate: float,
+    num_nodes: int,
+    params: MachineParams,
+) -> float:
+    """Expected cost of one oracle outcome under one checkpoint set."""
+    ckpt_bytes = tensor_bytes(assignment, checkpoint)
+    restore = (
+        ckpt_bytes if checkpoint else input_bytes(assignment)
+    )
+    return expected_cost(
+        base=outcome.cost,
+        num_steps=outcome.num_steps,
+        failure_rate=failure_rate,
+        checkpoint_bytes=ckpt_bytes,
+        restore_bytes=restore,
+        num_nodes=num_nodes,
+        params=params,
+    )
+
+
+def rerank_expected(
+    ranked: Sequence[EvalOutcome],
+    assignment: Assignment,
+    *,
+    params: MachineParams,
+    num_nodes: int,
+    failure_rate: float,
+) -> List[EvalOutcome]:
+    """Re-score a ranking by expected cost, expanding checkpoint choices.
+
+    Every feasible outcome appears once per checkpoint set (its
+    decision's ``checkpoint`` field set accordingly, its ``cost``
+    replaced by the expected cost); infeasible outcomes pass through
+    unexpanded. Deterministic: sorted by ``(cost, decision key)``, like
+    the oracle's own ranking.
+    """
+    expanded: List[EvalOutcome] = []
+    for outcome in ranked:
+        if not outcome.feasible:
+            expanded.append(outcome)
+            continue
+        for ckpt in checkpoint_choices(assignment):
+            decision = (
+                outcome.decision
+                if not ckpt
+                else replace(outcome.decision, checkpoint=ckpt)
+            )
+            expanded.append(replace(
+                outcome,
+                decision=decision,
+                cost=expected_for(
+                    outcome, assignment, ckpt,
+                    failure_rate, num_nodes, params,
+                ),
+            ))
+    return sorted(expanded, key=lambda o: (o.cost, o.decision.key()))

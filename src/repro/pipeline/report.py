@@ -79,6 +79,7 @@ class PipelineReport:
             total_copy_bytes=sum(r.total_copy_bytes for r in reports),
             num_nodes=num_nodes,
             memory_high_water=high_water,
+            num_steps=sum(r.num_steps for r in reports),
         )
         return PipelineReport(stages=stages, edges=edges, combined=combined)
 

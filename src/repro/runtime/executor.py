@@ -142,6 +142,7 @@ class Executor:
         check_capacity: bool = False,
         batched: Optional[bool] = None,
         sanitize: bool = False,
+        fault_plan=None,
     ):
         self.plan = plan
         self.machine = plan.machine
@@ -150,6 +151,7 @@ class Executor:
         self.check_capacity = check_capacity
         self.batched = (not materialize) if batched is None else batched
         self.sanitize = sanitize
+        self.fault_plan = fault_plan
         self.sanity_findings = []
         self.full_env: Dict[IndexVar, Interval] = {}
         self._collect_extents(plan.root)
@@ -202,6 +204,7 @@ class Executor:
             self.plan, check_capacity=self.check_capacity
         )
         self.trace = Trace()
+        self._arm_faults()
         self.arrays: Dict[str, np.ndarray] = {}
         if self.materialize:
             if inputs is None:
@@ -248,6 +251,20 @@ class Executor:
             outputs=outputs,
             memory_high_water=dict(self.env.high_water),
         )
+
+    def _arm_faults(self):
+        """Install the fault-injection step hook on the fresh trace.
+
+        Armed only when a :class:`~repro.faults.events.FaultPlan` was
+        given; the hook raises
+        :class:`~repro.util.errors.NodeFailure` at the planned phase
+        boundary, so the trace holds exactly the completed steps.
+        """
+        if self.fault_plan is None:
+            return
+        from repro.faults.events import install_fault_hook  # local: cycle
+
+        install_fault_hook(self.trace, self.fault_plan, self)
 
     def _sanity_check(self, trace: Trace):
         """Replay ``trace`` through the independent analyzer pass."""

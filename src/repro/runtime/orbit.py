@@ -946,11 +946,12 @@ class OrbitExecutor(Executor):
     """Symbolic interpreter with orbit-compressed phase execution."""
 
     def __init__(
-        self, plan, check_capacity: bool = False, sanitize: bool = False
+        self, plan, check_capacity: bool = False, sanitize: bool = False,
+        fault_plan=None,
     ):
         super().__init__(
             plan, materialize=False, check_capacity=check_capacity,
-            batched=True, sanitize=sanitize,
+            batched=True, sanitize=sanitize, fault_plan=fault_plan,
         )
         self._mt = machine_tables(self.machine)
         self._regions: Dict[int, "_Region"] = {}
@@ -988,6 +989,7 @@ class OrbitExecutor(Executor):
             self.plan, check_capacity=self.check_capacity, tables=self._mt
         )
         self.trace = Trace()
+        self._arm_faults()
         self.arrays = {}
         root_ctx = _Ctx(
             ctx_id=0,

@@ -287,12 +287,24 @@ class Step:
 
 @dataclass
 class Trace:
-    """The full phase record of one kernel execution."""
+    """The full phase record of one kernel execution.
+
+    ``step_hook`` (when set) observes every phase boundary: it is called
+    with ``(index, label)`` *before* step ``index`` is created, which is
+    how fault injection interrupts an execution exactly between phases
+    — the hook raises, and the trace holds precisely the completed
+    steps (see :mod:`repro.faults.events`).
+    """
 
     steps: List[Step] = field(default_factory=list)
     memory_high_water: Dict[str, int] = field(default_factory=dict)
+    step_hook: Optional[object] = field(
+        default=None, compare=False, repr=False
+    )
 
     def new_step(self, label: str) -> Step:
+        if self.step_hook is not None:
+            self.step_hook(len(self.steps), label)
         step = Step(label=label)
         self.steps.append(step)
         return step

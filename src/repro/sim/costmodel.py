@@ -197,6 +197,7 @@ class CostModel:
             total_copy_bytes=skeleton.total_copy_bytes,
             num_nodes=skeleton.num_nodes,
             memory_high_water=dict(skeleton.memory_high_water),
+            num_steps=len(skeleton.steps),
         )
 
     # ------------------------------------------------------------------

@@ -24,6 +24,10 @@ class SimReport:
     total_copy_bytes: float
     num_nodes: int
     memory_high_water: Dict[str, int] = field(default_factory=dict)
+    # Number of bulk-synchronous phases executed. Drives the expected-
+    # cost tuning objective: failure exposure and checkpoint overhead
+    # both scale with the phase count.
+    num_steps: int = 0
 
     @property
     def gflops_per_node(self) -> float:

@@ -5,6 +5,7 @@ Usage::
     python -m repro.tune --workload matmul --nodes 64 [--gpu]
         [--jobs 8] [--strategy auto|exhaustive|beam] [--seed 0]
         [--beam 8] [--size N] [--ledger PATH] [--max-dims 3]
+        [--timeout SECONDS]
     python -m repro.tune --pipeline chain-matmul --nodes 64 [--top-k 6]
     python -m repro.tune --demo
 
@@ -84,6 +85,7 @@ def _run_single(args, cluster, ledger) -> int:
         jobs=args.jobs,
         max_dims=args.max_dims,
         ledger=ledger,
+        timeout_s=args.timeout,
     )
     wall = time.monotonic() - start
     search = result.search
@@ -171,6 +173,7 @@ def _run_pipeline(args, cluster, ledger) -> int:
         jobs=args.jobs,
         max_dims=args.max_dims,
         ledger=ledger,
+        timeout_s=args.timeout,
     )
     wall = time.monotonic() - start
 
@@ -268,6 +271,14 @@ def main(argv=None) -> int:
         "--ledger",
         default=None,
         help="tuning-ledger path (re-tunes are incremental)",
+    )
+    parser.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        help="per-candidate wall-clock budget in seconds; a candidate "
+        "that exceeds it becomes an oracle error instead of hanging "
+        "the tune",
     )
     parser.add_argument(
         "--demo",

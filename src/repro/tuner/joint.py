@@ -236,6 +236,7 @@ def tune_pipeline(
     max_dims: int = 3,
     ledger_path=None,
     ledger: Optional[TuningLedger] = None,
+    timeout_s: Optional[float] = None,
 ) -> PipelineTuneResult:
     """Jointly tune every stage of a pipeline plus its handoff formats.
 
@@ -270,6 +271,7 @@ def tune_pipeline(
             jobs=jobs,
             max_dims=max_dims,
             ledger=ledger,
+            timeout_s=timeout_s,
         )
         stage_results[stage.name] = result
         pools[stage.name] = _candidate_pool(result, top_k)
@@ -281,6 +283,7 @@ def tune_pipeline(
             check_capacity=check_capacity,
             jobs=jobs,
             ledger=ledger,
+            timeout_s=timeout_s,
         )
     _inject_compatible(pipeline, pools, oracle_for, memory, max_dims)
     injection_errors = sum(o.errors for o in oracle_for.values())

@@ -25,7 +25,10 @@ import json
 import math
 import os
 import re
+import signal
+import threading
 from collections import OrderedDict
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence
@@ -215,6 +218,10 @@ class EvalOutcome:
     #: counted as oracle *errors* even when ``error`` carries the
     #: pruning reason.
     pruned: bool = False
+    #: Bulk-synchronous phases the candidate executes (0 when the
+    #: candidate never simulated). The expected-cost objective prices
+    #: failure exposure and checkpoint overhead per phase.
+    num_steps: int = 0
     structure: str = field(default="", compare=False)
     executed: bool = field(default=False, compare=False)
     repriced: bool = field(default=False, compare=False)
@@ -234,6 +241,7 @@ class EvalOutcome:
             "inter_node_bytes": self.inter_node_bytes,
             "max_memory_bytes": self.max_memory_bytes,
             "pruned": self.pruned,
+            "num_steps": self.num_steps,
         }
 
     @staticmethod
@@ -249,6 +257,7 @@ class EvalOutcome:
             inter_node_bytes=record.get("inter_node_bytes", 0.0),
             max_memory_bytes=record.get("max_memory_bytes", 0.0),
             pruned=bool(record.get("pruned", False)),
+            num_steps=int(record.get("num_steps", 0)),
         )
 
 
@@ -287,6 +296,13 @@ class TuningLedger:
     Writes go through a temporary file and ``os.replace`` so a crashed
     or concurrent tune can never truncate it; entries are sorted on
     save so equal tuning runs produce byte-identical files.
+
+    Loads are crash-hardened the same way the perf log's are: a torn or
+    corrupt file (killed writer on a filesystem without atomic replace,
+    stray editor, disk-full truncation) is *salvaged* — every entry
+    record that still parses is kept — and the damaged original is
+    quarantined to ``<path>.corrupt`` for inspection, so one bad byte
+    never silently discards a night of tuning.
     """
 
     VERSION = 1
@@ -300,6 +316,9 @@ class TuningLedger:
         #: path — counted so callers like the CLI can fail loudly; a
         #: pathless in-memory ledger never counts).
         self.save_failures = 0
+        #: Entries recovered from a corrupt file at load time (the
+        #: original was quarantined to ``<path>.corrupt``).
+        self.salvaged = 0
         if self.path is not None:
             self.entries = self._read_entries()
 
@@ -307,12 +326,76 @@ class TuningLedger:
         if self.path is None or not self.path.exists():
             return {}
         try:
-            data = json.loads(self.path.read_text())
-        except (OSError, json.JSONDecodeError):
+            text = self.path.read_text()
+        except OSError:
             return {}
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError:
+            entries = self._salvage(text)
+            self.salvaged += len(entries)
+            self._quarantine(text)
+            return entries
         if isinstance(data, dict) and isinstance(data.get("entries"), dict):
             return data["entries"]
         return {}
+
+    @staticmethod
+    def _salvage(text: str) -> Dict[str, Dict]:
+        """Entry records that still parse inside a corrupt ledger.
+
+        Scans for ``"<wsig>/<decision>": {record}`` pairs with
+        ``json.JSONDecoder.raw_decode`` — the same recovery the perf
+        log applies to torn record lists — keeping any pair whose key
+        carries the ledger's ``/`` namespace separator and whose value
+        looks like an :meth:`EvalOutcome.to_record` dict.
+        """
+        decoder = json.JSONDecoder()
+        entries: Dict[str, Dict] = {}
+        pos = 0
+        n = len(text)
+        while pos < n:
+            quote = text.find('"', pos)
+            if quote < 0:
+                break
+            try:
+                key, end = decoder.raw_decode(text, quote)
+            except (json.JSONDecodeError, ValueError):
+                pos = quote + 1
+                continue
+            if not (isinstance(key, str) and "/" in key):
+                pos = quote + 1
+                continue
+            colon = end
+            while colon < n and text[colon] in " \t\r\n":
+                colon += 1
+            if colon >= n or text[colon] != ":":
+                pos = end
+                continue
+            vstart = colon + 1
+            while vstart < n and text[vstart] in " \t\r\n":
+                vstart += 1
+            try:
+                value, vend = decoder.raw_decode(text, vstart)
+            except (json.JSONDecodeError, ValueError):
+                pos = quote + 1
+                continue
+            if isinstance(value, dict) and "decision" in value \
+                    and "cost" in value:
+                entries[key] = value
+                pos = vend
+            else:
+                pos = quote + 1
+        return entries
+
+    def _quarantine(self, text: str):
+        """Preserve a corrupt ledger next to itself (best effort)."""
+        try:
+            write_atomic(
+                self.path.with_name(self.path.name + ".corrupt"), text
+            )
+        except OSError:
+            pass
 
     def get(self, wsig: str, decision: Decision) -> Optional[EvalOutcome]:
         record = self.entries.get(f"{wsig}/{decision.encode()}")
@@ -434,6 +517,44 @@ def statically_infeasible(
 # ----------------------------------------------------------------------
 
 
+class _CandidateTimeout(Exception):
+    """Raised inside :func:`_deadline` when the wall clock expires."""
+
+
+@contextmanager
+def _deadline(timeout_s: Optional[float]):
+    """Bound a candidate evaluation by wall-clock time.
+
+    Uses ``SIGALRM``/``setitimer``, so it only arms on the main thread
+    of a Unix process (exactly where oracle evaluation runs — in the
+    driving process or inside fork-pool workers); anywhere else it is a
+    no-op rather than a crash. Nested use keeps the outer timer.
+    """
+    if not timeout_s or timeout_s <= 0:
+        yield
+        return
+    if (
+        not hasattr(signal, "SIGALRM")
+        or threading.current_thread() is not threading.main_thread()
+    ):
+        yield
+        return
+    if signal.getitimer(signal.ITIMER_REAL)[0] > 0:
+        yield  # an enclosing deadline is already armed
+        return
+
+    def _expired(_signum, _frame):
+        raise _CandidateTimeout()
+
+    previous = signal.signal(signal.SIGALRM, _expired)
+    signal.setitimer(signal.ITIMER_REAL, float(timeout_s))
+    try:
+        yield
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0.0)
+        signal.signal(signal.SIGALRM, previous)
+
+
 def evaluate_one(
     assignment: Assignment,
     cluster: Cluster,
@@ -443,9 +564,16 @@ def evaluate_one(
     mode: str,
     check_capacity: bool,
     static_prune: bool = True,
+    timeout_s: Optional[float] = None,
 ) -> EvalOutcome:
     """Realize, compile, and simulate one candidate (mutates the
-    assignment's tensor formats; pass a private copy)."""
+    assignment's tensor formats; pass a private copy).
+
+    ``timeout_s`` bounds the candidate's wall-clock evaluation: a stuck
+    realize/compile/simulate returns an infeasible outcome whose
+    ``error`` names the timeout (counted in :attr:`Oracle.errors`)
+    instead of hanging the whole tune.
+    """
     if static_prune:
         reason = prune_reason(
             assignment,
@@ -466,14 +594,24 @@ def evaluate_one(
     structure = ""
     executed = repriced = False
     try:
-        machine = Machine(cluster, Grid(*decision.grid))
-        schedule, _formats = realize(
-            assignment, machine, decision, memory=memory
-        )
-        kernel = compile_kernel(schedule, machine)
-        structure = phase_fingerprint(kernel, check_capacity, mode)
-        report, executed, repriced = oracle_simulate(
-            kernel, params, check_capacity, mode, pkey=structure
+        with _deadline(timeout_s):
+            machine = Machine(cluster, Grid(*decision.grid))
+            schedule, _formats = realize(
+                assignment, machine, decision, memory=memory
+            )
+            kernel = compile_kernel(schedule, machine)
+            structure = phase_fingerprint(kernel, check_capacity, mode)
+            report, executed, repriced = oracle_simulate(
+                kernel, params, check_capacity, mode, pkey=structure
+            )
+    except _CandidateTimeout:
+        return EvalOutcome(
+            decision=decision,
+            cost=INFEASIBLE,
+            error=(
+                f"Timeout: candidate exceeded {timeout_s:g}s wall-clock"
+            ),
+            structure=structure,
         )
     except OutOfMemoryError:
         return EvalOutcome(
@@ -493,6 +631,7 @@ def evaluate_one(
         compute_time=report.compute_time,
         inter_node_bytes=report.inter_node_bytes,
         max_memory_bytes=float(report.max_memory_bytes),
+        num_steps=int(report.num_steps),
         structure=structure,
         executed=executed,
         repriced=repriced,
@@ -508,6 +647,7 @@ def tuner_eval_batch(
     mode: str,
     check_capacity: bool,
     static_prune: bool = True,
+    timeout_s: Optional[float] = None,
 ) -> List[EvalOutcome]:
     """One fork-pool task: evaluate a chunk of candidates.
 
@@ -519,7 +659,7 @@ def tuner_eval_batch(
     return [
         evaluate_one(
             work, cluster, decision, params, memory, mode,
-            check_capacity, static_prune,
+            check_capacity, static_prune, timeout_s=timeout_s,
         )
         for decision in decisions
     ]
@@ -546,6 +686,7 @@ class Oracle:
         jobs: int = 1,
         ledger: Optional[TuningLedger] = None,
         static_prune: bool = True,
+        timeout_s: Optional[float] = None,
     ):
         self.cluster = cluster
         self.params = params
@@ -561,6 +702,10 @@ class Oracle:
         self.jobs = max(1, jobs)
         self.ledger = ledger
         self.static_prune = static_prune
+        #: Per-candidate wall-clock bound (None = unbounded). A stuck
+        #: simulation becomes an infeasible, error-carrying outcome
+        #: instead of a hung tune.
+        self.timeout_s = timeout_s
         self.simulated = 0
         #: Candidates whose compile or simulation *errored* — OOMs are a
         #: legitimate search outcome and do not count.
@@ -590,6 +735,7 @@ class Oracle:
             jobs=self.jobs,
             ledger=self.ledger,
             static_prune=self.static_prune,
+            timeout_s=self.timeout_s,
         )
 
     def evaluate(
@@ -689,6 +835,7 @@ class Oracle:
             mode=self.mode,
             check_capacity=self.check_capacity,
             static_prune=self.static_prune,
+            timeout_s=self.timeout_s,
         )
         if self.jobs <= 1 or len(pending) <= 1:
             # In-process: evaluate against a private copy so the

@@ -43,6 +43,7 @@ from repro.tuner.space import (
     enumerate_space,
     from_heuristic,
     scale_assignment,
+    warm_variants,
 )
 
 #: Spaces at most this large are searched exhaustively under
@@ -163,12 +164,15 @@ def beam_search(
     eta: int = 4,
     seed: int = 0,
     max_rung0: int = 4096,
+    protected: Sequence[Decision] = (),
 ) -> Tuple[List[EvalOutcome], List[Dict]]:
     """Successive halving from a coarse projection up to full scale.
 
     Returns the final-rung outcomes (full scale, ranked) and per-rung
     statistics. The seed decision survives every cut, so the final
-    ranking always contains the heuristic.
+    ranking always contains the heuristic; ``protected`` decisions
+    (e.g. warm-start projections of a pre-failure winner) get the same
+    immunity.
 
     Two guards keep the coarse rungs honest:
 
@@ -184,17 +188,22 @@ def beam_search(
     """
     full_procs = oracle.cluster.num_processors
     rng = random.Random(seed)
+    pinned = [seed_decision] + [
+        d for d in protected if d != seed_decision
+    ]
     candidates = list(decisions)
-    if seed_decision not in candidates:
-        candidates.append(seed_decision)
+    for d in pinned:
+        if d not in candidates:
+            candidates.append(d)
     candidates.sort(key=Decision.key)
     if len(candidates) > max_rung0:
         keep = set(
             rng.sample(range(len(candidates)), max_rung0)
         )
         sampled = [c for i, c in enumerate(candidates) if i in keep]
-        if seed_decision not in sampled:
-            sampled.append(seed_decision)
+        for d in pinned:
+            if d not in sampled:
+                sampled.append(d)
         candidates = sampled
     dead: Dict[Decision, str] = {}
     if oracle.static_prune:
@@ -291,8 +300,9 @@ def beam_search(
         remaining = len(targets) - 1 - level
         keep = max(beam_width * eta ** (remaining - 1), beam_width)
         survivors = [o.decision for o in ranked[:keep]]
-        if seed_decision not in survivors:
-            survivors.append(seed_decision)
+        for d in pinned:
+            if d not in survivors:
+                survivors.append(d)
         rungs.append({
             "procs": procs,
             "candidates": len(candidates),
@@ -381,6 +391,10 @@ def tune(
     max_dims: int = 3,
     ledger_path=None,
     ledger: Optional[TuningLedger] = None,
+    warm_start: Optional[Decision] = None,
+    objective: str = "total",
+    failure_rate: float = 0.0,
+    timeout_s: Optional[float] = None,
 ) -> TuneResult:
     """Search the schedule space for one assignment on one cluster.
 
@@ -390,9 +404,27 @@ def tune(
     Returns a :class:`TuneResult` whose schedule and formats are
     realized on the *caller's* assignment (formats applied), compiled
     and simulated.
+
+    ``warm_start`` injects a known-good decision from another machine
+    size (fault replanning's pre-failure winner): its same-rank grid
+    projections join the space and survive every beam cut, so the
+    re-tune can only improve on replaying the old structure.
+
+    ``objective="expected"`` optimizes expected cost under a per-phase
+    failure probability of ``failure_rate`` instead of raw simulated
+    time: the final ranking is re-scored with recomputation exposure
+    and checkpoint placement (the ``Decision.checkpoint`` axis) by
+    :func:`repro.faults.objective.rerank_expected`. ``timeout_s``
+    bounds each candidate's wall-clock evaluation (see
+    :class:`~repro.tuner.oracle.Oracle`).
     """
     from repro.core.kernel import compile_kernel  # local: avoid cycle
 
+    if objective not in ("total", "expected"):
+        raise ValueError(
+            f"unknown objective {objective!r} "
+            f"(expected 'total' or 'expected')"
+        )
     p = cluster.num_processors
     space = enumerate_space(assignment, p, max_dims=max_dims)
     if seed_grid is None:
@@ -400,6 +432,12 @@ def tune(
     seed_decision = from_heuristic(assignment, seed_grid)
     if seed_decision not in space:
         space = sorted(space + [seed_decision], key=Decision.key)
+    warm = []
+    if warm_start is not None:
+        warm = warm_variants(assignment, warm_start, p)
+        extra = [d for d in warm if d not in set(space)]
+        if extra:
+            space = sorted(space + extra, key=Decision.key)
 
     if ledger is None and ledger_path is not None:
         ledger = TuningLedger(ledger_path)
@@ -412,6 +450,7 @@ def tune(
         jobs=jobs,
         ledger=ledger,
         static_prune=static_prune,
+        timeout_s=timeout_s,
     )
     if strategy == "auto":
         strategy = (
@@ -430,11 +469,22 @@ def tune(
             beam_width=beam_width,
             coarse_procs=coarse_procs,
             seed=seed,
+            protected=warm,
         )
     else:
         raise ValueError(
             f"unknown strategy {strategy!r} "
             f"(expected 'auto', 'exhaustive' or 'beam')"
+        )
+    if objective == "expected":
+        from repro.faults.objective import rerank_expected  # local: cycle
+
+        ranked = rerank_expected(
+            ranked,
+            assignment,
+            params=params,
+            num_nodes=cluster.num_nodes,
+            failure_rate=failure_rate,
         )
     by_decision = {o.decision: o for o in ranked}
     seed_outcome = by_decision[seed_decision]

@@ -99,6 +99,14 @@ class Decision:
     ``leaf``
         ``"gemm"`` substitutes the machine's BLAS at the leaf,
         ``"loops"`` parallelizes the innermost local loop.
+    ``checkpoint``
+        Tensors snapshotted at every phase boundary (fault tolerance).
+        Ignored by schedule construction — it prices into the
+        ``objective="expected"`` tuning mode (per-step checkpoint
+        overhead against reduced recomputation on failure) and tells
+        the fault replanner which instances survive a node loss. Not
+        enumerated by :func:`enumerate_space`; the expected-cost
+        re-ranking expands it (:mod:`repro.faults.objective`).
     """
 
     grid: Tuple[int, ...]
@@ -110,6 +118,7 @@ class Decision:
     step_comm: Tuple[str, ...] = ()
     output_style: str = OUTPUT_FACE
     leaf: str = LEAF_LOOPS
+    checkpoint: Tuple[str, ...] = ()
 
     def key(self) -> Tuple:
         """A total order over decisions (used for canonical forms,
@@ -125,6 +134,7 @@ class Decision:
             self.step_comm,
             self.output_style,
             self.leaf,
+            self.checkpoint,
         )
 
     def encode(self) -> str:
@@ -143,6 +153,10 @@ class Decision:
             parts.append("step=" + ",".join(self.step_comm))
         parts.append("out=" + self.output_style)
         parts.append("leaf=" + self.leaf)
+        if self.checkpoint:
+            # Emitted only when set, so checkpoint-free decisions keep
+            # their pre-existing ledger keys.
+            parts.append("ckpt=" + ",".join(self.checkpoint))
         return ";".join(parts)
 
     @staticmethod
@@ -168,6 +182,7 @@ class Decision:
             step_comm=split(fields.get("step", "")),
             output_style=fields.get("out", OUTPUT_FACE),
             leaf=fields.get("leaf", LEAF_LOOPS),
+            checkpoint=split(fields.get("ckpt", "")),
         )
 
     def describe(self) -> str:
@@ -201,6 +216,7 @@ def canonicalize(decision: Decision) -> Decision:
     """
     tiled = tuple(sorted(set(decision.tiled)))
     step_comm = tuple(sorted(set(decision.step_comm) & set(tiled)))
+    checkpoint = tuple(sorted(set(decision.checkpoint)))
     seq = decision.seq
     steps_dim = decision.steps_dim
     rotate = tuple(
@@ -229,6 +245,7 @@ def canonicalize(decision: Decision) -> Decision:
             rotate=rot,
             tiled=tiled,
             step_comm=step_comm,
+            checkpoint=checkpoint,
         )
         if best is None or candidate.key() < best.key():
             best = candidate
@@ -687,6 +704,35 @@ def coarsen(decision: Decision, target_procs: int) -> Decision:
         factor = _smallest_prime_factor(g)
         grid[idx] = g // factor
     return replace(decision, grid=tuple(grid))
+
+
+def warm_variants(
+    assignment: Assignment, warm: Decision, num_procs: int
+) -> List[Decision]:
+    """Project a known-good decision onto a different processor count.
+
+    Fault replanning re-tunes on the surviving machine; the pre-failure
+    winner is the obvious place to start, but its grid no longer
+    multiplies out to the new processor count. Every same-rank
+    factorization of ``num_procs`` keeps the decision's structural
+    choices (distribution order, sequencing, tiling, leaf) with a
+    resized grid; variants that fail normalization-time legality are
+    simply dropped. Sorted by :meth:`Decision.key` for determinism.
+    """
+    out: Dict[Tuple, Decision] = {}
+    for shape in factorizations(num_procs, len(warm.grid)):
+        if len(shape) != len(warm.grid):
+            continue
+        for perm in permutations(shape):
+            candidate = replace(warm, grid=tuple(perm))
+            if (
+                candidate.steps_dim is not None
+                and candidate.grid[candidate.steps_dim] < 1
+            ):
+                continue
+            norm = normalize(assignment, candidate)
+            out.setdefault(norm.key(), norm)
+    return [out[k] for k in sorted(out)]
 
 
 def _smallest_prime_factor(n: int) -> int:

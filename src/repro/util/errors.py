@@ -70,6 +70,40 @@ class PipelineError(ReproError):
     mismatch between stages, or an invalid handoff choice)."""
 
 
+class NodeFailure(ReproError):
+    """A simulated node died at a phase boundary (fault injection).
+
+    Raised by the executors when an armed
+    :class:`~repro.faults.events.FaultPlan` kills a node: steps
+    ``0..phase-1`` of ``partial_trace`` completed before the failure,
+    and ``lost`` lists every home instance the dead node held —
+    ``(tensor name, machine coords, rect)`` triples, sorted — so the
+    replanner can match them against replica/checkpoint availability.
+    """
+
+    def __init__(
+        self,
+        phase,
+        node,
+        surviving_nodes,
+        lost,
+        partial_trace,
+        step_label="",
+    ):
+        self.phase = phase
+        self.node = node
+        self.surviving_nodes = surviving_nodes
+        self.lost = tuple(lost)
+        self.partial_trace = partial_trace
+        self.step_label = step_label
+        super().__init__(
+            f"node {node} failed at phase {phase}"
+            + (f" ({step_label!r})" if step_label else "")
+            + f"; {surviving_nodes} nodes survive, "
+            f"{len(self.lost)} home instances lost"
+        )
+
+
 class OutOfMemoryError(ReproError):
     """A simulated memory exceeded its capacity.
 

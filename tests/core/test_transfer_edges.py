@@ -1,0 +1,127 @@
+"""Redistribution-planner edge cases: regrids, replicas, degeneracy.
+
+The replanner leans on ``redistribution_trace`` for exactly these
+shapes — shrinking onto fewer nodes with replicated sources (failure
+recovery), growing onto more nodes than there are source pieces
+(regrid-up), and the one-node destination degenerate case — so each is
+pinned here independently of the fault machinery.
+"""
+
+import pytest
+
+from repro import Format, Grid, Machine, TensorVar
+from repro.core.transfer import redistribution_trace
+from repro.machine.cluster import Cluster
+
+
+@pytest.fixture
+def cluster():
+    return Cluster.cpu_cluster(8, sockets_per_node=1)
+
+
+def trace_for(cluster, src_fmt, src_grid, dst_fmt, dst_grid, **kw):
+    T = TensorVar("T", (256, 256))
+    src_m = Machine(cluster, Grid(*src_grid))
+    dst_m = Machine(cluster, Grid(*dst_grid))
+    return T, redistribution_trace(
+        T, Format(src_fmt), src_m, Format(dst_fmt), dst_m, **kw
+    )
+
+
+class TestShrinkWithReplicas:
+    def test_shrink_moves_at_most_one_copy(self, cluster):
+        """(4,2) -> (3,2): replicated source rows mean every destination
+        piece has several holders; the plan still ships each piece
+        once."""
+        T, trace = trace_for(
+            cluster, "ab -> a*", (4, 2), "ab -> ab", (3, 2)
+        )
+        assert 0 < trace.total_copy_bytes <= T.nbytes
+
+    def test_avoided_node_never_sources_replicated_pieces(self, cluster):
+        """With replicas available, excluding a source node redirects
+        every copy it would have served to a surviving holder."""
+        T, trace = trace_for(
+            cluster, "ab -> a*", (4, 2), "ab -> ab", (7, 1),
+            avoid_src_nodes={7},
+        )
+        assert trace.total_copy_bytes > 0
+        for step in trace.steps:
+            for copy in step.copies:
+                assert copy.src_proc.node_id != 7
+
+    def test_avoidance_changes_sources_not_bytes(self, cluster):
+        T, plain = trace_for(
+            cluster, "ab -> a*", (4, 2), "ab -> ab", (7, 1)
+        )
+        T, avoided = trace_for(
+            cluster, "ab -> a*", (4, 2), "ab -> ab", (7, 1),
+            avoid_src_nodes={7},
+        )
+        assert avoided.total_copy_bytes == plain.total_copy_bytes
+
+    def test_unreplicated_pieces_still_leave_the_avoided_node(
+        self, cluster
+    ):
+        """Without replicas there is no surviving holder to redirect to:
+        the planner keeps the dead node as the source (the replanner
+        reads these as checkpoint restores) rather than dropping the
+        piece silently."""
+        T, trace = trace_for(
+            cluster, "ab -> ab", (4, 2), "ab -> ab", (7, 1),
+            avoid_src_nodes={7},
+        )
+        dead_sourced = [
+            copy
+            for step in trace.steps
+            for copy in step.copies
+            if copy.src_proc.node_id == 7
+        ]
+        assert dead_sourced  # node 7 held unreplicated pieces
+
+
+class TestGrowRegrid:
+    def test_more_destination_nodes_than_source_pieces(self, cluster):
+        """(2,) -> (8,): two coarse source pieces fan out to eight
+        owners. Only node 0's destination piece is already resident on
+        its source holder (node 1's new piece lives inside *node 0's*
+        source half), so seven of the eight pieces move."""
+        T, trace = trace_for(cluster, "ab -> a", (2,), "ab -> a", (8,))
+        assert trace.total_copy_bytes == pytest.approx(
+            T.nbytes * 7 / 8
+        )
+        sources = {
+            copy.src_proc.node_id
+            for step in trace.steps
+            for copy in step.copies
+        }
+        assert sources <= {0, 1}
+
+    def test_grow_into_replicated_destination(self, cluster):
+        """Growing into a replicated layout charges the full fan-out:
+        every new holder that lacks the data receives it."""
+        T, trace = trace_for(cluster, "ab -> a", (2,), "ab -> *", (8,))
+        # Nodes 0 and 1 each hold half; each of the 8 holders needs the
+        # full tensor, so each misses at least the other half.
+        assert trace.total_copy_bytes >= T.nbytes
+
+
+class TestDegenerateDestination:
+    def test_single_node_destination_funnels_everything(self, cluster):
+        T, trace = trace_for(cluster, "ab -> ab", (4, 2), "ab -> a", (1,))
+        # Node 0 already holds a quarter-row block; the rest arrives.
+        assert trace.total_copy_bytes == pytest.approx(
+            T.nbytes * 7 / 8
+        )
+        for step in trace.steps:
+            for copy in step.copies:
+                assert copy.dst_proc.node_id == 0
+
+    def test_single_source_single_destination_is_free(self, cluster):
+        T, trace = trace_for(cluster, "ab -> a", (1,), "ab -> b", (1,))
+        assert trace.total_copy_bytes == 0
+
+    def test_single_node_roundtrip_is_symmetric(self, cluster):
+        T, shrink = trace_for(cluster, "ab -> ab", (2, 4), "ab -> a", (1,))
+        T, grow = trace_for(cluster, "ab -> a", (1,), "ab -> ab", (2, 4))
+        assert shrink.total_copy_bytes == grow.total_copy_bytes

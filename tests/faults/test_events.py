@@ -1,0 +1,117 @@
+"""The fault event model: plans, sampling, and lost instances."""
+
+import pytest
+
+from repro import Grid, Machine, compile_kernel
+from repro.faults.events import (
+    FaultPlan,
+    KillNode,
+    Resize,
+    lost_instances,
+)
+from repro.tuner.space import from_heuristic, realize
+from repro.tuner.workloads import lean_cluster, matmul
+
+
+class TestFaultPlan:
+    def test_encode_is_stable(self):
+        plan = FaultPlan(
+            events=(
+                KillNode(phase=2, node=1, stage="T"),
+                Resize(boundary="D", nodes=3),
+            ),
+            seed=7,
+        )
+        assert plan.encode() == (
+            "seed=7;kill(node=1,phase=2@T);resize(before=D,nodes=3)"
+        )
+
+    def test_kill_for_scoping(self):
+        unscoped = KillNode(phase=1, node=0)
+        scoped = KillNode(phase=2, node=1, stage="T")
+        plan = FaultPlan(events=(scoped, unscoped))
+        assert plan.kill_for("T") is scoped
+        assert plan.kill_for(None) is unscoped
+        assert plan.kill_for("D") is None
+
+    def test_resize_before(self):
+        resize = Resize(boundary="D", nodes=2)
+        plan = FaultPlan(events=(resize,))
+        assert plan.resize_before("D") is resize
+        assert plan.resize_before("T") is None
+
+    def test_sample_is_deterministic(self):
+        a = FaultPlan.sample(11, 8, max_phase=4)
+        b = FaultPlan.sample(11, 8, max_phase=4)
+        assert a == b
+        assert a.encode() == b.encode()
+
+    def test_sample_respects_bounds(self):
+        for seed in range(20):
+            plan = FaultPlan.sample(seed, 6, max_phase=3)
+            kill = plan.kill_for(None)
+            assert 1 <= kill.phase <= 3
+            assert 0 <= kill.node < 6
+
+    def test_sample_varies_with_seed(self):
+        plans = {
+            FaultPlan.sample(seed, 16, max_phase=8).encode()
+            for seed in range(16)
+        }
+        assert len(plans) > 1
+
+    def test_sample_needs_two_nodes(self):
+        with pytest.raises(ValueError):
+            FaultPlan.sample(0, 1, max_phase=2)
+
+    def test_sample_pipeline_resizes(self):
+        plan = FaultPlan.sample(
+            3, 4, max_phase=2, stages=("T", "D"), resize_choices=(2, 3)
+        )
+        kill = plan.kill_for("T") or plan.kill_for("D")
+        assert kill is not None
+        for event in plan.events:
+            if isinstance(event, Resize):
+                assert event.boundary == "D"
+                assert event.nodes in (2, 3)
+
+
+class TestLostInstances:
+    @pytest.fixture
+    def kernel(self):
+        cluster = lean_cluster(4)
+        assignment = matmul(64)
+        decision = from_heuristic(assignment, (2, 2))
+        machine = Machine(cluster, Grid(*decision.grid))
+        schedule, _ = realize(assignment, machine, decision)
+        return compile_kernel(schedule, machine)
+
+    def test_every_node_loses_something(self, kernel):
+        machine = kernel.machine
+        for node in range(machine.cluster.num_nodes):
+            lost = lost_instances(kernel.plan, machine, node)
+            assert lost, f"node {node} held nothing"
+            for name, coords, rect in lost:
+                assert machine.proc_at(coords).node_id == node
+                assert not rect.is_empty
+
+    def test_sorted_and_deterministic(self, kernel):
+        machine = kernel.machine
+        a = lost_instances(kernel.plan, machine, 1)
+        b = lost_instances(kernel.plan, machine, 1)
+        assert a == b
+        assert list(a) == sorted(a, key=lambda item: (item[0], item[1]))
+
+    def test_all_nodes_cover_all_instances(self, kernel):
+        """Every placed instance is home to exactly one node."""
+        machine = kernel.machine
+        per_node = [
+            lost_instances(kernel.plan, machine, node)
+            for node in range(machine.cluster.num_nodes)
+        ]
+        seen = [
+            (name, coords)
+            for chunk in per_node
+            for name, coords, _rect in chunk
+        ]
+        assert len(seen) == len(set(seen))

@@ -1,0 +1,160 @@
+"""The expected-cost tuning objective and checkpoint placement."""
+
+import math
+
+import pytest
+
+from repro.faults.objective import (
+    checkpoint_choices,
+    expected_cost,
+    expected_for,
+    input_bytes,
+    rerank_expected,
+    tensor_bytes,
+)
+from repro.sim.params import LASSEN
+from repro.tuner.oracle import INFEASIBLE, EvalOutcome
+from repro.tuner.search import tune
+from repro.tuner.space import from_heuristic
+from repro.tuner.workloads import lean_cluster, matmul
+
+
+@pytest.fixture
+def assignment():
+    return matmul(64)
+
+
+class TestExpectedCost:
+    def test_zero_rate_is_the_base_cost(self):
+        assert expected_cost(2.0, 8, 0.0, 0, 10 ** 9, 4, LASSEN) == 2.0
+
+    def test_rate_monotonic(self):
+        costs = [
+            expected_cost(2.0, 8, rate, 0, 10 ** 9, 4, LASSEN)
+            for rate in (0.0, 1e-4, 1e-2, 0.5)
+        ]
+        assert costs == sorted(costs)
+        assert costs[-1] > costs[0]
+
+    def test_checkpoint_charges_per_phase_overhead(self):
+        plain = expected_cost(2.0, 8, 0.0, 0, 10 ** 9, 4, LASSEN)
+        ckpt = expected_cost(2.0, 8, 0.0, 10 ** 9, 10 ** 9, 4, LASSEN)
+        assert ckpt > plain
+
+    def test_checkpoint_wins_at_high_rates(self):
+        # Failures near-certain: losing half the run dominates the
+        # per-phase write cost of a small snapshot.
+        plain = expected_cost(10.0, 16, 0.2, 0, 10 ** 9, 4, LASSEN)
+        ckpt = expected_cost(10.0, 16, 0.2, 10 ** 7, 10 ** 7, 4, LASSEN)
+        assert ckpt < plain
+
+    def test_infeasible_passes_through(self):
+        assert expected_cost(
+            math.inf, 4, 0.5, 0, 10 ** 9, 4, LASSEN
+        ) == math.inf
+
+    def test_rate_clamped(self):
+        high = expected_cost(1.0, 4, 2.0, 0, 0, 4, LASSEN)
+        one = expected_cost(1.0, 4, 1.0, 0, 0, 4, LASSEN)
+        assert high == one
+
+
+class TestBytesHelpers:
+    def test_tensor_and_input_bytes(self, assignment):
+        names = {t.name: t.nbytes for t in assignment.tensors()}
+        out = assignment.lhs.tensor.name
+        assert tensor_bytes(assignment, [out]) == names[out]
+        assert input_bytes(assignment) == sum(
+            nbytes for name, nbytes in names.items() if name != out
+        )
+
+    def test_checkpoint_choices(self, assignment):
+        choices = checkpoint_choices(assignment)
+        assert choices == [(), (assignment.lhs.tensor.name,)]
+
+
+class TestRerankExpected:
+    def outcome(self, assignment, cost=1.0, steps=4):
+        decision = from_heuristic(assignment, (2, 2))
+        return EvalOutcome(decision=decision, cost=cost, num_steps=steps)
+
+    def test_expands_feasible_outcomes(self, assignment):
+        ranked = rerank_expected(
+            [self.outcome(assignment)], assignment,
+            params=LASSEN, num_nodes=4, failure_rate=0.01,
+        )
+        assert len(ranked) == 2
+        checkpoints = {o.decision.checkpoint for o in ranked}
+        assert checkpoints == {(), (assignment.lhs.tensor.name,)}
+
+    def test_zero_rate_prefers_plain(self, assignment):
+        ranked = rerank_expected(
+            [self.outcome(assignment)], assignment,
+            params=LASSEN, num_nodes=4, failure_rate=0.0,
+        )
+        assert ranked[0].decision.checkpoint == ()
+        assert ranked[0].cost == pytest.approx(1.0)
+
+    def test_high_rate_prefers_checkpoint(self, assignment):
+        ranked = rerank_expected(
+            [self.outcome(assignment, cost=50.0, steps=16)], assignment,
+            params=LASSEN, num_nodes=4, failure_rate=0.05,
+        )
+        assert ranked[0].decision.checkpoint != ()
+
+    def test_infeasible_not_expanded(self, assignment):
+        bad = EvalOutcome(
+            decision=from_heuristic(assignment, (2, 2)),
+            cost=INFEASIBLE,
+        )
+        ranked = rerank_expected(
+            [bad], assignment,
+            params=LASSEN, num_nodes=4, failure_rate=0.1,
+        )
+        assert len(ranked) == 1
+        assert not ranked[0].feasible
+
+    def test_matches_expected_for(self, assignment):
+        outcome = self.outcome(assignment, cost=3.0, steps=8)
+        ranked = rerank_expected(
+            [outcome], assignment,
+            params=LASSEN, num_nodes=4, failure_rate=0.02,
+        )
+        for expanded in ranked:
+            assert expanded.cost == pytest.approx(expected_for(
+                outcome, assignment, expanded.decision.checkpoint,
+                0.02, 4, LASSEN,
+            ))
+
+
+class TestTuneObjective:
+    def test_rejects_unknown_objective(self):
+        with pytest.raises(ValueError):
+            tune(
+                matmul(64), lean_cluster(4), LASSEN,
+                objective="optimistic",
+            )
+
+    def test_expected_objective_end_to_end(self):
+        result = tune(
+            matmul(64), lean_cluster(4), LASSEN,
+            strategy="exhaustive", objective="expected",
+            failure_rate=0.2,
+        )
+        assert result.search.best.feasible
+        # The winning decision realizes and simulates like any other
+        # (checkpoint placement never alters the schedule itself).
+        assert result.report.total_time > 0
+
+    def test_zero_rate_reduces_to_total_objective(self):
+        plain = tune(
+            matmul(64), lean_cluster(4), LASSEN, strategy="exhaustive"
+        )
+        expected = tune(
+            matmul(64), lean_cluster(4), LASSEN,
+            strategy="exhaustive", objective="expected", failure_rate=0.0,
+        )
+        assert expected.search.best.decision.checkpoint == ()
+        assert expected.search.best.cost == pytest.approx(
+            plain.search.best.cost
+        )
