@@ -147,6 +147,11 @@ def main(argv=None) -> int:
         traceback.print_exc()
         print("analysis run failed", file=sys.stderr)
         return 1
+    from repro.obs.metrics import METRICS
+
+    print("== Metrics ==")
+    for name, value in METRICS.snapshot().items():
+        print(f"  {name} = {value}")
     if findings:
         print(f"{findings} finding(s)", file=sys.stderr)
         return 1

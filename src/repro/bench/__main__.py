@@ -185,16 +185,33 @@ def main(argv=None) -> int:
     except Exception:
         traceback.print_exc()
         print("benchmark sweep failed", file=sys.stderr)
-        return 1
+        status = 1
+    else:
+        status = 0
 
+    # The profile flushes even when the sweep failed: the figures that
+    # *did* finish carry the wall-clock evidence of where the run died,
+    # which used to be discarded with the non-zero exit.
     if args.profile:
         from repro.bench.perf_log import append_record
+        from repro.obs.metrics import METRICS
 
         print("== Wall-clock profile ==")
         for label, wall in profile:
             print(f"  {label:<10s} {wall:8.2f}s")
             append_record(f"cli:{label}", wall)
-    return 0
+        if profile:
+            append_record(
+                f"profile:{args.figure}",
+                sum(wall for _label, wall in profile),
+                metrics={
+                    "profile": {label: round(wall, 4)
+                                for label, wall in profile},
+                    "failed": bool(status),
+                },
+                counters=METRICS.snapshot(),
+            )
+    return status
 
 
 if __name__ == "__main__":

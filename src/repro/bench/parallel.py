@@ -9,7 +9,8 @@ benchmark session. The driver therefore:
 * forks one worker per point (``fork`` start method, so workers inherit
   the parent's warm cache for free);
 * has every worker return its rows *plus* the cache entries it added
-  (both the simulation cache and the closed-form baseline store);
+  (both the simulation cache and the closed-form baseline store) and
+  its observability deltas (metric counters, wall-clock spans);
 * merges those deltas back into the parent's process-global caches, so
   a figure computed with ``--jobs 8`` leaves the same cache state
   behind as a sequential run, and later figures (or
@@ -32,6 +33,8 @@ from repro.bench.cache import (
     export_baselines,
     install_baselines,
 )
+from repro.obs.metrics import METRICS
+from repro.obs.spans import export_spans, install_spans, span_mark
 
 #: Resolved lazily per worker; maps registered sweep names to callables.
 _SWEEPS: Dict[str, Callable] = {}
@@ -69,14 +72,21 @@ def _run_point(payload):
     name, kwargs = payload
     sim_before = SIM_CACHE.key_set()
     base_before = baseline_key_set()
+    metrics_before = METRICS.export()
+    mark = span_mark()
     try:
         rows = _resolve(name)(**kwargs)
     except Exception:
         return ("err", traceback.format_exc())
+    # The observability deltas ride the same envelope as the cache
+    # deltas: a forked worker inherited the parent's counters and span
+    # list, so only what accumulated after the fork ships back.
     return ("ok", (
         rows,
         SIM_CACHE.export(exclude=sim_before),
         export_baselines(exclude=base_before),
+        METRICS.delta(metrics_before),
+        export_spans(since=mark),
     ))
 
 
@@ -129,15 +139,18 @@ def run_points(
             # *original worker* traceback — the retry may fail
             # differently, but the first crash is what to debug.
             status, result = _retry_point(tasks[slot], result)
-        point_rows, sim_delta, base_delta = result
+        point_rows, sim_delta, base_delta, metrics_delta, spans = result
         SIM_CACHE.install(sim_delta)
         install_baselines(base_delta)
+        METRICS.install(metrics_delta)
+        install_spans(spans)
         rows.extend(point_rows)
     return rows
 
 
 def _retry_point(task, worker_traceback: str):
     """Second (in-process) attempt at a point whose worker failed."""
+    METRICS.inc("bench.pool_retries")
     try:
         return _run_point_strict(task)
     except Exception as retry_err:
@@ -150,7 +163,12 @@ def _retry_point(task, worker_traceback: str):
 
 
 def _run_point_strict(payload):
-    """Like :func:`_run_point`, but lets exceptions propagate."""
+    """Like :func:`_run_point`, but lets exceptions propagate.
+
+    Runs in the parent process, where metrics and spans accumulate in
+    the live registry directly — the envelope ships empty deltas so the
+    caller's install is a no-op rather than a double count.
+    """
     name, kwargs = payload
     sim_before = SIM_CACHE.key_set()
     base_before = baseline_key_set()
@@ -159,6 +177,8 @@ def _run_point_strict(payload):
         rows,
         SIM_CACHE.export(exclude=sim_before),
         export_baselines(exclude=base_before),
+        {},
+        [],
     ))
 
 

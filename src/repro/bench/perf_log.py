@@ -174,17 +174,30 @@ def write_atomic(path: Path, text: str) -> bool:
     return True
 
 
+def read_records(path: Optional[Path] = None) -> List[Dict]:
+    """The log's records for read-only consumers (``python -m
+    repro.obs``); unreadable/foreign content reads as empty."""
+    records, _salvaged = _load(path or log_path())
+    return records or []
+
+
 def append_record(
     name: str,
     wall_s: float,
     metrics: Optional[Dict] = None,
     mode: str = DEFAULT_MODE,
+    counters: Optional[Dict] = None,
 ) -> bool:
     """Append one perf record; returns False when the log is unwritable
     or holds something that is not (a salvageable prefix of) a JSON
     list — foreign content is never clobbered. Each record carries the
     recording environment (:func:`environment`), so the regression gate
-    never compares timings across machines."""
+    never compares timings across machines.
+
+    ``counters`` (a metrics-registry snapshot) is stored under
+    ``metrics.counters`` — opt-in, so callers recording pure
+    measurements keep schema-stable records — where the regression
+    gate's efficiency rules read it."""
     path = log_path()
     with locked(path):
         records, salvaged = _load(path)
@@ -204,6 +217,8 @@ def append_record(
             "env": environment(mode),
         }
         if metrics:
-            record["metrics"] = metrics
+            record["metrics"] = dict(metrics)
+        if counters:
+            record.setdefault("metrics", {})["counters"] = dict(counters)
         records.append(record)
         return write_atomic(path, json.dumps(records, indent=1) + "\n")

@@ -9,7 +9,15 @@ appends to it). A name regresses when its wall-clock grew by more than
 (default 0.05 s — sub-tick timings jitter far above 25% without
 meaning anything). Names present only in one log are reported but
 never fail the gate; exit status is 1 iff at least one tracked timing
-regressed.
+or efficiency counter regressed.
+
+Records carrying a metrics snapshot (``metrics.counters``, written by
+``append_record(..., counters=...)``) are additionally compared on the
+efficiency rules of :func:`compare_counters` — regressions wall-clock
+noise hides, like the orbit executor's scalar fallback reappearing or
+a replay hit rate collapsing. A baseline record that predates the
+metrics schema (no counters) is *reported*, never failed: old
+trajectories stay usable as timing baselines.
 """
 
 from __future__ import annotations
@@ -86,6 +94,84 @@ def compare(
     missing = sorted(set(baseline) - set(current))
     new = sorted(set(current) - set(baseline))
     return regressions, missing, new
+
+
+def counters_of(record: Dict) -> Optional[Dict]:
+    """A record's ``metrics.counters`` snapshot, or ``None`` when the
+    record predates the metrics schema."""
+    metrics = record.get("metrics")
+    if isinstance(metrics, dict):
+        counters = metrics.get("counters")
+        if isinstance(counters, dict):
+            return counters
+    return None
+
+
+#: Hit/miss-style replay rates: ``(label, numerator, denominator)``
+#: where the rate is num / (num + den). A rate that was >= 50% in the
+#: baseline and halved in the current run fails the gate — the fast
+#: path stopped firing.
+RATE_RULES = (
+    ("step-price replay", "costmodel.step_price_hits",
+     "costmodel.step_price_misses"),
+    ("orbit phase replay", "orbit.phase_replays", None),
+)
+
+#: Rate-rule thresholds: the baseline rate must be at least MIN_RATE
+#: for the rule to arm, and the current rate must drop below half the
+#: baseline's to fail.
+MIN_RATE = 0.5
+
+CounterFinding = Tuple[str, str, float, float, str]
+
+
+def compare_counters(
+    baseline: Dict[str, Dict], current: Dict[str, Dict]
+) -> Tuple[List[CounterFinding], List[str]]:
+    """(efficiency regressions, baseline names predating the schema).
+
+    Each finding is ``(record name, counter, baseline value, current
+    value, rule description)``. Only record pairs where *both* sides
+    carry counters are judged; a current-only snapshot marks the
+    baseline as pre-schema (reported, never failed).
+    """
+    findings: List[CounterFinding] = []
+    pre_schema: List[str] = []
+    for name in sorted(set(baseline) & set(current)):
+        cur_c = counters_of(current[name])
+        if cur_c is None:
+            continue
+        base_c = counters_of(baseline[name])
+        if base_c is None:
+            pre_schema.append(name)
+            continue
+        base_fb = base_c.get("orbit.fallback_events", 0)
+        cur_fb = cur_c.get("orbit.fallback_events", 0)
+        if base_fb == 0 and cur_fb > 0:
+            findings.append((
+                name, "orbit.fallback_events", base_fb, cur_fb,
+                "orbit scalar fallbacks reappeared",
+            ))
+        for label, num_key, den_key in RATE_RULES:
+            if den_key is None:
+                # Rate against the step count rather than a miss twin.
+                base_den = base_c.get("orbit.steps", 0)
+                cur_den = cur_c.get("orbit.steps", 0)
+            else:
+                base_den = base_c.get(num_key, 0) + base_c.get(den_key, 0)
+                cur_den = cur_c.get(num_key, 0) + cur_c.get(den_key, 0)
+            base_num = base_c.get(num_key, 0)
+            cur_num = cur_c.get(num_key, 0)
+            if not base_den or not cur_den:
+                continue
+            base_rate = base_num / base_den
+            cur_rate = cur_num / cur_den
+            if base_rate >= MIN_RATE and cur_rate < base_rate / 2:
+                findings.append((
+                    name, num_key, base_rate, cur_rate,
+                    f"{label} hit rate collapsed",
+                ))
+    return findings, pre_schema
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -172,12 +258,30 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(f"new (untracked) names: {', '.join(new)}")
     if missing:
         print(f"not re-measured this run: {', '.join(missing)}")
-    if regressions:
+    counter_findings, pre_schema = compare_counters(baseline, current)
+    if pre_schema:
         print(
-            f"{len(regressions)} timing(s) regressed more than "
-            f"{args.threshold:.0%} (+{args.min_seconds}s floor)",
-            file=sys.stderr,
+            "baseline predates the metrics schema (counters not "
+            "compared): " + ", ".join(pre_schema)
         )
+    for name, counter, base, cur, rule in counter_findings:
+        print(
+            f"  {name}: {rule} ({counter}: {base:g} -> {cur:g}) "
+            "EFFICIENCY REGRESSED"
+        )
+    if regressions or counter_findings:
+        if regressions:
+            print(
+                f"{len(regressions)} timing(s) regressed more than "
+                f"{args.threshold:.0%} (+{args.min_seconds}s floor)",
+                file=sys.stderr,
+            )
+        if counter_findings:
+            print(
+                f"{len(counter_findings)} efficiency counter(s) "
+                "regressed",
+                file=sys.stderr,
+            )
         return 1
     print("no tracked timing regressed")
     return 0

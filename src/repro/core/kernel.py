@@ -132,6 +132,7 @@ class Kernel:
         check_capacity: bool = True,
         mode: str = "orbit",
         fault_plan=None,
+        breakdown: bool = False,
     ) -> SimReport:
         """Symbolically execute and time the kernel on the cost model.
 
@@ -144,13 +145,15 @@ class Kernel:
         instead of the grid size, with byte-identical ``SimReport``
         numbers (``tests/runtime/test_orbit_executor.py``). Pass
         ``mode="batched"`` or ``mode="scalar"`` for the uncompressed
-        interpreters.
+        interpreters. ``breakdown=True`` attaches the per-phase
+        :class:`~repro.sim.report.PhaseBreakdown` without changing any
+        report number.
         """
         result = self.trace(
             check_capacity=check_capacity, mode=mode, fault_plan=fault_plan
         )
         model = CostModel(self.machine.cluster, params)
-        return model.time_trace(result.trace)
+        return model.time_trace(result.trace, breakdown=breakdown)
 
     def analyze(
         self,

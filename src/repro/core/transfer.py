@@ -24,6 +24,8 @@ from repro.ir.expr import IndexVar
 from repro.ir.tensor import Assignment, TensorVar
 from repro.machine.cluster import Memory, MemoryKind, Processor
 from repro.machine.machine import Machine
+from repro.obs.metrics import METRICS
+from repro.obs.spans import span
 from repro.runtime.trace import Copy, Trace
 from repro.scheduling.schedule import Schedule
 from repro.util.geometry import Interval, Rect
@@ -42,6 +44,7 @@ def transfer_kernel(
     and a trace whose copies are precisely the redistribution traffic.
     """
     dst_format.check(src.ndim, machine)
+    METRICS.inc("transfer.kernels_compiled")
     dst = TensorVar(
         dst_name or f"{src.name}_re", src.shape, dst_format, dtype=src.dtype
     )
@@ -224,6 +227,27 @@ def redistribution_trace(
     :class:`~repro.sim.costmodel.CostModel.time_trace` for a
     :class:`~repro.sim.report.SimReport` of the handoff.
     """
+    with span("transfer.plan"):
+        trace = _redistribution_trace(
+            tensor, src_format, src_machine, dst_format, dst_machine,
+            avoid_src_nodes,
+        )
+    METRICS.inc("transfer.plans")
+    METRICS.inc(
+        "transfer.planned_copies",
+        sum(len(s.copies) for s in trace.steps),
+    )
+    return trace
+
+
+def _redistribution_trace(
+    tensor: TensorVar,
+    src_format: Format,
+    src_machine: Machine,
+    dst_format: Format,
+    dst_machine: Machine,
+    avoid_src_nodes: Optional[Iterable[int]] = None,
+) -> Trace:
     avoid = frozenset(
         int(n) for n in (avoid_src_nodes or ())
     )

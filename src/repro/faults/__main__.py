@@ -264,18 +264,26 @@ def main(argv=None) -> int:
 
     try:
         if args.demo:
-            return _run_demo(args)
-        if args.gpu:
-            cluster = Cluster.gpu_cluster(args.nodes)
+            status = _run_demo(args)
         else:
-            cluster = Cluster.cpu_cluster(args.nodes)
-        if args.pipeline is not None:
-            return _run_pipeline(args, cluster)
-        return _run_kernel(args, cluster)
+            if args.gpu:
+                cluster = Cluster.gpu_cluster(args.nodes)
+            else:
+                cluster = Cluster.cpu_cluster(args.nodes)
+            if args.pipeline is not None:
+                status = _run_pipeline(args, cluster)
+            else:
+                status = _run_kernel(args, cluster)
     except Exception:
         traceback.print_exc()
         print("fault replanning failed", file=sys.stderr)
         return 1
+    from repro.obs.metrics import METRICS
+
+    print("== Metrics ==")
+    for name, value in METRICS.snapshot().items():
+        print(f"  {name} = {value}")
+    return status
 
 
 if __name__ == "__main__":

@@ -1,0 +1,54 @@
+"""Unified observability: timelines, span tracing, metrics.
+
+One layer shared by the simulator, tuner, pipeline, faults, and bench
+stacks, with three pillars:
+
+* **Simulated-time timelines** — the cost model can attach a
+  :class:`~repro.sim.report.PhaseBreakdown` (per-phase comm/compute
+  time, bytes, dominant resource, replay provenance) to a
+  :class:`~repro.sim.report.SimReport`, and :mod:`repro.obs.export`
+  turns it into Chrome trace-event JSON a trace viewer (Perfetto,
+  ``chrome://tracing``) opens directly — one lane per node class.
+* **Wall-clock span tracing** — :func:`repro.obs.spans.span` context
+  managers in the hot paths (orbit classification, batched bounds, the
+  tuner oracle, redistribution planning), near-zero-cost when disabled,
+  gated by ``REPRO_TRACE``, fork-safe through the parallel sweep
+  driver's envelope, exported to the same Chrome-trace format plus an
+  aggregated flat profile.
+* **Metrics registry** — :data:`repro.obs.metrics.METRICS` unifies the
+  counters previously scattered across five subsystems (orbit fallback
+  events, phase replays, simulation-cache hits, oracle incrementality,
+  fork-pool retries) behind one snapshot API, surfaced by the CLIs,
+  appended to ``BENCH_simulator.json`` records, and consumed by the
+  regression gate.
+
+``python -m repro.obs`` lists recent perf records, diffs two runs'
+metrics, and exports traces (see :mod:`repro.obs.__main__`).
+"""
+
+from repro.obs.metrics import METRICS, MetricsRegistry
+from repro.obs.spans import (
+    export_spans,
+    flat_profile,
+    install_spans,
+    reset_spans,
+    set_tracing,
+    span,
+    span_mark,
+    span_records,
+    tracing_enabled,
+)
+
+__all__ = [
+    "METRICS",
+    "MetricsRegistry",
+    "export_spans",
+    "flat_profile",
+    "install_spans",
+    "reset_spans",
+    "set_tracing",
+    "span",
+    "span_mark",
+    "span_records",
+    "tracing_enabled",
+]

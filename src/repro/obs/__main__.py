@@ -1,0 +1,247 @@
+"""``python -m repro.obs`` — the observability layer's front door.
+
+Subcommands:
+
+* ``list`` — recent perf-log records (``BENCH_simulator.json``), with
+  a marker for records carrying a metrics snapshot.
+* ``diff NAME [NAME2]`` — counter-by-counter comparison between the
+  two most recent records of ``NAME`` (or the latest of ``NAME`` and
+  ``NAME2``).
+* ``export`` — build a workload (same builders the weak-scaling sweeps
+  use), simulate it with a per-phase breakdown, and write a Chrome
+  trace-event JSON any trace viewer opens; ``--spans`` merges in
+  wall-clock span lanes.
+* ``--demo`` (also ``demo``) — the CI smoke path: export a 64-node
+  weak-scaled Cannon trace with span tracing on, validate it against
+  the minimal trace-event schema, and fail non-zero on any defect.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from typing import Dict, List, Optional
+
+from repro.obs.export import (
+    breakdown_to_chrome,
+    merge_traces,
+    spans_to_chrome,
+    validate_chrome_trace,
+    write_trace,
+)
+from repro.obs.metrics import METRICS
+from repro.obs.spans import (
+    format_profile,
+    set_tracing,
+    span_records,
+)
+
+#: Workloads the exporter knows how to build (the weak-scaling set).
+WORKLOADS = ("cannon", "summa", "pumma", "johnson")
+
+
+def _records() -> List[Dict]:
+    from repro.bench.perf_log import read_records
+
+    return read_records()
+
+
+def _counters(record: Dict) -> Optional[Dict]:
+    metrics = record.get("metrics")
+    if isinstance(metrics, dict):
+        counters = metrics.get("counters")
+        if isinstance(counters, dict):
+            return counters
+    return None
+
+
+def cmd_list(args) -> int:
+    records = _records()
+    if not records:
+        print("perf log is empty (no BENCH_simulator.json records)")
+        return 0
+    for record in records[-args.limit:]:
+        stamp = time.strftime(
+            "%Y-%m-%d %H:%M", time.localtime(record.get("timestamp", 0))
+        )
+        counters = _counters(record)
+        mark = f"  [{len(counters)} counters]" if counters else ""
+        wall = record.get("wall_s", float("nan"))
+        print(f"{stamp}  {record.get('name', '?'):<28s} "
+              f"{wall:>9.3f}s{mark}")
+    return 0
+
+
+def cmd_diff(args) -> int:
+    records = _records()
+    mine = [r for r in records if r.get("name") == args.name]
+    if args.name2:
+        theirs = [r for r in records if r.get("name") == args.name2]
+        if not mine or not theirs:
+            missing = args.name if not mine else args.name2
+            print(f"no records named {missing!r}")
+            return 1
+        a, b = mine[-1], theirs[-1]
+    else:
+        if len(mine) < 2:
+            print(f"need two records named {args.name!r} to diff "
+                  f"(have {len(mine)})")
+            return 1
+        a, b = mine[-2], mine[-1]
+    print(f"A: {a['name']}  wall {a.get('wall_s')}s")
+    print(f"B: {b['name']}  wall {b.get('wall_s')}s")
+    ca, cb = _counters(a) or {}, _counters(b) or {}
+    if not ca and not cb:
+        print("(neither record carries a metrics snapshot)")
+        return 0
+    names = sorted(set(ca) | set(cb))
+    width = max(len(n) for n in names)
+    for name in names:
+        va, vb = ca.get(name), cb.get(name)
+        if va == vb:
+            print(f"  {name:<{width}s}  {va}")
+        else:
+            print(f"  {name:<{width}s}  {va} -> {vb}")
+    return 0
+
+
+def _build_kernel(workload: str, nodes: int, size: Optional[int],
+                  gpu: bool):
+    from repro.algorithms import matmul
+    from repro.bench.weak_scaling import (
+        cube_grid,
+        square_grid,
+        weak_matrix_size,
+    )
+    from repro.machine.cluster import Cluster, MemoryKind
+    from repro.machine.grid import Grid
+    from repro.machine.machine import Machine
+
+    cluster = (
+        Cluster.gpu_cluster(nodes) if gpu else Cluster.cpu_cluster(nodes)
+    )
+    p = cluster.num_processors
+    grid = cube_grid(p) if workload == "johnson" else square_grid(p)
+    machine = Machine(cluster, Grid(*grid))
+    n = size or weak_matrix_size(8192, nodes)
+    memory = MemoryKind.GPU_FB if gpu else MemoryKind.SYSTEM_MEM
+    builder = getattr(matmul, workload)
+    return builder(machine, n, memory=memory), n
+
+
+def cmd_export(args) -> int:
+    from repro.sim.params import LASSEN
+
+    if args.spans:
+        set_tracing(True)
+    t0 = time.perf_counter()
+    kern, n = _build_kernel(args.workload, args.nodes, args.size, args.gpu)
+    report = kern.simulate(LASSEN, breakdown=True)
+    wall = time.perf_counter() - t0
+    title = f"{args.workload} n={n} nodes={args.nodes}"
+    trace = breakdown_to_chrome(report.breakdown, title=title)
+    if args.spans:
+        trace = merge_traces(trace, spans_to_chrome(span_records()))
+    defect = validate_chrome_trace(trace)
+    if defect is not None:
+        print(f"exported trace is invalid: {defect}", file=sys.stderr)
+        return 1
+    out = args.out or f"trace_{args.workload}_{args.nodes}.json"
+    write_trace(trace, out)
+    print(f"{title}: {report}")
+    print(f"  {len(report.breakdown.phases)} phases, "
+          f"{len(trace['traceEvents'])} trace events -> {out}")
+    print(f"  (open in Perfetto / chrome://tracing; built in {wall:.2f}s)")
+    top = report.breakdown.top(3)
+    for phase in top:
+        print(f"  top: {phase.label:<24s} {phase.total_s:.4f}s "
+              f"dominant={phase.dominant}")
+    if args.spans:
+        print("== Wall-clock profile ==")
+        print(format_profile())
+    print("== Metrics ==")
+    for name, value in METRICS.snapshot().items():
+        print(f"  {name} = {value}")
+    return 0
+
+
+def cmd_demo(args) -> int:
+    """The CI smoke path: export, validate, verify round-trip."""
+    ns = argparse.Namespace(
+        workload="cannon", nodes=64, size=None, gpu=False,
+        out=args.out or "obs_demo_trace.json", spans=True,
+    )
+    code = cmd_export(ns)
+    if code != 0:
+        return code
+    # Re-read what was written: the artifact CI uploads must itself
+    # parse and validate, not just the in-memory object.
+    try:
+        with open(ns.out) as f:
+            trace = json.load(f)
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"demo trace unreadable: {exc}", file=sys.stderr)
+        return 1
+    defect = validate_chrome_trace(trace)
+    if defect is not None:
+        print(f"demo trace invalid on disk: {defect}", file=sys.stderr)
+        return 1
+    slices = [e for e in trace["traceEvents"] if e.get("ph") == "X"]
+    spans = [e for e in slices if e.get("cat") == "span"]
+    if not spans:
+        print("demo trace has no span lanes", file=sys.stderr)
+        return 1
+    print(f"demo trace OK: {len(slices)} slices "
+          f"({len(spans)} wall-clock spans) in {ns.out}")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs",
+        description="Inspect and export observability data.",
+    )
+    parser.add_argument(
+        "--demo", action="store_true",
+        help="run the CI smoke path (export + validate a Cannon trace)",
+    )
+    parser.add_argument("--out", default=None, help="demo output path")
+    sub = parser.add_subparsers(dest="command")
+
+    p_list = sub.add_parser("list", help="recent perf-log records")
+    p_list.add_argument("--limit", type=int, default=20)
+
+    p_diff = sub.add_parser("diff", help="diff two runs' metrics")
+    p_diff.add_argument("name")
+    p_diff.add_argument("name2", nargs="?", default=None)
+
+    p_exp = sub.add_parser("export", help="export a simulated-time trace")
+    p_exp.add_argument("--workload", choices=WORKLOADS, default="cannon")
+    p_exp.add_argument("--nodes", type=int, default=64)
+    p_exp.add_argument("--size", type=int, default=None,
+                       help="matrix side (default: weak-scaled from 8192)")
+    p_exp.add_argument("--gpu", action="store_true")
+    p_exp.add_argument("--out", default=None)
+    p_exp.add_argument("--spans", action="store_true",
+                       help="enable tracing and merge span lanes in")
+
+    p_demo = sub.add_parser("demo", help="alias for --demo")
+    p_demo.add_argument("--out", default=None)
+
+    args = parser.parse_args(argv)
+    if args.demo or args.command == "demo":
+        return cmd_demo(args)
+    if args.command == "list":
+        return cmd_list(args)
+    if args.command == "diff":
+        return cmd_diff(args)
+    if args.command == "export":
+        return cmd_export(args)
+    parser.print_help()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

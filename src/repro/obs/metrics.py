@@ -1,0 +1,168 @@
+"""The fleet-wide metrics registry: one snapshot API for every counter.
+
+Before this module the repo's efficiency counters lived on five
+unrelated objects — ``OrbitExecutor.fallback_events``, the cost model's
+step-price digest hits, ``SIM_CACHE.hits``, the tuner oracle's
+incrementality stats, the fork-pool's retry count — each printed (or
+not) by whichever CLI happened to own it. The registry unifies them:
+
+* **Counters** (:meth:`MetricsRegistry.inc`) accumulate monotonically;
+  subsystems increment them at their natural aggregation points.
+* **Gauges** (:meth:`MetricsRegistry.observe`) record
+  last-value-wins measurements.
+* **Sources** (:meth:`MetricsRegistry.register_source`) contribute
+  values computed at snapshot time — used for counters that already
+  live on process-global objects (the simulation cache) so they are
+  reported without double bookkeeping.
+
+:meth:`MetricsRegistry.snapshot` returns one sorted, JSON-ready dict;
+the CLIs print it, ``bench/perf_log.append_record`` embeds it in
+``BENCH_simulator.json`` records (under ``metrics.counters``), and
+``bench/regression.py`` compares it across runs to flag efficiency
+regressions (fallback reappearance, replay hit-rate collapse) that
+wall-clock noise hides.
+
+Fork merging mirrors the simulation cache's envelope: workers export
+the counter deltas they accumulated after the fork
+(:meth:`MetricsRegistry.export` / :meth:`MetricsRegistry.delta`) and
+the parent sums them back in (:meth:`MetricsRegistry.install`).
+
+Counter values must be derived from *what was computed*, never from
+wall-clock or cache state that varies between equal runs where
+determinism matters: the tuner's ledger embeds oracle stats, and
+equal-seed tuning runs are pinned byte-identical with metrics enabled.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional, Union
+
+Number = Union[int, float]
+
+
+class MetricsRegistry:
+    """Counters, gauges, and snapshot-time sources under dotted names."""
+
+    def __init__(self):
+        self._counters: Dict[str, Number] = {}
+        self._gauges: Dict[str, Number] = {}
+        self._sources: Dict[str, Callable[[], Dict[str, Number]]] = {}
+
+    # -- writing -------------------------------------------------------
+
+    def inc(self, name: str, value: Number = 1):
+        """Add ``value`` to counter ``name`` (created at zero)."""
+        self._counters[name] = self._counters.get(name, 0) + value
+
+    def observe(self, name: str, value: Number):
+        """Set gauge ``name`` (last value wins)."""
+        self._gauges[name] = value
+
+    def register_source(
+        self, name: str, fn: Callable[[], Dict[str, Number]]
+    ):
+        """Register a callable contributing ``{metric: value}`` at
+        snapshot time; re-registering a name replaces the source."""
+        self._sources[name] = fn
+
+    # -- reading -------------------------------------------------------
+
+    def get(self, name: str, default: Number = 0) -> Number:
+        if name in self._counters:
+            return self._counters[name]
+        return self._gauges.get(name, default)
+
+    def snapshot(self, sources: bool = True) -> Dict[str, Number]:
+        """Every metric as one sorted ``{name: value}`` dict.
+
+        Sources are consulted last and never clobber an explicit
+        counter/gauge of the same name. A raising source contributes
+        nothing (observability must not fail the observed run).
+        """
+        out: Dict[str, Number] = {}
+        out.update(self._counters)
+        out.update(self._gauges)
+        if sources:
+            for fn in self._sources.values():
+                try:
+                    values = fn()
+                except Exception:
+                    continue
+                for key, value in values.items():
+                    out.setdefault(key, value)
+        return {k: out[k] for k in sorted(out)}
+
+    # -- fork envelope -------------------------------------------------
+
+    def export(self) -> Dict[str, Dict[str, Number]]:
+        """A picklable copy of the owned counters and gauges."""
+        return {
+            "counters": dict(self._counters),
+            "gauges": dict(self._gauges),
+        }
+
+    def delta(
+        self, before: Dict[str, Dict[str, Number]]
+    ) -> Dict[str, Dict[str, Number]]:
+        """What accumulated since ``before`` (an :meth:`export`).
+
+        Counters subtract (a forked worker inherited the parent's
+        totals; only its own increments ride back); gauges ship when
+        changed or new.
+        """
+        prev_c = before.get("counters", {})
+        prev_g = before.get("gauges", {})
+        counters = {}
+        for name, value in self._counters.items():
+            d = value - prev_c.get(name, 0)
+            if d:
+                counters[name] = d
+        gauges = {
+            name: value
+            for name, value in self._gauges.items()
+            if prev_g.get(name) != value
+        }
+        return {"counters": counters, "gauges": gauges}
+
+    def install(self, exported: Dict[str, Dict[str, Number]]):
+        """Merge a delta from another process: counters sum, gauges
+        overwrite."""
+        for name, value in exported.get("counters", {}).items():
+            self.inc(name, value)
+        for name, value in exported.get("gauges", {}).items():
+            self.observe(name, value)
+
+    def reset(self):
+        """Zero every counter and gauge (sources stay registered)."""
+        self._counters.clear()
+        self._gauges.clear()
+
+
+#: The process-global registry every subsystem reports into.
+METRICS = MetricsRegistry()
+
+
+def _sim_cache_source() -> Dict[str, Number]:
+    # Lazy import: the registry must stay importable from anywhere
+    # (including the executors) without pulling the bench stack in.
+    from repro.bench.cache import SIM_CACHE, baseline_key_set
+
+    return {
+        "sim_cache.hits": SIM_CACHE.hits,
+        "sim_cache.misses": SIM_CACHE.misses,
+        "sim_cache.entries": len(SIM_CACHE),
+        "baseline_cache.entries": len(baseline_key_set()),
+    }
+
+
+def _span_source() -> Dict[str, Number]:
+    from repro.obs.spans import dropped_spans, span_records
+
+    return {
+        "spans.recorded": len(span_records()),
+        "spans.dropped": dropped_spans(),
+    }
+
+
+METRICS.register_source("sim_cache", _sim_cache_source)
+METRICS.register_source("spans", _span_source)

@@ -27,6 +27,7 @@ import numpy as np
 
 from repro.ir.expr import IndexVar
 from repro.ir.provenance import VarGraph
+from repro.obs.spans import span
 from repro.util.errors import LoweringError, ScheduleError
 from repro.util.geometry import Interval, Rect
 
@@ -196,28 +197,29 @@ def batch_bounds(
     ndim = accesses[0].tensor.ndim
     if ndim == 0:
         return None, None, np.ones(n, dtype=bool)
-    # Stack per-access endpoint columns: (n_access, ndim, n).
-    big = np.iinfo(np.int64).max
-    lo_min = None
-    hi_max = None
-    live = None
-    for access in accesses:
-        los = np.empty((ndim, n), dtype=np.int64)
-        his = np.empty((ndim, n), dtype=np.int64)
-        for d, v in enumerate(access.indices):
-            lo, hi = block.values_of(graph, v, full_env, exact)
-            los[d, :] = lo
-            his[d, :] = hi
-        empty = (his <= los).any(axis=0)
-        los = np.where(empty, big, los)
-        his = np.where(empty, -big, his)
-        if lo_min is None:
-            lo_min, hi_max, live = los, his, ~empty
-        else:
-            lo_min = np.minimum(lo_min, los)
-            hi_max = np.maximum(hi_max, his)
-            live = live | ~empty
-    return lo_min, hi_max, live
+    with span("bounds.batch"):
+        # Stack per-access endpoint columns: (n_access, ndim, n).
+        big = np.iinfo(np.int64).max
+        lo_min = None
+        hi_max = None
+        live = None
+        for access in accesses:
+            los = np.empty((ndim, n), dtype=np.int64)
+            his = np.empty((ndim, n), dtype=np.int64)
+            for d, v in enumerate(access.indices):
+                lo, hi = block.values_of(graph, v, full_env, exact)
+                los[d, :] = lo
+                his[d, :] = hi
+            empty = (his <= los).any(axis=0)
+            los = np.where(empty, big, los)
+            his = np.where(empty, -big, his)
+            if lo_min is None:
+                lo_min, hi_max, live = los, his, ~empty
+            else:
+                lo_min = np.minimum(lo_min, los)
+                hi_max = np.maximum(hi_max, his)
+                live = live | ~empty
+        return lo_min, hi_max, live
 
 
 def batch_rects(

@@ -46,6 +46,8 @@ import numpy as np
 from repro.codegen.plan import LaunchNode, LeafNode, PlanNode, SeqNode
 from repro.machine.cluster import MemoryKind
 from repro.machine.machine import Machine
+from repro.obs.metrics import METRICS
+from repro.obs.spans import span
 from repro.runtime.batchbounds import CtxBlock, batch_bounds
 from repro.runtime.executor import ExecutionResult, Executor, _Ctx
 from repro.runtime.instances import DataEnvironment
@@ -981,6 +983,11 @@ class OrbitExecutor(Executor):
         self.multi_piece_batches = 0
         self.flush_batches = 0
         self.leaf_comm_phases = 0
+        #: Phases emitted through the steady-state replay fast paths
+        #: (translation, permutation, transport) instead of a full
+        #: resolve — the replay-provenance counter the metrics registry
+        #: reports as ``orbit.phase_replays``.
+        self.phase_replays = 0
 
     # -- plumbing ------------------------------------------------------
 
@@ -997,14 +1004,24 @@ class OrbitExecutor(Executor):
             proc=self.machine.proc_at(tuple([0] * self.machine.dim)),
         )
         ctxs = [root_ctx]
-        self._exec(self.plan.root, ctxs, self._make_block(ctxs))
-        extent_cap = max(
-            (max(t.shape) for t in self.plan.tensors.values() if t.shape),
-            default=1,
-        )
-        for builder in self._builders.values():
-            builder.finalize(self._mt, self._tensor_ids, extent_cap)
+        with span("orbit.run"):
+            self._exec(self.plan.root, ctxs, self._make_block(ctxs))
+            extent_cap = max(
+                (max(t.shape) for t in self.plan.tensors.values()
+                 if t.shape),
+                default=1,
+            )
+            with span("orbit.finalize"):
+                for builder in self._builders.values():
+                    builder.finalize(self._mt, self._tensor_ids, extent_cap)
         self.trace.memory_high_water = dict(self.env.high_water)
+        METRICS.inc("orbit.runs")
+        METRICS.inc("orbit.steps", len(self.trace.steps))
+        METRICS.inc("orbit.fallback_events", self.fallback_events)
+        METRICS.inc("orbit.phase_replays", self.phase_replays)
+        METRICS.inc("orbit.multi_piece_batches", self.multi_piece_batches)
+        METRICS.inc("orbit.flush_batches", self.flush_batches)
+        METRICS.inc("orbit.leaf_comm_phases", self.leaf_comm_phases)
         if self.sanitize:
             # Orbit traces are class-compressed (one representative copy
             # per orbit); the sanitizer's hold tracking needs the full
@@ -1313,10 +1330,13 @@ class OrbitExecutor(Executor):
         resolved = []
         builder_before = self._builders.get(id(step))
         chunks_before = len(builder_before.chunks) if builder_before else 0
-        for pos, name in enumerate(effective):
-            resolved.append(
-                self._resolve_tensor(name, pos, n_names, region, block, step)
-            )
+        with span("orbit.classify"):
+            for pos, name in enumerate(effective):
+                resolved.append(
+                    self._resolve_tensor(
+                        name, pos, n_names, region, block, step
+                    )
+                )
         # Whole-step translation replay: when every chunk of this step
         # is a translation replay of one source step's chunks, in order
         # and covering all of them, the pinned copy columns are byte-
@@ -1495,6 +1515,7 @@ class OrbitExecutor(Executor):
                 mirror,
             )
             if out is not None:
+                self.phase_replays += 1
                 return out
         elif replay_common and delta is not None and memo.streak >= 2:
             out = self._replay_translation(
@@ -1502,6 +1523,7 @@ class OrbitExecutor(Executor):
                 mirror,
             )
             if out is not None:
+                self.phase_replays += 1
                 return out
         if (
             perm is not None
@@ -1519,6 +1541,7 @@ class OrbitExecutor(Executor):
                 tensor, perm, perm_shift, remaining, rem_idx, mirror,
             )
             if out is not None:
+                self.phase_replays += 1
                 return out
         memo.outcome_valid = False
         memo.registered_all = False
@@ -2340,6 +2363,13 @@ class OrbitExecutor(Executor):
         """
         mt = self._mt
         shape_vec = mt.shape
+        with span("orbit.flush"):
+            self._orbit_flush_inner(
+                names, region, step, events, mt, shape_vec
+            )
+
+    def _orbit_flush_inner(self, names, region, step, events, mt,
+                           shape_vec):
         for f_pos, name in enumerate(names):
             member, lo, hi = self.env.take_partials(name, region.coords)
             if member.size == 0:

@@ -43,9 +43,11 @@ from typing import Dict, List, Optional, Tuple
 import numpy as np
 
 from repro.machine.cluster import Cluster, ProcessorKind
+from repro.obs.metrics import METRICS
+from repro.obs.spans import span
 from repro.runtime.trace import CopyColumns, Step, Trace
 from repro.sim.params import MachineParams
-from repro.sim.report import SimReport
+from repro.sim.report import PhaseBreakdown, PhaseCost, SimReport
 
 GEMM_KERNELS = {"blas_gemm", "cublas_gemm", "gemm"}
 
@@ -75,6 +77,16 @@ class TraceSkeleton:
     total_copy_bytes: float
     num_nodes: int
     memory_high_water: Dict[str, int] = field(default_factory=dict)
+    #: Per-step attribution columns the observability layer consumes
+    #: (``price_skeleton(..., breakdown=True)``): phase labels, byte
+    #: totals, and whether the step's communication price was replayed
+    #: from an earlier identical copy batch. Optional — a skeleton
+    #: without them prices identically but yields label-less
+    #: breakdowns.
+    labels: Optional[Tuple[str, ...]] = None
+    step_copy_bytes: Optional[Tuple[int, ...]] = None
+    step_inter_bytes: Optional[Tuple[int, ...]] = None
+    price_replayed: Optional[Tuple[bool, ...]] = None
 
 
 def _work_entries(step: Step) -> Tuple[WorkEntry, ...]:
@@ -123,9 +135,17 @@ class CostModel:
     # Public API.
     # ------------------------------------------------------------------
 
-    def time_trace(self, trace: Trace) -> SimReport:
-        """Total time and derived rates for a full kernel execution."""
-        return self.price_skeleton(self.skeleton_of(trace))
+    def time_trace(self, trace: Trace, breakdown: bool = False) -> SimReport:
+        """Total time and derived rates for a full kernel execution.
+
+        ``breakdown=True`` attaches a per-phase
+        :class:`~repro.sim.report.PhaseBreakdown` to the report; every
+        scalar number is unchanged (the breakdown is derived from the
+        same priced columns, in the same order).
+        """
+        return self.price_skeleton(
+            self.skeleton_of(trace), breakdown=breakdown
+        )
 
     def skeleton_of(self, trace: Trace) -> TraceSkeleton:
         """Price a trace's communication and capture its work entries.
@@ -133,60 +153,137 @@ class CostModel:
         Steps with byte-identical copy batches (a systolic algorithm's
         steady state repeats one batch every iteration) are priced once
         via a content digest, so communication pricing scales with the
-        number of *distinct* steps.
+        number of *distinct* steps. The digest hit pattern is kept per
+        step (``price_replayed``) — the replay provenance the
+        observability layer surfaces — and counted in the metrics
+        registry.
         """
-        steps: List[Tuple[float, Tuple[WorkEntry, ...]]] = []
-        priced: Dict[Tuple, float] = {}
-        for step in trace.steps:
-            cols = step.columns()
-            if cols.n == 0:
-                t_comm = 0.0
-            else:
-                digest = _step_digest(cols)
-                t_comm = priced.get(digest)
-                if t_comm is None:
-                    t_comm = self.comm_time(cols)
-                    priced[digest] = t_comm
-            steps.append((t_comm, _work_entries(step)))
-        return TraceSkeleton(
-            steps=steps,
-            inter_node_bytes=trace.inter_node_bytes,
-            total_copy_bytes=trace.total_copy_bytes,
-            num_nodes=self.cluster.num_nodes,
-            memory_high_water=dict(trace.memory_high_water),
-        )
+        with span("costmodel.skeleton"):
+            steps: List[Tuple[float, Tuple[WorkEntry, ...]]] = []
+            priced: Dict[Tuple, float] = {}
+            labels: List[str] = []
+            copy_bytes: List[int] = []
+            inter_bytes: List[int] = []
+            replayed: List[bool] = []
+            price_hits = 0
+            for step in trace.steps:
+                cols = step.columns()
+                hit = False
+                if cols.n == 0:
+                    t_comm = 0.0
+                else:
+                    digest = _step_digest(cols)
+                    t_comm = priced.get(digest)
+                    hit = t_comm is not None
+                    if not hit:
+                        t_comm = self.comm_time(cols)
+                        priced[digest] = t_comm
+                steps.append((t_comm, _work_entries(step)))
+                labels.append(step.label)
+                copy_bytes.append(step.total_copy_bytes)
+                inter_bytes.append(step.inter_node_bytes)
+                replayed.append(hit)
+                price_hits += hit
+            METRICS.inc("costmodel.step_price_hits", price_hits)
+            METRICS.inc(
+                "costmodel.step_price_misses", len(steps) - price_hits
+            )
+            # The per-step byte columns sum (exact integers, same
+            # order) to the trace aggregates the seed read directly.
+            return TraceSkeleton(
+                steps=steps,
+                inter_node_bytes=sum(inter_bytes),
+                total_copy_bytes=sum(copy_bytes),
+                num_nodes=self.cluster.num_nodes,
+                memory_high_water=dict(trace.memory_high_water),
+                labels=tuple(labels),
+                step_copy_bytes=tuple(copy_bytes),
+                step_inter_bytes=tuple(inter_bytes),
+                price_replayed=tuple(replayed),
+            )
 
     def price_skeleton(
         self,
         skeleton: TraceSkeleton,
         kernel_map: Optional[Dict[Optional[str], Optional[str]]] = None,
+        breakdown: bool = False,
     ) -> SimReport:
         """A :class:`SimReport` from a priced sub-trace.
 
         ``kernel_map`` relabels leaf kernels before compute pricing —
         the incremental oracle's re-pricing of a cached phase structure
         whose candidate differs only in the substituted leaf.
+
+        ``breakdown=True`` additionally attaches a
+        :class:`~repro.sim.report.PhaseBreakdown` built from the same
+        per-step quantities (identical floats, identical summation
+        order), so parity-pinned reports stay byte-identical.
         """
         total = 0.0
         comm_total = 0.0
         compute_total = 0.0
         flops = 0.0
         bytes_touched = 0.0
-        for t_comm, work in skeleton.steps:
-            t_compute = self._compute_entries(work, kernel_map)
+        phases: List[PhaseCost] = []
+        for index, (t_comm, work) in enumerate(skeleton.steps):
+            if breakdown:
+                entry_times = self._compute_entries(
+                    work, kernel_map, per_entry=True
+                )
+                t_compute = (
+                    float(entry_times.max()) if entry_times.size else 0.0
+                )
+            else:
+                t_compute = self._compute_entries(work, kernel_map)
             if self.params.overlap:
                 t_step = max(t_comm, t_compute)
             else:
                 t_step = t_comm + t_compute
-            t_step += self.params.task_overhead * max(
+            overhead = self.params.task_overhead * max(
                 (entry[4] for entry in work), default=1
             )
+            t_step += overhead
             total += t_step
             comm_total += t_comm
             compute_total += t_compute
+            step_flops = 0.0
             for entry in work:
-                flops += sum(fl for _k, fl in entry[1]) * entry[5]
+                step_flops += sum(fl for _k, fl in entry[1]) * entry[5]
                 bytes_touched += entry[2] * entry[5]
+            flops += step_flops
+            if breakdown:
+                phases.append(PhaseCost(
+                    index=index,
+                    label=(
+                        skeleton.labels[index]
+                        if skeleton.labels is not None
+                        else f"step {index}"
+                    ),
+                    comm_s=t_comm,
+                    compute_s=t_compute,
+                    overhead_s=overhead,
+                    total_s=t_step,
+                    copy_bytes=(
+                        skeleton.step_copy_bytes[index]
+                        if skeleton.step_copy_bytes is not None
+                        else 0
+                    ),
+                    inter_node_bytes=(
+                        skeleton.step_inter_bytes[index]
+                        if skeleton.step_inter_bytes is not None
+                        else 0
+                    ),
+                    flops=step_flops,
+                    class_times=tuple(
+                        (entry[0], entry[5], float(entry_times[i]))
+                        for i, entry in enumerate(work)
+                    ),
+                    price_replayed=(
+                        skeleton.price_replayed[index]
+                        if skeleton.price_replayed is not None
+                        else False
+                    ),
+                ))
         return SimReport(
             total_time=total,
             comm_time=comm_total,
@@ -198,6 +295,9 @@ class CostModel:
             num_nodes=skeleton.num_nodes,
             memory_high_water=dict(skeleton.memory_high_water),
             num_steps=len(skeleton.steps),
+            breakdown=(
+                PhaseBreakdown(phases=tuple(phases)) if breakdown else None
+            ),
         )
 
     # ------------------------------------------------------------------
@@ -211,9 +311,17 @@ class CostModel:
         self,
         entries: Tuple[WorkEntry, ...],
         kernel_map: Optional[Dict[Optional[str], Optional[str]]],
-    ) -> float:
+        per_entry: bool = False,
+    ):
+        """Compute time of a step's work entries.
+
+        Returns the bulk-synchronous step time ``float(worst.max())``,
+        or — with ``per_entry=True`` — the per-entry ``worst`` array
+        itself, whose max is that same float (the breakdown's per-class
+        attribution reuses the identical roofline evaluation).
+        """
         if not entries:
-            return 0.0
+            return np.empty(0) if per_entry else 0.0
         params = self.params
         n = len(entries)
         gemm_flops = np.empty(n)
@@ -251,6 +359,8 @@ class CostModel:
         t_bytes = bytes_touched / mem_bw
         t_staged = staged / params.pcie_bw
         worst = np.maximum(np.maximum(t_flops, t_bytes), t_staged)
+        if per_entry:
+            return worst
         return float(worst.max())
 
     # ------------------------------------------------------------------

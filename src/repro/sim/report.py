@@ -1,9 +1,80 @@
-"""Simulation reports: the units the paper's figures plot."""
+"""Simulation reports: the units the paper's figures plot.
+
+Besides the scalar :class:`SimReport`, this module defines the
+structured per-phase attribution the observability layer exports:
+:class:`PhaseCost` (one bulk-synchronous phase's priced breakdown) and
+:class:`PhaseBreakdown` (the whole timeline). Both are derived from the
+already-priced skeleton columns — requesting a breakdown never changes
+a single ``SimReport`` number, and the ``breakdown`` field is excluded
+from equality so the orbit parity suite's byte-identical pin is
+untouched.
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict
+from typing import Dict, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class PhaseCost:
+    """One priced bulk-synchronous phase of a simulated execution.
+
+    ``class_times`` attributes compute to node classes: one ``(proc_id,
+    count, seconds)`` triple per work entry, where ``proc_id`` is the
+    class representative's processor and ``count`` the orbit
+    multiplicity (1 everywhere in uncompressed traces). ``price_replayed``
+    marks phases whose communication price was reused from an earlier
+    byte-identical copy batch (the cost model's step digest) — the
+    steady-state provenance a trace viewer shades differently.
+    """
+
+    index: int
+    label: str
+    comm_s: float
+    compute_s: float
+    overhead_s: float
+    total_s: float
+    copy_bytes: int
+    inter_node_bytes: int
+    flops: float
+    class_times: Tuple[Tuple[int, int, float], ...] = ()
+    price_replayed: bool = False
+
+    @property
+    def dominant(self) -> str:
+        """Which resource bounds the phase: comm/compute/overhead."""
+        parts = (
+            (self.comm_s, "comm"),
+            (self.compute_s, "compute"),
+            (self.overhead_s, "overhead"),
+        )
+        return max(parts, key=lambda p: p[0])[1]
+
+
+@dataclass(frozen=True)
+class PhaseBreakdown:
+    """The per-phase cost timeline behind one :class:`SimReport`.
+
+    Phase totals reproduce the report's aggregates exactly (same
+    floats, same summation order); exporters
+    (:mod:`repro.obs.export`) turn this into Chrome trace-event JSON.
+    """
+
+    phases: Tuple[PhaseCost, ...]
+
+    @property
+    def total_s(self) -> float:
+        return sum(p.total_s for p in self.phases)
+
+    def dominated_by(self, resource: str) -> Tuple[PhaseCost, ...]:
+        return tuple(p for p in self.phases if p.dominant == resource)
+
+    def top(self, n: int = 5) -> Tuple[PhaseCost, ...]:
+        """The ``n`` most expensive phases, by total time."""
+        return tuple(
+            sorted(self.phases, key=lambda p: -p.total_s)[:n]
+        )
 
 
 @dataclass
@@ -28,6 +99,13 @@ class SimReport:
     # cost tuning objective: failure exposure and checkpoint overhead
     # both scale with the phase count.
     num_steps: int = 0
+    # Optional per-phase attribution (requested via
+    # ``CostModel.price_skeleton(..., breakdown=True)``). Excluded from
+    # equality and repr: two reports priced from the same skeleton are
+    # equal whether or not either carries the breakdown.
+    breakdown: Optional[PhaseBreakdown] = field(
+        default=None, compare=False, repr=False
+    )
 
     @property
     def gflops_per_node(self) -> float:

@@ -57,10 +57,22 @@ def _fmt_cost(outcome) -> str:
 def _append_perf(name: str, wall: float, metrics: dict):
     try:
         from repro.bench.perf_log import append_record
+        from repro.obs.metrics import METRICS
 
-        append_record(name, wall, metrics=metrics)
+        append_record(
+            name, wall, metrics=metrics, counters=METRICS.snapshot()
+        )
     except Exception:
         pass  # the perf log must never fail a tuning run
+
+
+def _print_metrics():
+    """The registry snapshot, printed after a run's own summary."""
+    from repro.obs.metrics import METRICS
+
+    print("== Metrics ==")
+    for name, value in METRICS.snapshot().items():
+        print(f"  {name} = {value}")
 
 
 def _run_single(args, cluster, ledger) -> int:
@@ -135,6 +147,7 @@ def _run_single(args, cluster, ledger) -> int:
             None if not heuristic.feasible else heuristic.cost
         ),
     })
+    _print_metrics()
     if illegal:
         print(
             "the winning candidate fails the legality verifier",
@@ -211,6 +224,7 @@ def _run_pipeline(args, cluster, ledger) -> int:
             else independent.combined.total_time
         ),
     })
+    _print_metrics()
     return result.errors
 
 

@@ -48,6 +48,8 @@ from repro.ir.tensor import Assignment
 from repro.machine.cluster import Cluster, MemoryKind, ProcessorKind
 from repro.machine.grid import Grid
 from repro.machine.machine import Machine
+from repro.obs.metrics import METRICS
+from repro.obs.spans import span
 from repro.sim.costmodel import CostModel
 from repro.sim.params import LASSEN, MachineParams
 from repro.tuner.space import Decision, formats_for, realize
@@ -595,15 +597,17 @@ def evaluate_one(
     executed = repriced = False
     try:
         with _deadline(timeout_s):
-            machine = Machine(cluster, Grid(*decision.grid))
-            schedule, _formats = realize(
-                assignment, machine, decision, memory=memory
-            )
-            kernel = compile_kernel(schedule, machine)
-            structure = phase_fingerprint(kernel, check_capacity, mode)
-            report, executed, repriced = oracle_simulate(
-                kernel, params, check_capacity, mode, pkey=structure
-            )
+            with span("oracle.realize"):
+                machine = Machine(cluster, Grid(*decision.grid))
+                schedule, _formats = realize(
+                    assignment, machine, decision, memory=memory
+                )
+                kernel = compile_kernel(schedule, machine)
+            with span("oracle.simulate"):
+                structure = phase_fingerprint(kernel, check_capacity, mode)
+                report, executed, repriced = oracle_simulate(
+                    kernel, params, check_capacity, mode, pkey=structure
+                )
     except _CandidateTimeout:
         return EvalOutcome(
             decision=decision,
@@ -742,6 +746,23 @@ class Oracle:
         self, assignment: Assignment, decisions: Sequence[Decision]
     ) -> List[EvalOutcome]:
         """Outcomes for ``decisions``, in input order."""
+        with span("oracle.evaluate"):
+            return self._evaluate(assignment, decisions)
+
+    def _evaluate(
+        self, assignment: Assignment, decisions: Sequence[Decision]
+    ) -> List[EvalOutcome]:
+        before = {
+            name: getattr(self, name)
+            for name in (
+                "scored", "simulated", "pruned_static", "errors",
+                "trace_executions", "repriced",
+            )
+        }
+        ledger_before = (
+            (self.ledger.hits, self.ledger.misses)
+            if self.ledger is not None else (0, 0)
+        )
         wsig = workload_signature(
             assignment,
             self.cluster,
@@ -789,6 +810,16 @@ class Oracle:
             self.simulated += len(pending)
             if self.ledger is not None:
                 self.ledger.save(stats=self.stats())
+        for name, prev in before.items():
+            METRICS.inc(f"oracle.{name}", getattr(self, name) - prev)
+        if self.ledger is not None:
+            METRICS.inc(
+                "oracle.ledger_hits", self.ledger.hits - ledger_before[0]
+            )
+            METRICS.inc(
+                "oracle.ledger_misses",
+                self.ledger.misses - ledger_before[1],
+            )
         return [outcomes[d] for d in decisions]
 
     def stats(self) -> Dict[str, int]:

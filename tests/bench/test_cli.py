@@ -60,3 +60,28 @@ class TestCli:
         assert main(["fig15a", "--nodes", "1"]) == 1
         err = capsys.readouterr().err
         assert "benchmark sweep failed" in err
+
+    def test_profile_persists_when_sweep_fails(
+        self, capsys, tmp_path, monkeypatch
+    ):
+        # The figures that finished before the crash still land in the
+        # perf log, and the summary record is marked failed.
+        import repro.bench.__main__ as cli
+
+        log = tmp_path / "BENCH_simulator.json"
+        monkeypatch.setenv("REPRO_BENCH_LOG", str(log))
+
+        def boom(*args, **kwargs):
+            raise RuntimeError("sweep exploded")
+
+        monkeypatch.setattr(cli, "fig16_higher_order", boom)
+        assert main(["all", "--nodes", "1", "--profile"]) == 1
+        out = capsys.readouterr().out
+        assert "Wall-clock profile" in out
+        records = json.loads(log.read_text())
+        by_name = {r["name"]: r for r in records}
+        assert "cli:fig15a" in by_name
+        assert "cli:fig15b" in by_name
+        summary = by_name["profile:all"]
+        assert summary["metrics"]["failed"] is True
+        assert "counters" in summary["metrics"]

@@ -95,8 +95,11 @@ class TestRunPointEnvelope:
     def test_run_point_ok_envelope(self):
         status, payload = parallel._run_point(("_good_point", {"value": 7}))
         assert status == "ok"
-        rows, _sim, _base = payload
+        rows, _sim, _base, metrics_delta, spans = payload
         assert rows == [("row", 7)]
+        # The observability deltas ride the same envelope.
+        assert set(metrics_delta) <= {"counters", "gauges"}
+        assert isinstance(spans, list)
 
     def test_run_point_strict_raises(self):
         with pytest.raises(ValueError):

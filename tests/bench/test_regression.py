@@ -4,7 +4,12 @@ import json
 
 import pytest
 
-from repro.bench.regression import compare, latest_by_name, main
+from repro.bench.regression import (
+    compare,
+    compare_counters,
+    latest_by_name,
+    main,
+)
 
 
 def write_log(path, records):
@@ -12,8 +17,11 @@ def write_log(path, records):
     return path
 
 
-def rec(name, wall_s):
-    return {"name": name, "wall_s": wall_s, "timestamp": 0}
+def rec(name, wall_s, counters=None):
+    record = {"name": name, "wall_s": wall_s, "timestamp": 0}
+    if counters is not None:
+        record["metrics"] = {"counters": counters}
+    return record
 
 
 class TestCompare:
@@ -82,3 +90,79 @@ class TestCli:
         not_a_list.write_text("{}")
         with pytest.raises(SystemExit):
             main(["--baseline", str(base), "--log", str(not_a_list)])
+
+
+class TestCounterGate:
+    def test_fallback_reappearance_fails(self):
+        base = {"s": rec("s", 1.0, {"orbit.fallback_events": 0})}
+        cur = {"s": rec("s", 1.0, {"orbit.fallback_events": 3})}
+        findings, pre_schema = compare_counters(base, cur)
+        assert [f[1] for f in findings] == ["orbit.fallback_events"]
+        assert pre_schema == []
+
+    def test_nonzero_baseline_fallbacks_do_not_arm_the_rule(self):
+        base = {"s": rec("s", 1.0, {"orbit.fallback_events": 2})}
+        cur = {"s": rec("s", 1.0, {"orbit.fallback_events": 5})}
+        findings, _ = compare_counters(base, cur)
+        assert findings == []
+
+    def test_replay_rate_collapse_fails(self):
+        base = {"s": rec("s", 1.0, {
+            "costmodel.step_price_hits": 90,
+            "costmodel.step_price_misses": 10,
+        })}
+        cur = {"s": rec("s", 1.0, {
+            "costmodel.step_price_hits": 10,
+            "costmodel.step_price_misses": 90,
+        })}
+        findings, _ = compare_counters(base, cur)
+        assert any(f[1] == "costmodel.step_price_hits" for f in findings)
+
+    def test_phase_replay_rate_collapse_fails(self):
+        base = {"s": rec("s", 1.0, {
+            "orbit.phase_replays": 80, "orbit.steps": 100,
+        })}
+        cur = {"s": rec("s", 1.0, {
+            "orbit.phase_replays": 5, "orbit.steps": 100,
+        })}
+        findings, _ = compare_counters(base, cur)
+        assert any(f[1] == "orbit.phase_replays" for f in findings)
+
+    def test_stable_rates_pass(self):
+        counters = {
+            "orbit.fallback_events": 0,
+            "orbit.phase_replays": 80, "orbit.steps": 100,
+            "costmodel.step_price_hits": 90,
+            "costmodel.step_price_misses": 10,
+        }
+        base = {"s": rec("s", 1.0, counters)}
+        cur = {"s": rec("s", 1.0, dict(counters))}
+        findings, pre_schema = compare_counters(base, cur)
+        assert findings == []
+        assert pre_schema == []
+
+    def test_pre_schema_baseline_reported_not_failed(self, tmp_path,
+                                                     capsys):
+        # Baseline written before the metrics schema: no counters at
+        # all. The gate reports it and stays green.
+        base = write_log(tmp_path / "base.json", [rec("sweep", 1.0)])
+        cur = write_log(
+            tmp_path / "cur.json",
+            [rec("sweep", 1.0, {"orbit.fallback_events": 9})],
+        )
+        assert main(["--baseline", str(base), "--log", str(cur)]) == 0
+        out = capsys.readouterr().out
+        assert "predates the metrics schema" in out
+
+    def test_counter_regression_fails_cli(self, tmp_path, capsys):
+        base = write_log(
+            tmp_path / "base.json",
+            [rec("sweep", 1.0, {"orbit.fallback_events": 0})],
+        )
+        cur = write_log(
+            tmp_path / "cur.json",
+            [rec("sweep", 1.0, {"orbit.fallback_events": 2})],
+        )
+        assert main(["--baseline", str(base), "--log", str(cur)]) == 1
+        out = capsys.readouterr().out
+        assert "EFFICIENCY REGRESSED" in out

@@ -1,0 +1,103 @@
+"""PhaseBreakdown: derived from priced columns, parity-invisible."""
+
+import pytest
+
+from repro.algorithms.matmul import cannon, summa
+from repro.bench.weak_scaling import square_grid, weak_matrix_size
+from repro.machine.cluster import Cluster
+from repro.machine.grid import Grid
+from repro.machine.machine import Machine
+from repro.sim.params import LASSEN
+from repro.sim.report import PhaseBreakdown, PhaseCost
+
+
+def small_kernel(algo=cannon, nodes=4, base_n=1024):
+    cluster = Cluster.cpu_cluster(nodes)
+    machine = Machine(cluster, Grid(*square_grid(cluster.num_processors)))
+    return algo(machine, weak_matrix_size(base_n, nodes))
+
+
+class TestParity:
+    def test_breakdown_does_not_change_report_equality(self):
+        kern = small_kernel()
+        plain = kern.simulate(LASSEN)
+        rich = kern.simulate(LASSEN, breakdown=True)
+        assert plain.breakdown is None
+        assert rich.breakdown is not None
+        # Dataclass equality (the orbit parity pin) ignores breakdown.
+        assert plain == rich
+
+    def test_breakdown_excluded_from_repr(self):
+        rich = small_kernel().simulate(LASSEN, breakdown=True)
+        assert "breakdown" not in repr(rich)
+
+    @pytest.mark.parametrize("mode", ["orbit", "batched", "scalar"])
+    def test_all_modes_accept_breakdown(self, mode):
+        kern = small_kernel()
+        report = kern.simulate(LASSEN, mode=mode, breakdown=True)
+        assert report.breakdown is not None
+        assert len(report.breakdown.phases) == report.num_steps
+
+
+class TestSums:
+    @pytest.mark.parametrize("algo", [cannon, summa])
+    def test_phase_sums_reproduce_report_exactly(self, algo):
+        report = small_kernel(algo).simulate(LASSEN, breakdown=True)
+        bd = report.breakdown
+        # Identical floats, identical summation order — not approx.
+        assert sum(p.total_s for p in bd.phases) == report.total_time
+        assert sum(p.comm_s for p in bd.phases) == report.comm_time
+        assert sum(p.compute_s for p in bd.phases) == report.compute_time
+        assert sum(p.flops for p in bd.phases) == report.total_flops
+        assert (
+            sum(p.copy_bytes for p in bd.phases) == report.total_copy_bytes
+        )
+        assert (
+            sum(p.inter_node_bytes for p in bd.phases)
+            == report.inter_node_bytes
+        )
+
+    def test_class_times_bound_phase_compute(self):
+        report = small_kernel().simulate(LASSEN, breakdown=True)
+        for phase in report.breakdown.phases:
+            if phase.class_times:
+                worst = max(t for _p, _c, t in phase.class_times)
+                assert worst == phase.compute_s
+
+    def test_labels_come_from_trace_steps(self):
+        kern = small_kernel()
+        trace = kern.trace(mode="orbit").trace
+        report = kern.simulate(LASSEN, breakdown=True)
+        assert [p.label for p in report.breakdown.phases] == [
+            s.label for s in trace.steps
+        ]
+
+
+class TestPhaseCost:
+    def phase(self, **overrides):
+        base = dict(
+            index=0, label="step", comm_s=1.0, compute_s=2.0,
+            overhead_s=0.1, total_s=2.1, copy_bytes=10,
+            inter_node_bytes=5, flops=100.0,
+        )
+        base.update(overrides)
+        return PhaseCost(**base)
+
+    def test_dominant_resource(self):
+        assert self.phase().dominant == "compute"
+        assert self.phase(comm_s=9.0).dominant == "comm"
+        assert (
+            self.phase(comm_s=0.0, compute_s=0.0, overhead_s=1.0).dominant
+            == "overhead"
+        )
+
+    def test_breakdown_queries(self):
+        phases = (
+            self.phase(index=0, total_s=3.0),
+            self.phase(index=1, comm_s=9.0, total_s=1.0),
+            self.phase(index=2, total_s=2.0),
+        )
+        bd = PhaseBreakdown(phases=phases)
+        assert bd.total_s == pytest.approx(6.0)
+        assert [p.index for p in bd.top(2)] == [0, 2]
+        assert [p.index for p in bd.dominated_by("comm")] == [1]

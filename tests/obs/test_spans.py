@@ -1,0 +1,161 @@
+"""Span tracing: gating, nesting, fork-envelope merging, profiles."""
+
+import os
+import threading
+
+import pytest
+
+from repro.obs import spans
+from repro.obs.spans import (
+    SpanRecord,
+    dropped_spans,
+    export_spans,
+    flat_profile,
+    format_profile,
+    install_spans,
+    reset_spans,
+    set_tracing,
+    span,
+    span_mark,
+    span_records,
+    tracing_enabled,
+)
+
+
+@pytest.fixture(autouse=True)
+def clean_spans():
+    set_tracing(None)
+    reset_spans()
+    yield
+    set_tracing(None)
+    reset_spans()
+
+
+class TestGating:
+    def test_disabled_by_default_without_env(self, monkeypatch):
+        monkeypatch.delenv("REPRO_TRACE", raising=False)
+        set_tracing(None)
+        assert tracing_enabled() is False
+
+    def test_env_enables(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TRACE", "1")
+        set_tracing(None)
+        assert tracing_enabled() is True
+
+    def test_disabled_span_is_shared_noop(self):
+        set_tracing(False)
+        a = span("x")
+        b = span("y")
+        assert a is b  # one shared singleton: no per-call allocation
+        with a:
+            pass
+        assert span_records() == []
+
+    def test_enabled_span_records(self):
+        set_tracing(True)
+        with span("work"):
+            pass
+        records = span_records()
+        assert len(records) == 1
+        rec = records[0]
+        assert rec.name == "work"
+        assert rec.pid == os.getpid()
+        assert rec.tid == threading.get_ident()
+        assert rec.dur_s >= 0
+        assert rec.depth == 0
+
+
+class TestNesting:
+    def test_child_attributes_self_time(self):
+        set_tracing(True)
+        with span("outer"):
+            with span("inner"):
+                pass
+        by_name = {r.name: r for r in span_records()}
+        assert by_name["inner"].depth == 1
+        assert by_name["outer"].depth == 0
+        # Outer self-time excludes the inner span's duration.
+        outer = by_name["outer"]
+        inner = by_name["inner"]
+        assert outer.self_s <= outer.dur_s
+        assert outer.self_s == pytest.approx(
+            outer.dur_s - inner.dur_s, abs=1e-9
+        )
+
+    def test_exception_still_records(self):
+        set_tracing(True)
+        with pytest.raises(ValueError):
+            with span("raises"):
+                raise ValueError("boom")
+        assert [r.name for r in span_records()] == ["raises"]
+        # The thread-local stack unwound: a new span lands at depth 0.
+        with span("after"):
+            pass
+        assert span_records()[-1].depth == 0
+
+
+class TestForkEnvelope:
+    def test_mark_and_export_ship_only_new_records(self):
+        set_tracing(True)
+        with span("before"):
+            pass
+        mark = span_mark()
+        with span("after"):
+            pass
+        shipped = export_spans(since=mark)
+        assert [r.name for r in shipped] == ["after"]
+
+    def test_install_merges(self):
+        set_tracing(True)
+        foreign = [SpanRecord(
+            name="worker.span", pid=99999, tid=1, start_s=0.0,
+            dur_s=0.5, self_s=0.5, depth=0,
+        )]
+        install_spans(foreign)
+        assert span_records()[-1].name == "worker.span"
+        assert span_records()[-1].pid == 99999
+
+    def test_install_respects_cap(self, monkeypatch):
+        monkeypatch.setattr(spans, "MAX_RECORDS", 2)
+        rec = SpanRecord(
+            name="x", pid=1, tid=1, start_s=0.0, dur_s=0.0,
+            self_s=0.0, depth=0,
+        )
+        install_spans([rec, rec, rec])
+        assert len(span_records()) == 2
+        assert dropped_spans() == 1
+
+    def test_record_cap_counts_drops(self, monkeypatch):
+        monkeypatch.setattr(spans, "MAX_RECORDS", 1)
+        set_tracing(True)
+        with span("kept"):
+            pass
+        with span("dropped"):
+            pass
+        assert [r.name for r in span_records()] == ["kept"]
+        assert dropped_spans() == 1
+
+
+class TestProfile:
+    def test_flat_profile_aggregates(self):
+        set_tracing(True)
+        for _ in range(3):
+            with span("hot"):
+                pass
+        with span("cold"):
+            pass
+        prof = flat_profile()
+        assert prof["hot"][0] == 3
+        assert prof["cold"][0] == 1
+        assert prof["hot"][1] >= prof["hot"][2]  # total >= self
+
+    def test_format_profile_empty(self):
+        assert "REPRO_TRACE" in format_profile()
+
+    def test_format_profile_table(self):
+        set_tracing(True)
+        with span("visible"):
+            pass
+        table = format_profile()
+        assert "visible" in table
+        assert "calls" in table

@@ -41,6 +41,26 @@ class TestSimReport:
         assert rep.gflops_per_node == 0.0
         assert rep.gbytes_per_node == 0.0
 
+    def test_negative_time_guard(self):
+        # total_time <= 0 must never divide: rates clamp to zero for
+        # any non-positive time, not just exactly zero.
+        rep = make_report(total_time=-1.5)
+        assert rep.gflops_per_node == 0.0
+        assert rep.gbytes_per_node == 0.0
+
+    def test_empty_memory_high_water(self):
+        rep = make_report(memory_high_water={})
+        assert rep.max_memory_bytes == 0
+
+    def test_breakdown_defaults_to_none_and_ignored_by_eq(self):
+        from repro.sim.report import PhaseBreakdown
+
+        plain = make_report()
+        assert plain.breakdown is None
+        rich = make_report()
+        rich.breakdown = PhaseBreakdown(phases=())
+        assert plain == rich
+
     def test_max_memory(self):
         rep = make_report(memory_high_water={"a": 10, "b": 25})
         assert rep.max_memory_bytes == 25
