@@ -3,6 +3,7 @@
 Usage::
 
     python -m repro.analyze matmul [--nodes 16] [--size N] [--gpu]
+        [--json]
     python -m repro.analyze --all-demos
 
 Runs the analyzer's four passes over one workload (or every demo
@@ -16,6 +17,10 @@ workload at a seconds-scale size):
 * the **trace sanitizer** over a full symbolic execution of the
   heuristic kernel.
 
+``--json`` (from the shared :mod:`repro.cli` group) replaces the
+human report with one machine-readable object: per-workload candidate
+counts, violations, pruning rates, and sanitizer findings.
+
 Exit status is non-zero when any enumerated candidate fails the
 verifier or the sanitizer reports any finding.
 """
@@ -26,6 +31,7 @@ import argparse
 import sys
 import traceback
 
+from repro import cli
 from repro.analysis import (
     analyze_kernel,
     memory_bounds,
@@ -46,8 +52,9 @@ from repro.tuner.workloads import WORKLOADS, sized, weak_scaled
 DEMO_SIZE = 1024
 
 
-def analyze_workload(name: str, cluster: Cluster, assignment) -> int:
-    """Run every pass over one workload; returns the finding count."""
+def analyze_workload(name: str, cluster: Cluster, assignment, say=print):
+    """Run every pass over one workload; returns ``(findings,
+    summary)`` where ``summary`` is the JSON-payload row."""
     p = cluster.num_processors
     memory = (
         MemoryKind.GPU_FB
@@ -55,7 +62,7 @@ def analyze_workload(name: str, cluster: Cluster, assignment) -> int:
         else MemoryKind.SYSTEM_MEM
     )
     sizes = {t.name: t.shape for t in assignment.tensors()}
-    print(f"analyzing {name} {sizes} on {cluster!r}")
+    say(f"analyzing {name} {sizes} on {cluster!r}")
 
     space = enumerate_space(assignment, p)
     illegal = 0
@@ -63,8 +70,8 @@ def analyze_workload(name: str, cluster: Cluster, assignment) -> int:
         diags = verify_legality(assignment, decision, num_procs=p)
         for diag in diags:
             illegal += 1
-            print(f"  ILLEGAL {decision.encode()}: {diag}")
-    print(f"  legality: {len(space)} candidates, {illegal} violations")
+            say(f"  ILLEGAL {decision.encode()}: {diag}")
+    say(f"  legality: {len(space)} candidates, {illegal} violations")
 
     pruned = sum(
         1
@@ -74,15 +81,15 @@ def analyze_workload(name: str, cluster: Cluster, assignment) -> int:
         )
         is not None
     )
-    print(
+    say(
         f"  static pruning: {pruned}/{len(space)} candidates decided "
         "without simulation"
     )
 
     decision = from_heuristic(assignment, default_seed_grid(assignment, p))
     bound = memory_bounds(assignment, decision, cluster, memory)
-    print(f"  heuristic {decision.encode()}")
-    print(f"    memory:  {bound.describe()}")
+    say(f"  heuristic {decision.encode()}")
+    say(f"    memory:  {bound.describe()}")
 
     machine = Machine(cluster, Grid(*decision.grid))
     schedule, _formats = realize(
@@ -91,8 +98,17 @@ def analyze_workload(name: str, cluster: Cluster, assignment) -> int:
     kernel = compile_kernel(schedule, machine)
     report = analyze_kernel(kernel)
     for line in report.describe().splitlines():
-        print(f"    {line}")
-    return illegal + len(report.findings)
+        say(f"    {line}")
+    summary = {
+        "workload": name,
+        "sizes": {tensor: list(shape) for tensor, shape in sizes.items()},
+        "candidates": len(space),
+        "violations": illegal,
+        "pruned": pruned,
+        "heuristic_decision": decision.encode(),
+        "sanitizer_findings": len(report.findings),
+    }
+    return illegal + len(report.findings), summary
 
 
 def main(argv=None) -> int:
@@ -108,54 +124,50 @@ def main(argv=None) -> int:
         action="store_true",
         help="every workload at a seconds-scale demo size (the CI job)",
     )
-    parser.add_argument(
-        "--nodes", type=int, default=4, help="cluster node count"
-    )
-    parser.add_argument(
-        "--size",
-        type=int,
-        default=None,
-        help="problem side (default: the paper's weak-scaled size)",
-    )
-    parser.add_argument(
-        "--gpu", action="store_true", help="Lassen GPU nodes (4 V100s)"
-    )
+    cli.add_cluster_args(parser, nodes_default=4)
+    cli.add_common_args(parser, ledger=False, jobs=False, seed=False)
     args = parser.parse_args(argv)
     if not args.all_demos and args.workload is None:
         parser.error("name a workload or pass --all-demos")
 
-    cluster = (
-        Cluster.gpu_cluster(args.nodes)
-        if args.gpu
-        else Cluster.cpu_cluster(args.nodes)
-    )
+    say = (lambda *a, **k: None) if args.json else print
+    cluster = cli.build_cluster(args)
+    workloads = []
     try:
         if args.all_demos:
             findings = 0
             for name in sorted(WORKLOADS):
-                findings += analyze_workload(
-                    name, cluster, sized(name, args.size or DEMO_SIZE)
+                found, summary = analyze_workload(
+                    name,
+                    cluster,
+                    sized(name, args.size or DEMO_SIZE),
+                    say=say,
                 )
+                findings += found
+                workloads.append(summary)
         else:
             assignment = (
                 sized(args.workload, args.size)
                 if args.size is not None
                 else weak_scaled(args.workload, args.nodes)
             )
-            findings = analyze_workload(args.workload, cluster, assignment)
+            findings, summary = analyze_workload(
+                args.workload, cluster, assignment, say=say
+            )
+            workloads.append(summary)
     except Exception:
         traceback.print_exc()
         print("analysis run failed", file=sys.stderr)
         return 1
-    from repro.obs.metrics import METRICS
-
-    print("== Metrics ==")
-    for name, value in METRICS.snapshot().items():
-        print(f"  {name} = {value}")
+    if not cli.emit(args, {
+        "findings": findings,
+        "workloads": workloads,
+    }):
+        cli.print_metrics()
     if findings:
         print(f"{findings} finding(s)", file=sys.stderr)
         return 1
-    print("all passes clean")
+    say("all passes clean")
     return 0
 
 

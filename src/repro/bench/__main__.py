@@ -12,9 +12,11 @@ Usage::
     python -m repro.bench all [--profile]
     python -m repro.bench --list
 
-Prints the corresponding paper table. ``--jobs N`` distributes sweep
-points over worker processes; ``--profile`` prints per-figure
-wall-clock and appends it (with headline simulated metrics) to the
+Prints the corresponding paper table. ``--jobs N`` (from the shared
+:mod:`repro.cli` group) distributes sweep points over worker
+processes; ``--json`` emits the tables as one machine-readable object
+instead of formatted text; ``--profile`` prints per-figure wall-clock
+and appends it (with headline simulated metrics) to the
 ``BENCH_simulator.json`` perf trajectory at the repo root. ``--list``
 prints the available sweep names one per line (CI workflows iterate it
 instead of hard-coding names). A sweep that raises produces a non-zero
@@ -28,6 +30,7 @@ import sys
 import time
 import traceback
 
+from repro import cli
 from repro.bench.figures import (
     DEFAULT_NODE_COUNTS,
     fig15a_cpu_matmul,
@@ -79,12 +82,7 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--gpu", action="store_true", help="GPU variant of Figure 16 kernels"
     )
-    parser.add_argument(
-        "--jobs",
-        type=int,
-        default=1,
-        help="worker processes for sweep points (default: 1, sequential)",
-    )
+    cli.add_common_args(parser, ledger=False, seed=False)
     parser.add_argument(
         "--profile",
         action="store_true",
@@ -101,6 +99,12 @@ def main(argv=None) -> int:
         parser.error("a sweep name (or --list) is required")
     nodes = args.nodes or DEFAULT_NODE_COUNTS
     profile: list = []
+    tables: list = []
+
+    def show(label, rows, title):
+        tables.append({"sweep": label, "title": title, "rows": rows})
+        if not args.json:
+            print(format_table(rows, title))
 
     def timed(label, thunk):
         start = time.monotonic()
@@ -111,26 +115,29 @@ def main(argv=None) -> int:
 
     try:
         if args.figure in ("fig15a", "all"):
-            print(format_table(
+            show(
+                "fig15a",
                 timed("fig15a", lambda: fig15a_cpu_matmul(
                     node_counts=nodes, jobs=args.jobs)),
                 "Figure 15a: CPU matmul weak scaling",
-            ))
+            )
         if args.figure in ("fig15b", "all"):
-            print(format_table(
+            show(
+                "fig15b",
                 timed("fig15b", lambda: fig15b_gpu_matmul(
                     node_counts=nodes, jobs=args.jobs)),
                 "Figure 15b: GPU matmul weak scaling",
-            ))
+            )
         for kernel in HIGHER_ORDER:
             if args.figure in (kernel, "all"):
                 rows = timed(kernel, lambda k=kernel: fig16_higher_order(
                     k, gpu=args.gpu, node_counts=nodes, jobs=args.jobs
                 ))
                 label = "GPU" if args.gpu else "CPU"
-                print(format_table(
-                    rows, f"Figure 16: {kernel} weak scaling ({label})"
-                ))
+                show(
+                    kernel, rows,
+                    f"Figure 16: {kernel} weak scaling ({label})",
+                )
         # `all` includes the 512-node sweep; the larger axes run only
         # when asked for by name.
         sweep = None
@@ -170,24 +177,34 @@ def main(argv=None) -> int:
 
             rows = timed(name, run_sweep)
             suffix = "; cannon-only beyond 4096" if top else ""
-            print(format_table(
-                rows,
+            show(
+                name, rows,
                 f"Weak scaling to {counts[-1]} nodes ({label}{suffix})",
-            ))
+            )
+        ratios = None
         if args.figure in ("headline", "all"):
             ratios = timed(
                 "headline",
                 lambda: headline_speedups(node_counts=[nodes[-1]]),
             )
-            print(f"== Headline speedups at {nodes[-1]} nodes ==")
-            for key, value in ratios.items():
-                print(f"  {key:<28s} {value:6.2f}x")
+            if not args.json:
+                print(f"== Headline speedups at {nodes[-1]} nodes ==")
+                for key, value in ratios.items():
+                    print(f"  {key:<28s} {value:6.2f}x")
     except Exception:
         traceback.print_exc()
         print("benchmark sweep failed", file=sys.stderr)
         status = 1
     else:
         status = 0
+        cli.emit(args, {
+            "figure": args.figure,
+            "tables": tables,
+            "headline": ratios,
+            "profile": {
+                label: round(wall, 4) for label, wall in profile
+            },
+        })
 
     # The profile flushes even when the sweep failed: the figures that
     # *did* finish carry the wall-clock evidence of where the run died,
@@ -196,9 +213,11 @@ def main(argv=None) -> int:
         from repro.bench.perf_log import append_record
         from repro.obs.metrics import METRICS
 
-        print("== Wall-clock profile ==")
+        if not args.json:
+            print("== Wall-clock profile ==")
         for label, wall in profile:
-            print(f"  {label:<10s} {wall:8.2f}s")
+            if not args.json:
+                print(f"  {label:<10s} {wall:8.2f}s")
             append_record(f"cli:{label}", wall)
         if profile:
             append_record(

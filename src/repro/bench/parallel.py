@@ -24,6 +24,7 @@ from __future__ import annotations
 
 import multiprocessing
 import os
+import threading
 import traceback
 from typing import Callable, Dict, List, Sequence
 
@@ -39,6 +40,13 @@ from repro.obs.spans import export_spans, install_spans, span_mark
 #: Resolved lazily per worker; maps registered sweep names to callables.
 _SWEEPS: Dict[str, Callable] = {}
 
+#: Serializes the parent-side cache/metrics merge (and the sequential
+#: fallback, which mutates the globals directly). The serving daemon
+#: dispatches sweeps from an executor thread while its event loop keeps
+#: answering hits on the main thread; without this, two concurrent
+#: ``run_points`` calls could interleave their installs.
+_DISPATCH_LOCK = threading.Lock()
+
 
 def register_sweep(name: str, fn: Callable):
     """Make a sweep callable addressable by name (picklable dispatch)."""
@@ -53,7 +61,9 @@ def _resolve(name: str) -> Callable:
     from repro.bench import figures, weak_scaling
     from repro.tuner import oracle as tuner_oracle
 
-    for module in (figures, weak_scaling, tuner_oracle):
+    from repro.serve import worker as serve_worker
+
+    for module in (figures, weak_scaling, tuner_oracle, serve_worker):
         fn = getattr(module, name, None)
         if fn is not None:
             return fn
@@ -95,6 +105,7 @@ def run_points(
     per_point_kwargs: Sequence[dict],
     jobs: int,
     costs: Sequence[float] = None,
+    always_fork: bool = False,
 ) -> List:
     """Run one sweep function over many kwargs sets, possibly in parallel.
 
@@ -106,17 +117,27 @@ def run_points(
     points start first, one task per worker pull (no chunk batching), so
     a sweep's largest configurations never serialize behind each other
     in one worker while the others sit idle. Row order is unaffected.
+
+    ``always_fork`` forks even for a single point or ``jobs=1``: the
+    serving daemon uses it so a lone cold tune still runs in a child
+    process, keeping the parent's event loop (the microsecond hit path)
+    free of GIL-heavy simulation work. Platforms without ``fork`` fall
+    back to the sequential path regardless.
     """
     tasks = [(name, kwargs) for kwargs in per_point_kwargs]
     # More workers than cores just adds fork and scheduling overhead —
     # single-core runners (CI containers) degrade to a clean sequential
     # pass instead of time-slicing forks.
-    jobs = min(jobs, len(tasks), os.cpu_count() or 1)
-    if jobs <= 1 or len(tasks) <= 1 or not _fork_available():
-        rows: List = []
-        for task in tasks:
-            rows.extend(_resolve(name)(**task[1]))
-        return rows
+    jobs = max(1, min(jobs, len(tasks), os.cpu_count() or 1))
+    sequential = jobs <= 1 or len(tasks) <= 1
+    if always_fork and tasks:
+        sequential = False
+    if sequential or not _fork_available():
+        with _DISPATCH_LOCK:
+            rows: List = []
+            for task in tasks:
+                rows.extend(_resolve(name)(**task[1]))
+            return rows
     order = list(range(len(tasks)))
     if costs is not None:
         order.sort(key=lambda i: -costs[i])
@@ -129,22 +150,24 @@ def run_points(
     for slot, result in zip(order, dispatched):
         results[slot] = result
     rows = []
-    for slot, outcome in enumerate(results):
-        status, result = outcome
-        if status == "err":
-            # Retry the failed point once, sequentially in this
-            # process: transient worker trouble (a fork inheriting a
-            # torn cache, resource exhaustion under full fan-out) often
-            # clears on resubmission. A second failure surfaces the
-            # *original worker* traceback — the retry may fail
-            # differently, but the first crash is what to debug.
-            status, result = _retry_point(tasks[slot], result)
-        point_rows, sim_delta, base_delta, metrics_delta, spans = result
-        SIM_CACHE.install(sim_delta)
-        install_baselines(base_delta)
-        METRICS.install(metrics_delta)
-        install_spans(spans)
-        rows.extend(point_rows)
+    with _DISPATCH_LOCK:
+        for slot, outcome in enumerate(results):
+            status, result = outcome
+            if status == "err":
+                # Retry the failed point once, sequentially in this
+                # process: transient worker trouble (a fork inheriting a
+                # torn cache, resource exhaustion under full fan-out)
+                # often clears on resubmission. A second failure
+                # surfaces the *original worker* traceback — the retry
+                # may fail differently, but the first crash is what to
+                # debug.
+                status, result = _retry_point(tasks[slot], result)
+            point_rows, sim_delta, base_delta, metrics_delta, spans = result
+            SIM_CACHE.install(sim_delta)
+            install_baselines(base_delta)
+            METRICS.install(metrics_delta)
+            install_spans(spans)
+            rows.extend(point_rows)
     return rows
 
 

@@ -164,6 +164,12 @@ def write_atomic(path: Path, text: str) -> bool:
     try:
         with os.fdopen(fd, "w") as handle:
             handle.write(text)
+            handle.flush()
+            # fsync before the rename: without it, a crash (or power
+            # loss) between write and replace can publish an *empty*
+            # temp file under the final name — a stale-but-valid log
+            # that silently drops every record written so far.
+            os.fsync(handle.fileno())
         os.replace(tmp, path)
     except OSError:
         try:

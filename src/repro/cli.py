@@ -1,0 +1,184 @@
+"""Shared command-line plumbing for every ``python -m repro.*`` tool.
+
+Before this module each CLI (``repro.tune``, ``repro.bench``,
+``repro.faults``, ``repro.analyze``, ``repro.obs``) declared its own
+copies of the same flags and printed the metrics registry with its own
+loop. The shared pieces now live here:
+
+* :func:`add_common_args` — the ``--ledger/--jobs/--seed/--json``
+  group (each flag opt-in per CLI, defaults preserved);
+* :func:`add_cluster_args` / :func:`build_cluster` — the
+  ``--nodes/--size/--gpu`` workload-cluster group;
+* :func:`make_ledger` — the one ``--ledger`` path rule: a directory
+  (or a new path without a ``.json`` suffix) opens the *sharded*
+  ledger the serving daemon uses, a ``.json`` file the classic
+  single-file ledger;
+* :func:`print_metrics` / :func:`emit` — human metrics printing and
+  the ``--json`` machine-readable alternative. Every CLI supports
+  ``--json``; the payload always carries the metrics snapshot under
+  ``"metrics"``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Dict
+
+
+def add_common_args(
+    parser: argparse.ArgumentParser,
+    *,
+    ledger: bool = True,
+    jobs: bool = True,
+    seed: bool = True,
+    timeout: bool = False,
+    json_out: bool = True,
+    jobs_default: int = 1,
+    seed_default: int = 0,
+) -> argparse.ArgumentParser:
+    """Attach the shared ``--ledger/--jobs/--seed/--json`` group."""
+    if ledger:
+        parser.add_argument(
+            "--ledger",
+            default=None,
+            help="tuning-ledger path: a directory (or extensionless "
+            "new path) is sharded, a .json file is single-file; "
+            "re-tunes are incremental either way",
+        )
+    if jobs:
+        parser.add_argument(
+            "--jobs",
+            type=int,
+            default=jobs_default,
+            help="parallel fork-pool workers",
+        )
+    if seed:
+        parser.add_argument(
+            "--seed",
+            type=int,
+            default=seed_default,
+            help="deterministic search seed",
+        )
+    if timeout:
+        parser.add_argument(
+            "--timeout",
+            type=float,
+            default=None,
+            help="per-candidate wall-clock budget in seconds; a "
+            "candidate that exceeds it becomes an oracle error "
+            "instead of hanging the run",
+        )
+    if json_out:
+        parser.add_argument(
+            "--json",
+            action="store_true",
+            help="emit one machine-readable JSON summary on stdout "
+            "instead of the human report",
+        )
+    return parser
+
+
+def add_cluster_args(
+    parser: argparse.ArgumentParser,
+    *,
+    nodes_default: int = 16,
+    system_mem: bool = False,
+) -> argparse.ArgumentParser:
+    """Attach the shared ``--nodes/--size/--gpu`` cluster group."""
+    parser.add_argument(
+        "--nodes",
+        type=int,
+        default=nodes_default,
+        help="cluster node count",
+    )
+    parser.add_argument(
+        "--size",
+        type=int,
+        default=None,
+        help="problem side (default: the paper's weak-scaled size)",
+    )
+    parser.add_argument(
+        "--gpu", action="store_true", help="Lassen GPU nodes (4 V100s)"
+    )
+    if system_mem:
+        parser.add_argument(
+            "--system-mem-gib",
+            type=int,
+            default=None,
+            help="override CPU node memory (smaller values force the "
+            "tuner off replication-heavy schedules)",
+        )
+    return parser
+
+
+def build_cluster(args):
+    """The cluster the shared ``--nodes/--gpu`` flags describe."""
+    from repro.machine.cluster import Cluster
+
+    if getattr(args, "gpu", False):
+        return Cluster.gpu_cluster(args.nodes)
+    system_mem = getattr(args, "system_mem_gib", None)
+    if system_mem is not None:
+        return Cluster.cpu_cluster(args.nodes, system_mem_gib=system_mem)
+    return Cluster.cpu_cluster(args.nodes)
+
+
+def make_ledger(args):
+    """Open the ledger named by ``--ledger`` (None when unset)."""
+    from repro.serve.shard import open_ledger
+
+    return open_ledger(getattr(args, "ledger", None))
+
+
+def metrics_snapshot() -> Dict:
+    from repro.obs.metrics import METRICS
+
+    return METRICS.snapshot()
+
+
+def print_metrics(stream=None):
+    """The registry snapshot, printed after a run's own summary."""
+    stream = stream or sys.stdout
+    print("== Metrics ==", file=stream)
+    for name, value in metrics_snapshot().items():
+        print(f"  {name} = {value}", file=stream)
+
+
+def emit(args, payload: Dict) -> bool:
+    """Under ``--json``, print ``payload`` (plus the metrics snapshot)
+    as one JSON object and return True; otherwise return False so the
+    caller prints its human report (typically ending with
+    :func:`print_metrics`)."""
+    if not getattr(args, "json", False):
+        return False
+    body = dict(payload)
+    body.setdefault("metrics", metrics_snapshot())
+    print(json.dumps(body, sort_keys=True, indent=1))
+    return True
+
+
+def ledger_failed(ledger, stream=None) -> bool:
+    """Shared exit-path check: report unwritable ledgers loudly."""
+    stream = stream or sys.stderr
+    if ledger is not None and ledger.save_failures:
+        print(
+            f"tuning ledger could not be written to {ledger.path}",
+            file=stream,
+        )
+        return True
+    return False
+
+
+def workload_sizes(assignment) -> Dict[str, tuple]:
+    """Tensor name -> shape, for run banners and JSON payloads."""
+    return {t.name: t.shape for t in assignment.tensors()}
+
+
+def json_default(value):
+    """Fallback serializer for payloads carrying numpy scalars."""
+    try:
+        return value.item()
+    except AttributeError:
+        return str(value)

@@ -226,8 +226,17 @@ class Kernel:
         compiled kernel, and its :class:`~repro.sim.report.SimReport`.
         The heuristic seeds the search and is never eliminated, so the
         tuned schedule is never worse than :meth:`autoschedule`'s.
+
+        This method is a shim over the unified scheduling API: it
+        builds the canonical :class:`repro.api.ScheduleRequest` and
+        answers it with :func:`repro.api.tune_request` — the same
+        engine the serving daemon (:mod:`repro.serve`) dispatches to,
+        so an in-process tune and a daemon answer for the same request
+        agree byte-for-byte. The returned result additionally carries
+        the canonical :class:`repro.api.ScheduleAnswer` in its
+        ``answer`` field.
         """
-        from repro.tuner.search import tune as tuner_tune
+        from repro import api
 
         if isinstance(machine, Machine):
             if len(machine.levels) > 1:
@@ -239,7 +248,29 @@ class Kernel:
             cluster = machine.cluster
         else:
             cluster = machine
-        return tuner_tune(assignment, cluster, params, **options)
+        try:
+            request = api.ScheduleRequest.from_assignment(
+                assignment,
+                cluster,
+                params=params,
+                seed=options.get("seed", 0),
+                objective=options.get("objective", "total"),
+                failure_rate=options.get("failure_rate", 0.0),
+            )
+        except Exception:
+            # Assignments outside the canonical wire grammar (exotic
+            # expression nodes) still tune — they just don't get a
+            # serving-layer answer attached.
+            from repro.tuner.search import tune as tuner_tune
+
+            return tuner_tune(assignment, cluster, params, **options)
+        return api.tune_request(
+            request,
+            assignment=assignment,
+            cluster=cluster,
+            params=params,
+            **options,
+        )
 
 
 def compile_kernel(schedule: Schedule, machine: Machine) -> Kernel:

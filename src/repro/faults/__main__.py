@@ -4,7 +4,7 @@ Usage::
 
     python -m repro.faults --demo
     python -m repro.faults --workload matmul --nodes 8 [--size N]
-        [--phase P] [--node K] [--fault-seed S] [--checkpoint]
+        [--phase P] [--node K] [--fault-seed S] [--checkpoint] [--json]
     python -m repro.faults --pipeline chain-matmul --nodes 8
         [--fault-seed S]
 
@@ -31,6 +31,7 @@ import argparse
 import sys
 import traceback
 
+from repro import cli
 from repro.faults.events import FaultPlan, KillNode
 from repro.faults.replan import replan_kernel, replan_pipeline
 from repro.machine.cluster import Cluster
@@ -58,6 +59,9 @@ def _seed_decision(assignment, cluster, max_dims: int) -> Decision:
 
 
 def _run_kernel(args, cluster) -> int:
+    import json
+
+    say = (lambda *a, **k: None) if args.json else print
     if args.size is not None:
         assignment = sized(args.workload, args.size)
     else:
@@ -80,7 +84,7 @@ def _run_kernel(args, cluster) -> int:
         decision = replace(
             decision, checkpoint=(assignment.lhs.tensor.name,)
         )
-    print(
+    say(
         f"injecting {plan.encode()} into {args.workload} on {cluster!r}"
     )
     report = replan_kernel(
@@ -96,7 +100,12 @@ def _run_kernel(args, cluster) -> int:
         timeout_s=args.timeout,
         workload=args.workload,
     )
-    print(report.describe())
+    say(report.describe())
+    cli.emit(args, {
+        "workload": args.workload,
+        "fault_plan": plan.encode(),
+        "report": json.loads(report.to_json()),
+    })
     return _check_kernel_report(report)
 
 
@@ -110,8 +119,11 @@ def _check_kernel_report(report) -> int:
 
 
 def _run_pipeline(args, cluster) -> int:
+    import json
+
     from repro.pipeline import Pipeline
 
+    say = (lambda *a, **k: None) if args.json else print
     if args.size is not None:
         stages = pipeline_stages(args.pipeline, args.size)
     else:
@@ -131,7 +143,7 @@ def _run_pipeline(args, cluster) -> int:
         stages=(names[0],),
         resize_choices=(max(1, cluster.num_nodes - 1),),
     )
-    print(
+    say(
         f"injecting {plan.encode()} into pipeline {args.pipeline} "
         f"on {cluster!r}"
     )
@@ -147,7 +159,12 @@ def _run_pipeline(args, cluster) -> int:
         timeout_s=args.timeout,
         workload=args.pipeline,
     )
-    print(report.describe())
+    say(report.describe())
+    cli.emit(args, {
+        "pipeline": args.pipeline,
+        "fault_plan": plan.encode(),
+        "report": json.loads(report.to_json()),
+    })
     import math
 
     if not math.isfinite(report.total_time):
@@ -158,11 +175,14 @@ def _run_pipeline(args, cluster) -> int:
 
 def _run_demo(args) -> int:
     """The CI fault-smoke scenario: replanned, and bit-reproducible."""
+    import json
+
+    say = (lambda *a, **k: None) if args.json else print
     cluster = Cluster.cpu_cluster(4)
     assignment = sized("matmul", 2048)
     decision = _seed_decision(assignment, cluster, args.max_dims)
     plan = FaultPlan(events=(KillNode(phase=1, node=2),), seed=11)
-    print(f"demo: injecting {plan.encode()} into matmul on {cluster!r}")
+    say(f"demo: injecting {plan.encode()} into matmul on {cluster!r}")
 
     reports = [
         replan_kernel(
@@ -178,7 +198,7 @@ def _run_demo(args) -> int:
         )
         for _ in range(2)
     ]
-    print(reports[0].describe())
+    say(reports[0].describe())
 
     status = 0
     if not reports[0].failed:
@@ -198,7 +218,13 @@ def _run_demo(args) -> int:
         )
         status = 1
     if status == 0:
-        print("demo recovery OK: replanned and bit-reproducible")
+        say("demo recovery OK: replanned and bit-reproducible")
+    cli.emit(args, {
+        "demo": True,
+        "fault_plan": plan.encode(),
+        "status": status,
+        "report": json.loads(reports[0].to_json()),
+    })
     return status
 
 
@@ -217,16 +243,7 @@ def main(argv=None) -> int:
         help="replan a multi-kernel pipeline under a sampled fault "
         "plan (kills plus inter-stage regrids)",
     )
-    parser.add_argument("--nodes", type=int, default=8)
-    parser.add_argument(
-        "--size",
-        type=int,
-        default=None,
-        help="problem side (default: the paper's weak-scaled size)",
-    )
-    parser.add_argument(
-        "--gpu", action="store_true", help="Lassen GPU nodes (4 V100s)"
-    )
+    cli.add_cluster_args(parser, nodes_default=8)
     parser.add_argument(
         "--phase", type=int, default=None, help="kill at this phase"
     )
@@ -249,10 +266,8 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--strategy", choices=["auto", "exhaustive", "beam"], default="auto"
     )
-    parser.add_argument("--jobs", type=int, default=1)
-    parser.add_argument("--seed", type=int, default=0)
     parser.add_argument("--max-dims", type=int, default=3)
-    parser.add_argument("--timeout", type=float, default=None)
+    cli.add_common_args(parser, ledger=False, timeout=True)
     parser.add_argument(
         "--demo",
         action="store_true",
@@ -266,10 +281,7 @@ def main(argv=None) -> int:
         if args.demo:
             status = _run_demo(args)
         else:
-            if args.gpu:
-                cluster = Cluster.gpu_cluster(args.nodes)
-            else:
-                cluster = Cluster.cpu_cluster(args.nodes)
+            cluster = cli.build_cluster(args)
             if args.pipeline is not None:
                 status = _run_pipeline(args, cluster)
             else:
@@ -278,11 +290,8 @@ def main(argv=None) -> int:
         traceback.print_exc()
         print("fault replanning failed", file=sys.stderr)
         return 1
-    from repro.obs.metrics import METRICS
-
-    print("== Metrics ==")
-    for name, value in METRICS.snapshot().items():
-        print(f"  {name} = {value}")
+    if not args.json:
+        cli.print_metrics()
     return status
 
 

@@ -14,6 +14,10 @@ Subcommands:
 * ``--demo`` (also ``demo``) — the CI smoke path: export a 64-node
   weak-scaled Cannon trace with span tracing on, validate it against
   the minimal trace-event schema, and fail non-zero on any defect.
+
+Every subcommand takes ``--json`` (the shared :mod:`repro.cli` flag)
+to emit one machine-readable summary object instead of the human
+report.
 """
 
 from __future__ import annotations
@@ -24,6 +28,7 @@ import sys
 import time
 from typing import Dict, List, Optional
 
+from repro import cli
 from repro.obs.export import (
     breakdown_to_chrome,
     merge_traces,
@@ -59,6 +64,8 @@ def _counters(record: Dict) -> Optional[Dict]:
 
 def cmd_list(args) -> int:
     records = _records()
+    if cli.emit(args, {"records": records[-args.limit:]}):
+        return 0
     if not records:
         print("perf log is empty (no BENCH_simulator.json records)")
         return 0
@@ -90,6 +97,8 @@ def cmd_diff(args) -> int:
                   f"(have {len(mine)})")
             return 1
         a, b = mine[-2], mine[-1]
+    if cli.emit(args, {"a": a, "b": b}):
+        return 0
     print(f"A: {a['name']}  wall {a.get('wall_s')}s")
     print(f"B: {b['name']}  wall {b.get('wall_s')}s")
     ca, cb = _counters(a) or {}, _counters(b) or {}
@@ -131,7 +140,8 @@ def _build_kernel(workload: str, nodes: int, size: Optional[int],
     return builder(machine, n, memory=memory), n
 
 
-def cmd_export(args) -> int:
+def _export(args, say):
+    """Shared export pass; returns ``(exit_code, payload)``."""
     from repro.sim.params import LASSEN
 
     if args.spans:
@@ -147,35 +157,67 @@ def cmd_export(args) -> int:
     defect = validate_chrome_trace(trace)
     if defect is not None:
         print(f"exported trace is invalid: {defect}", file=sys.stderr)
-        return 1
+        return 1, {}
     out = args.out or f"trace_{args.workload}_{args.nodes}.json"
     write_trace(trace, out)
-    print(f"{title}: {report}")
-    print(f"  {len(report.breakdown.phases)} phases, "
-          f"{len(trace['traceEvents'])} trace events -> {out}")
-    print(f"  (open in Perfetto / chrome://tracing; built in {wall:.2f}s)")
+    say(f"{title}: {report}")
+    say(f"  {len(report.breakdown.phases)} phases, "
+        f"{len(trace['traceEvents'])} trace events -> {out}")
+    say(f"  (open in Perfetto / chrome://tracing; built in {wall:.2f}s)")
     top = report.breakdown.top(3)
     for phase in top:
-        print(f"  top: {phase.label:<24s} {phase.total_s:.4f}s "
-              f"dominant={phase.dominant}")
+        say(f"  top: {phase.label:<24s} {phase.total_s:.4f}s "
+            f"dominant={phase.dominant}")
     if args.spans:
-        print("== Wall-clock profile ==")
-        print(format_profile())
-    print("== Metrics ==")
-    for name, value in METRICS.snapshot().items():
-        print(f"  {name} = {value}")
+        say("== Wall-clock profile ==")
+        say(format_profile())
+    payload = {
+        "workload": args.workload,
+        "nodes": args.nodes,
+        "size": n,
+        "out": out,
+        "build_wall_s": round(wall, 4),
+        "phases": len(report.breakdown.phases),
+        "trace_events": len(trace["traceEvents"]),
+        "top": [
+            {
+                "label": phase.label,
+                "total_s": phase.total_s,
+                "dominant": phase.dominant,
+            }
+            for phase in top
+        ],
+    }
+    return 0, payload
+
+
+def cmd_export(args) -> int:
+    say = (lambda *a, **k: None) if args.json else print
+    code, payload = _export(args, say)
+    if code != 0:
+        return code
+    if not cli.emit(args, payload):
+        print("== Metrics ==")
+        for name, value in METRICS.snapshot().items():
+            print(f"  {name} = {value}")
     return 0
 
 
 def cmd_demo(args) -> int:
     """The CI smoke path: export, validate, verify round-trip."""
+    say = (lambda *a, **k: None) if args.json else print
     ns = argparse.Namespace(
         workload="cannon", nodes=64, size=None, gpu=False,
         out=args.out or "obs_demo_trace.json", spans=True,
+        json=args.json,
     )
-    code = cmd_export(ns)
+    code, payload = _export(ns, say)
     if code != 0:
         return code
+    if not args.json:
+        print("== Metrics ==")
+        for name, value in METRICS.snapshot().items():
+            print(f"  {name} = {value}")
     # Re-read what was written: the artifact CI uploads must itself
     # parse and validate, not just the in-memory object.
     try:
@@ -193,8 +235,12 @@ def cmd_demo(args) -> int:
     if not spans:
         print("demo trace has no span lanes", file=sys.stderr)
         return 1
-    print(f"demo trace OK: {len(slices)} slices "
-          f"({len(spans)} wall-clock spans) in {ns.out}")
+    say(f"demo trace OK: {len(slices)} slices "
+        f"({len(spans)} wall-clock spans) in {ns.out}")
+    cli.emit(args, {
+        **payload,
+        "demo": {"slices": len(slices), "spans": len(spans)},
+    })
     return 0
 
 
@@ -208,14 +254,17 @@ def main(argv=None) -> int:
         help="run the CI smoke path (export + validate a Cannon trace)",
     )
     parser.add_argument("--out", default=None, help="demo output path")
+    cli.add_common_args(parser, ledger=False, jobs=False, seed=False)
     sub = parser.add_subparsers(dest="command")
 
     p_list = sub.add_parser("list", help="recent perf-log records")
     p_list.add_argument("--limit", type=int, default=20)
+    cli.add_common_args(p_list, ledger=False, jobs=False, seed=False)
 
     p_diff = sub.add_parser("diff", help="diff two runs' metrics")
     p_diff.add_argument("name")
     p_diff.add_argument("name2", nargs="?", default=None)
+    cli.add_common_args(p_diff, ledger=False, jobs=False, seed=False)
 
     p_exp = sub.add_parser("export", help="export a simulated-time trace")
     p_exp.add_argument("--workload", choices=WORKLOADS, default="cannon")
@@ -226,9 +275,11 @@ def main(argv=None) -> int:
     p_exp.add_argument("--out", default=None)
     p_exp.add_argument("--spans", action="store_true",
                        help="enable tracing and merge span lanes in")
+    cli.add_common_args(p_exp, ledger=False, jobs=False, seed=False)
 
     p_demo = sub.add_parser("demo", help="alias for --demo")
     p_demo.add_argument("--out", default=None)
+    cli.add_common_args(p_demo, ledger=False, jobs=False, seed=False)
 
     args = parser.parse_args(argv)
     if args.demo or args.command == "demo":

@@ -31,13 +31,38 @@ Counter values must be derived from *what was computed*, never from
 wall-clock or cache state that varies between equal runs where
 determinism matters: the tuner's ledger embeds oracle stats, and
 equal-seed tuning runs are pinned byte-identical with metrics enabled.
+
+The schedule-serving daemon (:mod:`repro.serve`) reports its traffic
+under the ``serve.*`` names declared in :data:`SERVE_COUNTERS` —
+query-path counters (hits answered from the in-memory index, misses
+dispatched to the oracle, in-flight deduplications, warm-started
+tunes) that the serve-smoke CI job and the QPS benchmark assert on.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Optional, Union
+from typing import Callable, Dict, Union
 
 Number = Union[int, float]
+
+#: The serving daemon's query-path counters (one increment per event):
+#:
+#: * ``serve.hits`` — queries answered from the in-memory answer index;
+#: * ``serve.misses`` — queries with no cached answer (queued to tune);
+#: * ``serve.deduped`` — queries that joined an identical in-flight
+#:   tune instead of starting their own;
+#: * ``serve.tunes`` — cold tunes completed by the fork-pool oracle;
+#: * ``serve.warm_started`` — tunes seeded from a tuned neighbor's
+#:   projected decision (strictly fewer simulations than cold);
+#: * ``serve.errors`` — requests that failed (bad einsum, tune error).
+SERVE_COUNTERS = (
+    "serve.hits",
+    "serve.misses",
+    "serve.deduped",
+    "serve.tunes",
+    "serve.warm_started",
+    "serve.errors",
+)
 
 
 class MetricsRegistry:

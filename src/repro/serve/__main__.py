@@ -1,0 +1,322 @@
+"""Command-line schedule serving: ``python -m repro.serve``.
+
+Usage::
+
+    python -m repro.serve --ledger DIR [--socket PATH | --port N]
+        [--jobs 2] [--shards 8] [--no-warm] [--timeout SECONDS]
+    python -m repro.serve --ledger DIR --migrate OLD_LEDGER.json
+    python -m repro.serve --smoke [--json]
+
+Default mode runs the daemon over the sharded ledger rooted at
+``--ledger`` until a client sends ``shutdown`` (or SIGINT). A unix
+socket (``--socket``) is preferred; without one the daemon binds
+localhost TCP.
+
+``--migrate`` reshards an existing single-file tuning ledger into the
+``--ledger`` directory and exits (the source file is left untouched).
+
+``--smoke`` is the CI serve-smoke job: it starts a daemon on a
+temporary unix socket, replays a canned mixed hit/miss/warm trace
+with the client, and exits non-zero unless
+
+* hit answers are byte-identical to offline ``Kernel.tune`` answers
+  for the same request (canonical payload comparison);
+* a warm-started miss executed strictly fewer oracle simulations than
+  the cold tune of the same request;
+* concurrent identical misses were deduplicated in flight;
+* a pipelined hit burst completed while a cold tune was still
+  running (the hit path never blocks on tuning);
+* the ``serve.*`` counters account for all of the above.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+import traceback
+from pathlib import Path
+
+from repro import cli
+from repro.serve import protocol
+
+
+def _run_daemon(args) -> int:
+    import asyncio
+
+    from repro.serve.daemon import ScheduleServer
+
+    server = ScheduleServer(
+        Path(args.ledger),
+        socket_path=args.socket,
+        host=args.host,
+        port=args.port,
+        tune_jobs=args.jobs,
+        warm_start=not args.no_warm,
+        timeout_s=args.timeout,
+        shards=args.shards,
+    )
+    where = args.socket or f"{args.host}:{args.port}"
+    print(
+        f"serving schedules from {server.ledger.path} "
+        f"({server.ledger.shards} shards, {len(server.index)} cached "
+        f"answers) on {where}"
+    )
+    try:
+        asyncio.run(server.serve_until_stopped())
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
+def _run_migrate(args) -> int:
+    from repro.serve.shard import migrate_single_file
+
+    source = Path(args.migrate)
+    if not source.exists():
+        print(f"no such ledger: {source}", file=sys.stderr)
+        return 1
+    sharded = migrate_single_file(
+        source, Path(args.ledger), shards=args.shards or 8
+    )
+    entries = len(sharded)
+    answers = sum(1 for _ in sharded.answers())
+    payload = {
+        "migrated_from": str(source),
+        "root": str(sharded.path),
+        "shards": sharded.shards,
+        "entries": entries,
+        "answers": answers,
+    }
+    if not cli.emit(args, payload):
+        print(
+            f"migrated {entries} entries and {answers} answers from "
+            f"{source} into {sharded.path} ({sharded.shards} shards)"
+        )
+    if sharded.save_failures:
+        print(
+            f"migration could not write {sharded.path}", file=sys.stderr
+        )
+        return 1
+    return 0
+
+
+def _canon(answer_record) -> str:
+    from repro.api import ScheduleAnswer, canonical_json
+
+    return canonical_json(
+        ScheduleAnswer.from_record(answer_record).canonical_record()
+    )
+
+
+def _run_smoke(args) -> int:
+    """The CI serve-smoke trace (see the module docstring)."""
+    import tempfile
+
+    from repro.api import ScheduleRequest, tune_request
+    from repro.machine.cluster import Cluster
+    from repro.serve.client import ScheduleClient
+    from repro.serve.daemon import ScheduleServer, start_background
+    from repro.tuner.workloads import sized
+
+    failures = []
+    cold = ScheduleRequest.from_assignment(
+        sized("matmul", 256), Cluster.cpu_cluster(1)
+    )
+    warm = ScheduleRequest.from_assignment(
+        sized("matmul", 512), Cluster.cpu_cluster(2)
+    )
+    burst_tune = ScheduleRequest.from_assignment(
+        sized("ttm", 128), Cluster.cpu_cluster(2)
+    )
+
+    # Offline ground truth, through the same unified API the daemon
+    # uses: the hit answer must be byte-identical to this, and the
+    # warm-started tune strictly cheaper than this cold one.
+    offline_cold = tune_request(cold)
+    offline_warm_as_cold = tune_request(warm)
+
+    with tempfile.TemporaryDirectory(prefix="repro-serve-") as tmp:
+        sock = str(Path(tmp) / "serve.sock")
+        server = ScheduleServer(
+            Path(tmp) / "ledger",
+            socket_path=sock,
+            tune_jobs=args.jobs,
+            timeout_s=args.timeout,
+        )
+        handle = start_background(server)
+        try:
+            with ScheduleClient(socket_path=sock, timeout=600.0) as c:
+                if not c.ping():
+                    failures.append("ping failed")
+
+                # Miss -> cold tune.
+                first = c.schedule(cold)
+                if first.get("provenance") != "tuned":
+                    failures.append(
+                        f"first query should tune, got {first}"
+                    )
+
+                # In-flight dedup: identical misses share one tune.
+                c.schedule(warm, wait=False)
+                c.schedule(warm, wait=False)
+                warmed = c.schedule(warm)  # joins the in-flight tune
+                if warmed.get("status") != "ok":
+                    failures.append(f"warm query failed: {warmed}")
+
+                # Hit burst while a cold tune is in flight.
+                c.schedule(burst_tune, wait=False)
+                burst = 200
+                start = time.monotonic()
+                responses = c.schedule_batch([cold] * burst)
+                wall = time.monotonic() - start
+                hit_rate = burst / wall if wall > 0 else float("inf")
+                bad = [
+                    r for r in responses
+                    if r.get("provenance") != "hit"
+                    or r.get("status") != "ok"
+                ]
+                if bad:
+                    failures.append(
+                        f"{len(bad)}/{burst} burst queries were not "
+                        f"clean hits (first: {bad[0]})"
+                    )
+                hit_answer = responses[0].get("answer", {})
+
+                # Drain the background tune before stopping.
+                finished = c.schedule(burst_tune)
+                if finished.get("status") != "ok":
+                    failures.append(
+                        f"background tune failed: {finished}"
+                    )
+                stats = c.stats()
+        finally:
+            handle.stop()
+
+    # Byte-identity: served hit vs offline Kernel.tune-path answer.
+    if _canon(hit_answer) != _canon(offline_cold.answer.to_record()):
+        failures.append(
+            "hit answer is not byte-identical to the offline tune:\n"
+            f"  served:  {_canon(hit_answer)}\n"
+            f"  offline: {_canon(offline_cold.answer.to_record())}"
+        )
+
+    # Transfer warm-starting: strictly fewer simulations than cold.
+    warm_answer = warmed.get("answer", {})
+    cold_evals = offline_warm_as_cold.search.evaluations
+    warm_evals = warm_answer.get("evaluations", cold_evals)
+    if warm_answer.get("provenance") != "warm-started":
+        failures.append(
+            f"expected a warm-started tune, got "
+            f"{warm_answer.get('provenance')!r}"
+        )
+    elif not warm_evals < cold_evals:
+        failures.append(
+            f"warm-started tune ran {warm_evals} simulations, cold "
+            f"ran {cold_evals}: not strictly fewer"
+        )
+
+    counters = stats.get("counters", {})
+    for name, floor in (
+        ("serve.hits", 200),
+        ("serve.misses", 3),
+        ("serve.deduped", 1),
+        ("serve.tunes", 3),
+        ("serve.warm_started", 1),
+    ):
+        if counters.get(name, 0) < floor:
+            failures.append(
+                f"counter {name} = {counters.get(name, 0)}, "
+                f"expected >= {floor}"
+            )
+    if counters.get("serve.errors", 0):
+        failures.append(
+            f"serve.errors = {counters['serve.errors']} during smoke"
+        )
+
+    payload = {
+        "failures": failures,
+        "hit_qps": round(hit_rate, 1),
+        "warm_evaluations": warm_evals,
+        "cold_evaluations": cold_evals,
+        "counters": counters,
+    }
+    if not cli.emit(args, payload):
+        print(
+            f"smoke: {200} pipelined hits at ~{hit_qps_text(hit_rate)} "
+            f"during a live tune; warm {warm_evals} vs cold "
+            f"{cold_evals} simulations"
+        )
+        for name, value in sorted(counters.items()):
+            print(f"  {name} = {value}")
+        cli.print_metrics()
+    for failure in failures:
+        print(f"SMOKE FAILURE: {failure}", file=sys.stderr)
+    if not failures and not args.json:
+        print("serve smoke OK: hits byte-identical, warm tune cheaper")
+    return 1 if failures else 0
+
+
+def hit_qps_text(rate: float) -> str:
+    return f"{rate:,.0f} QPS"
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.serve",
+        description="Serve tuned schedules from a sharded ledger.",
+    )
+    parser.add_argument(
+        "--socket",
+        default=None,
+        help="unix socket path (preferred over TCP)",
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument(
+        "--port", type=int, default=protocol.DEFAULT_PORT
+    )
+    parser.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        help="shard count for a fresh ledger root (existing roots "
+        "keep their manifest's count)",
+    )
+    parser.add_argument(
+        "--migrate",
+        metavar="LEDGER_JSON",
+        default=None,
+        help="reshard this single-file ledger into --ledger and exit",
+    )
+    parser.add_argument(
+        "--no-warm",
+        action="store_true",
+        help="disable transfer warm-starting of misses",
+    )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="self-contained hit/miss/warm trace against a temporary "
+        "daemon; non-zero exit on any mismatch (the CI job)",
+    )
+    cli.add_common_args(
+        parser, seed=False, timeout=True, jobs_default=2
+    )
+    args = parser.parse_args(argv)
+
+    try:
+        if args.smoke:
+            return _run_smoke(args)
+        if args.ledger is None:
+            parser.error("--ledger DIR is required (except for --smoke)")
+        if args.migrate is not None:
+            return _run_migrate(args)
+        return _run_daemon(args)
+    except Exception:
+        traceback.print_exc()
+        print("serve run failed", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

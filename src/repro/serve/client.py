@@ -1,0 +1,133 @@
+"""Synchronous client for the schedule-serving daemon.
+
+A thin blocking wrapper over one socket speaking the NDJSON protocol.
+:meth:`ScheduleClient.schedule` round-trips one request;
+:meth:`ScheduleClient.schedule_batch` *pipelines* — it writes every
+request before reading any response, which is how the QPS benchmark
+pushes thousands of hits through one connection without paying a
+round-trip each.
+
+Accepts :class:`repro.api.ScheduleRequest` objects or raw record
+dicts interchangeably; responses are the daemon's JSON objects
+(``status``/``provenance``/``answer``).
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+from typing import Dict, List, Optional, Sequence, Union
+
+from repro.api import ScheduleRequest
+from repro.serve import protocol
+
+Requestish = Union[ScheduleRequest, Dict]
+
+
+def _record(request: Requestish) -> Dict:
+    if isinstance(request, ScheduleRequest):
+        return request.to_record()
+    return request
+
+
+class ProtocolError(RuntimeError):
+    """The daemon answered outside the protocol (or not at all)."""
+
+
+class ScheduleClient:
+    def __init__(
+        self,
+        socket_path: Optional[str] = None,
+        host: str = "127.0.0.1",
+        port: int = protocol.DEFAULT_PORT,
+        timeout: Optional[float] = 300.0,
+    ):
+        if socket_path is not None:
+            self._sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            self._sock.settimeout(timeout)
+            self._sock.connect(str(socket_path))
+        else:
+            self._sock = socket.create_connection(
+                (host, port), timeout=timeout
+            )
+        self._file = self._sock.makefile("rwb")
+
+    # -- plumbing ------------------------------------------------------
+
+    def _send(self, message: Dict):
+        self._file.write(protocol.encode(message))
+
+    def _recv(self) -> Dict:
+        line = self._file.readline()
+        if not line:
+            raise ProtocolError("daemon closed the connection")
+        try:
+            response = protocol.decode(line)
+        except Exception as err:
+            raise ProtocolError(f"undecodable response: {err}") from err
+        if response.get("protocol") not in (None, protocol.PROTOCOL_VERSION):
+            raise ProtocolError(
+                f"protocol version mismatch: {response.get('protocol')}"
+            )
+        return response
+
+    def _roundtrip(self, message: Dict) -> Dict:
+        self._send(message)
+        self._file.flush()
+        return self._recv()
+
+    # -- operations ----------------------------------------------------
+
+    def schedule(self, request: Requestish, wait: bool = True) -> Dict:
+        return self._roundtrip({
+            "op": "schedule", "request": _record(request), "wait": wait,
+        })
+
+    def schedule_batch(
+        self, requests: Sequence[Requestish], wait: bool = True
+    ) -> List[Dict]:
+        """Pipelined: requests stream from a writer thread while this
+        thread drains responses (the daemon answers in order per
+        connection). Writing everything before reading anything would
+        deadlock once both socket buffers fill — the daemon blocks in
+        ``drain()`` with nobody reading, the client blocks in
+        ``write()`` with nobody accepting."""
+        messages = [
+            {"op": "schedule", "request": _record(r), "wait": wait}
+            for r in requests
+        ]
+
+        def pump():
+            # BufferedRWPair keeps separate read/write buffers, so one
+            # writer thread and one reader thread never collide.
+            for message in messages:
+                self._send(message)
+            self._file.flush()
+
+        writer = threading.Thread(target=pump, daemon=True)
+        writer.start()
+        try:
+            return [self._recv() for _ in requests]
+        finally:
+            writer.join()
+
+    def stats(self) -> Dict:
+        return self._roundtrip({"op": "stats"})
+
+    def ping(self) -> bool:
+        return self._roundtrip({"op": "ping"}).get("status") == "ok"
+
+    def shutdown(self) -> Dict:
+        return self._roundtrip({"op": "shutdown"})
+
+    def close(self):
+        try:
+            self._file.close()
+        finally:
+            self._sock.close()
+
+    def __enter__(self) -> "ScheduleClient":
+        return self
+
+    def __exit__(self, *exc):
+        self.close()

@@ -1,0 +1,390 @@
+"""The schedule-serving daemon: microsecond hits, forked-off misses.
+
+:class:`ScheduleServer` is a single-threaded asyncio server (unix
+socket preferred, localhost TCP as fallback) speaking the
+newline-delimited JSON protocol of :mod:`repro.serve.protocol`. The
+two paths are deliberately asymmetric:
+
+* **Hits** never leave the event loop: the answer index is a plain
+  dict from request fingerprint to the persisted canonical answer, so
+  an exact hit is one hash lookup plus one ``writer.write`` —
+  microseconds, and unaffected by whatever tuning is in flight.
+* **Misses** are queued, *deduplicated in flight* (concurrent
+  identical requests share one future and therefore one tune),
+  batched by a single consumer task, and dispatched through the
+  fork-pool sweep driver (:mod:`repro.serve.worker`) from an executor
+  thread with ``always_fork=True`` — the GIL-heavy search runs in
+  child processes, never in the loop's.
+
+**Transfer warm-starting:** before dispatch, each miss looks for its
+nearest tuned neighbor — same einsum structure, dtype, objective and
+node anatomy (:meth:`repro.api.ScheduleRequest.structure_key`),
+nearest along the (nodes, problem volume) axes in log space. The
+neighbor's decision is projected onto the miss's processor count
+(:func:`repro.tuner.space.warm_variants` via ``strategy="warm"``), so
+a warm miss simulates only that small neighborhood instead of the
+full space.
+
+Completed answers are persisted to the sharded ledger *by the worker
+child* using the lock/salvage pattern, then installed into the
+in-memory index here; a daemon restart rebuilds the index from the
+shards and serves every previously tuned answer as a hit.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import math
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from functools import partial
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+from repro.api import HIT, ScheduleRequest
+from repro.bench.parallel import run_points
+from repro.obs.metrics import METRICS
+from repro.serve import protocol
+from repro.serve.shard import ShardedLedger
+
+# Import for the side effect: registers the serve_tune_batch sweep in
+# this process, so forked pool workers inherit it resolved.
+from repro.serve import worker as _worker  # noqa: F401
+
+
+def _volume(record: Dict) -> float:
+    """Total element count across a request record's tensors — the
+    shape axis neighbor distance is measured along."""
+    total = 1.0
+    for shape in record.get("shapes", {}).values():
+        for extent in shape:
+            total *= max(1, extent)
+    return total
+
+
+class ScheduleServer:
+    """One serving daemon over one sharded ledger root."""
+
+    def __init__(
+        self,
+        ledger_root,
+        socket_path: Optional[str] = None,
+        host: str = "127.0.0.1",
+        port: int = protocol.DEFAULT_PORT,
+        tune_jobs: int = 2,
+        warm_start: bool = True,
+        timeout_s: Optional[float] = None,
+        shards: Optional[int] = None,
+    ):
+        self.ledger = ShardedLedger(Path(ledger_root), shards=shards)
+        self.socket_path = socket_path
+        self.host = host
+        self.port = port
+        self.tune_jobs = max(1, tune_jobs)
+        self.warm_start = warm_start
+        self.timeout_s = timeout_s
+        #: fingerprint -> {"request": record, "answer": record}
+        self.index: Dict[str, Dict] = {}
+        #: structure key -> fingerprints with a usable tuned answer.
+        self.neighborhoods: Dict[str, List[str]] = {}
+        #: fingerprint -> future shared by identical in-flight misses.
+        self.inflight: Dict[str, asyncio.Future] = {}
+        self.started = time.monotonic()
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._queue: Optional[asyncio.Queue] = None
+        self._consumer: Optional[asyncio.Task] = None
+        self._stopped: Optional[asyncio.Future] = None
+        self._connections: set = set()
+        # One dispatch thread: batches serialize behind each other by
+        # design (each dispatch fans out across the fork pool).
+        self._executor = ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix="serve-tune"
+        )
+        for fingerprint, record in self.ledger.answers():
+            self._index_answer(fingerprint, record)
+
+    # -- the in-memory answer index ------------------------------------
+
+    def _index_answer(self, fingerprint: str, record: Dict):
+        self.index[fingerprint] = record
+        try:
+            request = ScheduleRequest.from_record(record["request"])
+            key = request.structure_key()
+        except Exception:
+            return  # unindexable for warm transfer; still a hit source
+        bucket = self.neighborhoods.setdefault(key, [])
+        if fingerprint not in bucket:
+            bucket.append(fingerprint)
+
+    def _neighbor_decision(
+        self, request: ScheduleRequest, fingerprint: str
+    ) -> Optional[str]:
+        """The encoded decision of the nearest tuned neighbor, or
+        ``None`` when the structure has no usable precedent."""
+        best: Optional[Tuple[float, str, str]] = None
+        for other_fp in self.neighborhoods.get(request.structure_key(), ()):
+            if other_fp == fingerprint:
+                continue
+            record = self.index.get(other_fp)
+            if record is None:
+                continue
+            answer = record.get("answer", {})
+            if answer.get("cost") == "infeasible":
+                continue
+            other = record.get("request", {})
+            nodes = other.get("machine", {}).get("nodes", 1)
+            distance = abs(
+                math.log(max(1, request.machine.nodes) / max(1, nodes))
+            ) + abs(math.log(
+                _volume(request.to_record()) / _volume(other)
+            ))
+            key = (distance, other_fp, answer.get("decision", ""))
+            if best is None or key < best:
+                best = key
+        return best[2] if best is not None and best[2] else None
+
+    # -- request handling ----------------------------------------------
+
+    async def _handle_schedule(self, message: Dict) -> Dict:
+        record = message.get("request")
+        if not isinstance(record, dict):
+            return protocol.error_response(
+                "schedule op needs a 'request' object"
+            )
+        try:
+            request = ScheduleRequest.from_record(record)
+            fingerprint = request.fingerprint()
+        except Exception as err:
+            METRICS.inc("serve.errors")
+            return protocol.error_response(
+                f"bad schedule request: {type(err).__name__}: {err}"
+            )
+
+        cached = self.index.get(fingerprint)
+        if cached is not None:
+            METRICS.inc("serve.hits")
+            answer = dict(cached["answer"])
+            answer["provenance"] = HIT
+            return protocol.ok_response(
+                fingerprint=fingerprint, provenance=HIT, answer=answer
+            )
+
+        future = self.inflight.get(fingerprint)
+        if future is None:
+            METRICS.inc("serve.misses")
+            future = asyncio.get_running_loop().create_future()
+            self.inflight[fingerprint] = future
+            await self._queue.put((fingerprint, record))
+        else:
+            METRICS.inc("serve.deduped")
+
+        if not message.get("wait", True):
+            return {
+                "status": "pending",
+                "fingerprint": fingerprint,
+                "protocol": protocol.PROTOCOL_VERSION,
+            }
+        row = await asyncio.shield(future)
+        if row.get("status") != "ok":
+            return protocol.error_response(
+                row.get("error", "tune failed")
+            )
+        answer = row["answer"]
+        return protocol.ok_response(
+            fingerprint=fingerprint,
+            provenance=answer.get("provenance", "tuned"),
+            answer=answer,
+        )
+
+    def _stats(self) -> Dict:
+        counters = {
+            name: value
+            for name, value in METRICS.snapshot(sources=False).items()
+            if name.startswith("serve.")
+        }
+        return protocol.ok_response(
+            counters=counters,
+            answers=len(self.index),
+            inflight=len(self.inflight),
+            shards=self.ledger.shards,
+            ledger=str(self.ledger.path),
+            uptime_s=round(time.monotonic() - self.started, 3),
+        )
+
+    async def _dispatch(self, message: Dict) -> Optional[Dict]:
+        op = message.get("op")
+        if op == "schedule":
+            return await self._handle_schedule(message)
+        if op == "stats":
+            return self._stats()
+        if op == "ping":
+            return protocol.ok_response(pong=True)
+        if op == "shutdown":
+            if self._stopped is not None and not self._stopped.done():
+                self._stopped.set_result(None)
+            return protocol.ok_response(stopping=True)
+        return protocol.error_response(f"unknown op {op!r}")
+
+    async def _handle_connection(self, reader, writer):
+        task = asyncio.current_task()
+        if task is not None:
+            self._connections.add(task)
+            task.add_done_callback(self._connections.discard)
+        try:
+            while True:
+                line = await reader.readline()
+                if not line:
+                    break
+                try:
+                    message = protocol.decode(line)
+                except Exception as err:
+                    response = protocol.error_response(
+                        f"undecodable message: {err}"
+                    )
+                else:
+                    response = await self._dispatch(message)
+                writer.write(protocol.encode(response))
+                await writer.drain()
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except Exception:
+                pass
+
+    # -- the miss consumer ---------------------------------------------
+
+    async def _consume(self):
+        loop = asyncio.get_running_loop()
+        while True:
+            first = await self._queue.get()
+            batch = [first]
+            while not self._queue.empty():
+                batch.append(self._queue.get_nowait())
+            per_point = []
+            for fingerprint, record in batch:
+                warm: Dict[str, str] = {}
+                if self.warm_start:
+                    try:
+                        request = ScheduleRequest.from_record(record)
+                        encoded = self._neighbor_decision(
+                            request, fingerprint
+                        )
+                    except Exception:
+                        encoded = None
+                    if encoded:
+                        warm[fingerprint] = encoded
+                per_point.append({
+                    "records": [record],
+                    "ledger_path": str(self.ledger.path),
+                    "warm": warm,
+                    "timeout_s": self.timeout_s,
+                })
+            try:
+                rows = await loop.run_in_executor(
+                    self._executor,
+                    partial(
+                        run_points,
+                        "serve_tune_batch",
+                        per_point,
+                        self.tune_jobs,
+                        None,
+                        True,  # always_fork: keep tuning off this loop
+                    ),
+                )
+            except Exception as err:
+                rows = [
+                    {
+                        "status": "error",
+                        "fingerprint": fp,
+                        "error": f"dispatch failed: {err}",
+                    }
+                    for fp, _record in batch
+                ]
+            for (fingerprint, record), row in zip(batch, rows):
+                if row.get("status") == "ok":
+                    self._index_answer(
+                        fingerprint,
+                        {"request": record, "answer": row["answer"]},
+                    )
+                future = self.inflight.pop(fingerprint, None)
+                if future is not None and not future.done():
+                    future.set_result(row)
+
+    # -- lifecycle -----------------------------------------------------
+
+    async def start(self):
+        loop = asyncio.get_running_loop()
+        self._queue = asyncio.Queue()
+        self._stopped = loop.create_future()
+        self._consumer = loop.create_task(self._consume())
+        if self.socket_path:
+            self._server = await asyncio.start_unix_server(
+                self._handle_connection, path=str(self.socket_path)
+            )
+        else:
+            self._server = await asyncio.start_server(
+                self._handle_connection, host=self.host, port=self.port
+            )
+            # Rebind to the kernel-assigned port when port=0 was asked.
+            self.port = self._server.sockets[0].getsockname()[1]
+
+    async def stop(self):
+        if self._consumer is not None:
+            self._consumer.cancel()
+        for task in list(self._connections):
+            task.cancel()
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        for future in self.inflight.values():
+            if not future.done():
+                future.cancel()
+        self.inflight.clear()
+        self._executor.shutdown(wait=False)
+        if self.socket_path:
+            try:
+                Path(self.socket_path).unlink()
+            except OSError:
+                pass
+
+    async def serve_until_stopped(self):
+        await self.start()
+        try:
+            await self._stopped
+        finally:
+            await self.stop()
+
+
+class ServerHandle:
+    """A daemon running on a background thread (tests, ``--smoke``)."""
+
+    def __init__(self, server: ScheduleServer):
+        self.server = server
+        self.loop = asyncio.new_event_loop()
+        self._ready = threading.Event()
+        self.thread = threading.Thread(
+            target=self._run, name="serve-loop", daemon=True
+        )
+        self.thread.start()
+        if not self._ready.wait(timeout=30):
+            raise RuntimeError("serving daemon failed to start")
+
+    def _run(self):
+        asyncio.set_event_loop(self.loop)
+        self.loop.run_until_complete(self.server.start())
+        self._ready.set()
+        self.loop.run_forever()
+        self.loop.run_until_complete(self.server.stop())
+        self.loop.close()
+
+    def stop(self):
+        self.loop.call_soon_threadsafe(self.loop.stop)
+        self.thread.join(timeout=30)
+
+
+def start_background(server: ScheduleServer) -> ServerHandle:
+    return ServerHandle(server)

@@ -1,0 +1,65 @@
+"""The daemon's wire protocol: newline-delimited JSON messages.
+
+One request per line, one response per line, UTF-8, no framing beyond
+``\\n`` — trivially scriptable (``nc -U`` works) and fast enough that
+the protocol never shows up next to a microsecond index lookup.
+
+Requests are objects with an ``op``:
+
+``{"op": "schedule", "request": {...}, "wait": true}``
+    ``request`` is a :meth:`repro.api.ScheduleRequest.to_record` dict.
+    A cached answer returns immediately with ``provenance: "hit"``.
+    On a miss with ``wait`` true (the default) the response arrives
+    once the tune finishes; with ``wait`` false the daemon responds
+    ``{"status": "pending"}`` right away and tunes in the background.
+
+``{"op": "stats"}``
+    Daemon counters (the ``serve.*`` metrics), ledger sizes, uptime.
+
+``{"op": "ping"}`` / ``{"op": "shutdown"}``
+    Liveness probe / graceful stop.
+
+Responses always carry ``status``: ``"ok"`` (with ``answer`` and
+``provenance`` for schedule ops), ``"pending"``, or ``"error"`` (with
+``error`` text). ``protocol`` carries :data:`PROTOCOL_VERSION` so
+clients can refuse a mismatched daemon.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict
+
+PROTOCOL_VERSION = 1
+
+#: Default localhost TCP port (unix sockets are preferred; TCP exists
+#: for platforms and tools without AF_UNIX).
+DEFAULT_PORT = 7463
+
+
+def encode(message: Dict) -> bytes:
+    """One wire line: compact, key-sorted JSON plus the delimiter."""
+    return (
+        json.dumps(message, sort_keys=True, separators=(",", ":")) + "\n"
+    ).encode("utf-8")
+
+
+def decode(line: bytes) -> Dict:
+    message = json.loads(line.decode("utf-8"))
+    if not isinstance(message, dict):
+        raise ValueError("protocol messages must be JSON objects")
+    return message
+
+
+def error_response(text: str) -> Dict:
+    return {
+        "status": "error",
+        "error": text,
+        "protocol": PROTOCOL_VERSION,
+    }
+
+
+def ok_response(**fields) -> Dict:
+    response = {"status": "ok", "protocol": PROTOCOL_VERSION}
+    response.update(fields)
+    return response

@@ -1,0 +1,224 @@
+"""The sharded tuning ledger: one directory, many atomic JSON shards.
+
+A single-file :class:`~repro.tuner.oracle.TuningLedger` rewrites the
+whole file on every save — fine for one tuning run, pathological for a
+long-running daemon absorbing answers from many workloads. The sharded
+ledger splits the same schema across ``shards`` files::
+
+    <root>/
+      MANIFEST.json      {"version": 1, "shards": 8}
+      shard-00.json      a TuningLedger file (entries + answers)
+      shard-01.json
+      ...
+
+Routing is by hash prefix: entry keys (``<wsig>/<decision>``) shard on
+the workload signature, answer records shard on the request
+fingerprint — both already uniform hex digests, so shards stay
+balanced without any placement table. Each shard is a full
+:class:`TuningLedger` and inherits its crash story wholesale: atomic
+temp-file-plus-fsync replace, advisory-locked read-merge-write saves,
+salvage-and-quarantine loads. A ``kill -9`` mid-save can lose at most
+the in-flight shard's *unwritten delta*, never corrupt one.
+
+The class duck-types the ``TuningLedger`` surface the tuning oracle
+uses (``get``/``put``/``save``/``hits``/``misses``/``save_failures``),
+so ``tune(..., ledger=ShardedLedger(root))`` works unchanged.
+
+:func:`migrate_single_file` reshards an existing single-file ledger;
+:func:`open_ledger` picks the right class from a path (directory or
+``.json`` file), which is what every CLI's ``--ledger`` flag calls.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Dict, Iterator, Optional, Tuple
+
+from repro.bench.perf_log import locked, write_atomic
+from repro.tuner.oracle import EvalOutcome, TuningLedger
+from repro.tuner.space import Decision
+
+MANIFEST = "MANIFEST.json"
+DEFAULT_SHARDS = 8
+
+
+def shard_index(hex_key: str, shards: int) -> int:
+    """Route a hex digest (wsig or request fingerprint) to a shard."""
+    return int(hex_key[:8], 16) % shards
+
+
+class ShardedLedger:
+    """A directory of :class:`TuningLedger` shards behind one surface.
+
+    Shards load lazily (a daemon answering one workload never parses
+    the other seven files) and save only when dirty. The manifest pins
+    the shard count, so every process that opens the same root routes
+    identically; it is written under the shared advisory lock the
+    first time the root is materialized.
+    """
+
+    def __init__(
+        self, root: os.PathLike, shards: Optional[int] = None
+    ):
+        self.path = Path(root)
+        self.hits = 0
+        self.misses = 0
+        #: Manifest writes that failed (shard save failures are
+        #: tracked on the shards themselves; see :attr:`save_failures`).
+        self._manifest_failures = 0
+        self.shards = self._resolve_shard_count(shards)
+        self._loaded: Dict[int, TuningLedger] = {}
+        self._dirty: set = set()
+
+    # -- layout --------------------------------------------------------
+
+    def _manifest_path(self) -> Path:
+        return self.path / MANIFEST
+
+    def _shard_path(self, index: int) -> Path:
+        return self.path / f"shard-{index:02d}.json"
+
+    def _resolve_shard_count(self, requested: Optional[int]) -> int:
+        """The manifest's count wins over the constructor argument —
+        re-opening an existing root with a different ``shards`` value
+        would silently mis-route every key."""
+        manifest = self._manifest_path()
+        if manifest.exists():
+            try:
+                data = json.loads(manifest.read_text())
+                count = int(data["shards"])
+                if count > 0:
+                    return count
+            except (OSError, ValueError, KeyError, json.JSONDecodeError):
+                pass
+        count = requested or DEFAULT_SHARDS
+        try:
+            self.path.mkdir(parents=True, exist_ok=True)
+            with locked(manifest):
+                if not manifest.exists():
+                    payload = {"version": 1, "shards": count}
+                    write_atomic(
+                        manifest,
+                        json.dumps(payload, sort_keys=True) + "\n",
+                    )
+                else:
+                    # Another process won the race; adopt its count.
+                    data = json.loads(manifest.read_text())
+                    count = int(data["shards"])
+        except (OSError, ValueError, KeyError, json.JSONDecodeError):
+            self._manifest_failures += 1
+        return count
+
+    def _shard(self, index: int) -> TuningLedger:
+        shard = self._loaded.get(index)
+        if shard is None:
+            shard = TuningLedger(self._shard_path(index))
+            self._loaded[index] = shard
+        return shard
+
+    def _shard_for(self, hex_key: str) -> Tuple[int, TuningLedger]:
+        index = shard_index(hex_key, self.shards)
+        return index, self._shard(index)
+
+    # -- the TuningLedger surface the oracle uses ----------------------
+
+    def get(self, wsig: str, decision: Decision) -> Optional[EvalOutcome]:
+        _, shard = self._shard_for(wsig)
+        return shard.get(wsig, decision)
+
+    def put(self, wsig: str, outcome: EvalOutcome):
+        index, shard = self._shard_for(wsig)
+        shard.put(wsig, outcome)
+        self._dirty.add(index)
+
+    def save(self, stats: Optional[Dict] = None) -> bool:
+        """Persist every dirty shard; True only if all writes landed."""
+        ok = True
+        for index in sorted(self._dirty):
+            ok = self._loaded[index].save(stats) and ok
+        if ok:
+            self._dirty.clear()
+        return ok
+
+    @property
+    def save_failures(self) -> int:
+        return self._manifest_failures + sum(
+            s.save_failures for s in self._loaded.values()
+        )
+
+    @property
+    def salvaged(self) -> int:
+        return sum(s.salvaged for s in self._loaded.values())
+
+    def __len__(self) -> int:
+        self.load_all()
+        return sum(len(s) for s in self._loaded.values())
+
+    # -- answers (the serving index) -----------------------------------
+
+    def get_answer(self, fingerprint: str) -> Optional[Dict]:
+        _, shard = self._shard_for(fingerprint)
+        return shard.get_answer(fingerprint)
+
+    def put_answer(self, fingerprint: str, record: Dict):
+        index, shard = self._shard_for(fingerprint)
+        shard.put_answer(fingerprint, record)
+        self._dirty.add(index)
+
+    def answers(self) -> Iterator[Tuple[str, Dict]]:
+        """Every persisted answer (loads all shards — daemon startup)."""
+        self.load_all()
+        for index in range(self.shards):
+            yield from self._loaded[index].answers.items()
+
+    def load_all(self):
+        for index in range(self.shards):
+            self._shard(index)
+
+    def reload(self):
+        """Drop the in-memory state and re-read from disk (readers
+        polling a root other processes write into)."""
+        self._loaded.clear()
+        self._dirty.clear()
+
+
+def migrate_single_file(
+    source: os.PathLike,
+    root: os.PathLike,
+    shards: int = DEFAULT_SHARDS,
+) -> ShardedLedger:
+    """Reshard an existing single-file ledger into ``root``.
+
+    Every entry routes by its key's workload-signature prefix, every
+    answer by its fingerprint; the source file is left untouched, so
+    the migration is repeatable and abortable. Returns the populated
+    (and saved) :class:`ShardedLedger`.
+    """
+    single = TuningLedger(source)
+    sharded = ShardedLedger(root, shards=shards)
+    for key, record in single.entries.items():
+        wsig = key.split("/", 1)[0]
+        index, shard = sharded._shard_for(wsig)
+        shard.entries[key] = record
+        sharded._dirty.add(index)
+    for fingerprint, record in single.answers.items():
+        sharded.put_answer(fingerprint, record)
+    sharded.save()
+    return sharded
+
+
+def open_ledger(path: Optional[os.PathLike]):
+    """The ``--ledger`` rule shared by every CLI: ``None`` stays
+    ``None``; an existing directory (or a new path without a ``.json``
+    suffix) is a :class:`ShardedLedger`; anything else is a classic
+    single-file :class:`TuningLedger`."""
+    if path is None:
+        return None
+    p = Path(path)
+    if p.is_dir():
+        return ShardedLedger(p)
+    if p.exists():
+        return TuningLedger(p)
+    return TuningLedger(p) if p.suffix == ".json" else ShardedLedger(p)

@@ -1,0 +1,90 @@
+"""The daemon's tune worker: one fork-pool sweep per miss batch.
+
+``serve_tune_batch`` is an ordinary :mod:`repro.bench.parallel` sweep
+(registered under that name), so the daemon dispatches misses through
+the exact machinery the figure generators use: one forked child per
+request (``always_fork=True`` keeps even a lone miss out of the
+daemon's event-loop process), simulation-cache and metrics deltas
+shipped back in the envelope, in-process retry on worker failure.
+
+Each worker tunes with ``jobs=1`` — pool workers are daemonic and may
+not fork grandchildren; parallelism across concurrent misses comes
+from the pool itself.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.api import ScheduleRequest, tune_request
+from repro.bench.parallel import register_sweep
+from repro.obs.metrics import METRICS
+from repro.serve.shard import open_ledger
+from repro.tuner.space import Decision
+
+
+def serve_tune_batch(
+    records: List[Dict],
+    ledger_path: Optional[str] = None,
+    warm: Optional[Dict[str, str]] = None,
+    timeout_s: Optional[float] = None,
+) -> List[Dict]:
+    """Tune every request record; returns one row per request.
+
+    ``warm`` maps request fingerprints to the *encoded decision* of
+    their nearest tuned neighbor; those requests search only the warm
+    neighborhood (``strategy="warm"`` — strictly fewer simulations
+    than a cold tune). Completed answers are persisted to the ledger
+    (lock-merge-save, so concurrent workers never drop each other's
+    work) before the row is returned.
+
+    Rows are ``{"status": "ok", "fingerprint", "answer"}`` or
+    ``{"status": "error", "fingerprint", "error"}`` — a bad request
+    never poisons the batch.
+    """
+    warm = warm or {}
+    ledger = open_ledger(ledger_path)
+    rows: List[Dict] = []
+    for record in records:
+        fingerprint = ""
+        try:
+            request = ScheduleRequest.from_record(record)
+            fingerprint = request.fingerprint()
+            warm_encoded = warm.get(fingerprint)
+            if warm_encoded:
+                METRICS.inc("serve.warm_started")
+                result = tune_request(
+                    request,
+                    warm_start=Decision.decode(warm_encoded),
+                    strategy="warm",
+                    ledger=ledger,
+                    timeout_s=timeout_s,
+                )
+            else:
+                result = tune_request(
+                    request, ledger=ledger, timeout_s=timeout_s
+                )
+            answer = result.answer
+            METRICS.inc("serve.tunes")
+            if ledger is not None:
+                ledger.put_answer(
+                    fingerprint,
+                    {"request": record, "answer": answer.to_record()},
+                )
+                ledger.save()
+            rows.append({
+                "status": "ok",
+                "fingerprint": fingerprint,
+                "answer": answer.to_record(),
+            })
+        except Exception as err:  # ship the failure, keep the batch
+            METRICS.inc("serve.errors")
+            rows.append({
+                "status": "error",
+                "fingerprint": fingerprint,
+                "error": f"{type(err).__name__}: {err}",
+            })
+    return rows
+
+
+register_sweep("serve_tune_batch", serve_tune_batch)

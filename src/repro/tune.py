@@ -5,7 +5,7 @@ Usage::
     python -m repro.tune --workload matmul --nodes 64 [--gpu]
         [--jobs 8] [--strategy auto|exhaustive|beam] [--seed 0]
         [--beam 8] [--size N] [--ledger PATH] [--max-dims 3]
-        [--timeout SECONDS]
+        [--timeout SECONDS] [--json]
     python -m repro.tune --pipeline chain-matmul --nodes 64 [--top-k 6]
     python -m repro.tune --demo
 
@@ -20,6 +20,11 @@ seconds-scale exhaustive tune (the CI smoke test). Wall-clock and
 headline results are appended to the ``BENCH_simulator.json`` perf
 trajectory.
 
+The ``--ledger/--jobs/--seed/--json`` group is the shared one from
+:mod:`repro.cli`: ``--ledger`` accepts a directory (the serving
+daemon's sharded layout) or a ``.json`` file, and ``--json`` replaces
+the human report with one machine-readable summary object.
+
 Exit status is non-zero when the tuning run raises, when any oracle
 simulation fails (candidate compile/simulation errors — simulated OOMs
 are a legitimate outcome and do not count), or when a requested ledger
@@ -33,10 +38,10 @@ import sys
 import time
 import traceback
 
+from repro import cli
 from repro.analysis import comm_lower_bound, memory_bounds, verify_legality
-from repro.machine.cluster import Cluster, MemoryKind, ProcessorKind
+from repro.machine.cluster import MemoryKind, ProcessorKind
 from repro.sim.params import LASSEN
-from repro.tuner.oracle import TuningLedger
 from repro.tuner.search import tune
 from repro.tuner.workloads import (
     PIPELINES,
@@ -54,6 +59,12 @@ def _fmt_cost(outcome) -> str:
     return f"{outcome.cost:.4f}s"
 
 
+def _cost_or_none(outcome):
+    if outcome is None or not outcome.feasible:
+        return None
+    return outcome.cost
+
+
 def _append_perf(name: str, wall: float, metrics: dict):
     try:
         from repro.bench.perf_log import append_record
@@ -66,53 +77,61 @@ def _append_perf(name: str, wall: float, metrics: dict):
         pass  # the perf log must never fail a tuning run
 
 
-def _print_metrics():
-    """The registry snapshot, printed after a run's own summary."""
-    from repro.obs.metrics import METRICS
+def _tune_unified(args, assignment, cluster, ledger):
+    """Tune through the unified API when the workload is expressible
+    as a canonical request (attaches ``result.answer``); fall back to
+    the direct tuner for anything the einsum printer can't round-trip."""
+    from repro import api
 
-    print("== Metrics ==")
-    for name, value in METRICS.snapshot().items():
-        print(f"  {name} = {value}")
-
-
-def _run_single(args, cluster, ledger) -> int:
-    if args.size is not None:
-        assignment = sized(args.workload, args.size)
-    else:
-        assignment = weak_scaled(args.workload, args.nodes)
-
-    sizes = {t.name: t.shape for t in assignment.tensors()}
-    print(
-        f"tuning {args.workload} {sizes} on {cluster!r} "
-        f"({cluster.num_processors} processors)"
-    )
-    start = time.monotonic()
-    result = tune(
-        assignment,
-        cluster,
-        LASSEN,
+    common = dict(
         strategy=args.strategy,
         beam_width=args.beam,
-        seed=args.seed,
         jobs=args.jobs,
         max_dims=args.max_dims,
         ledger=ledger,
         timeout_s=args.timeout,
     )
+    try:
+        request = api.ScheduleRequest.from_assignment(
+            assignment, cluster, seed=args.seed
+        )
+    except Exception:
+        return tune(
+            assignment, cluster, LASSEN, seed=args.seed, **common
+        )
+    return api.tune_request(
+        request, assignment=assignment, cluster=cluster, **common
+    )
+
+
+def _run_single(args, cluster, ledger) -> int:
+    say = (lambda *a, **k: None) if args.json else print
+    if args.size is not None:
+        assignment = sized(args.workload, args.size)
+    else:
+        assignment = weak_scaled(args.workload, args.nodes)
+
+    sizes = cli.workload_sizes(assignment)
+    say(
+        f"tuning {args.workload} {sizes} on {cluster!r} "
+        f"({cluster.num_processors} processors)"
+    )
+    start = time.monotonic()
+    result = _tune_unified(args, assignment, cluster, ledger)
     wall = time.monotonic() - start
     search = result.search
 
-    print(search.describe())
+    say(search.describe())
     heuristic = search.seed_outcome
     best = search.best
-    print(f"heuristic cost: {_fmt_cost(heuristic)}")
-    print(f"tuned cost:     {_fmt_cost(best)}")
+    say(f"heuristic cost: {_fmt_cost(heuristic)}")
+    say(f"tuned cost:     {_fmt_cost(best)}")
     if heuristic.feasible and best.feasible and best.cost > 0:
-        print(f"speedup over heuristic: {heuristic.cost / best.cost:.2f}x")
-    print(f"wall-clock: {wall:.2f}s "
-          f"({search.evaluations} simulations, "
-          f"{search.pruned_static} statically pruned, "
-          f"strategy {search.strategy})")
+        say(f"speedup over heuristic: {heuristic.cost / best.cost:.2f}x")
+    say(f"wall-clock: {wall:.2f}s "
+        f"({search.evaluations} simulations, "
+        f"{search.pruned_static} statically pruned, "
+        f"strategy {search.strategy})")
 
     illegal = verify_legality(
         assignment, best.decision, num_procs=cluster.num_processors
@@ -120,7 +139,7 @@ def _run_single(args, cluster, ledger) -> int:
     for diag in illegal:
         print(f"ILLEGAL winning decision: {diag}", file=sys.stderr)
 
-    if args.analyze:
+    if args.analyze and not args.json:
         memory = (
             MemoryKind.GPU_FB
             if cluster.processor_kind is ProcessorKind.GPU
@@ -128,11 +147,11 @@ def _run_single(args, cluster, ledger) -> int:
         )
         bound = memory_bounds(assignment, best.decision, cluster, memory)
         comm = comm_lower_bound(assignment, cluster, LASSEN)
-        print(f"winner memory: {bound.describe()}")
-        print(f"winner {comm.describe()}")
+        say(f"winner memory: {bound.describe()}")
+        say(f"winner {comm.describe()}")
         cert = comm.certificate(best.inter_node_bytes)
         if cert is not None:
-            print(
+            say(
                 f"winner certified within {cert:.2f}x of the "
                 "communication lower bound"
             )
@@ -147,7 +166,24 @@ def _run_single(args, cluster, ledger) -> int:
             None if not heuristic.feasible else heuristic.cost
         ),
     })
-    _print_metrics()
+    if not cli.emit(args, {
+        "workload": args.workload,
+        "nodes": args.nodes,
+        "sizes": {name: list(shape) for name, shape in sizes.items()},
+        "strategy": search.strategy,
+        "space": search.space_size,
+        "evaluations": search.evaluations,
+        "wall_s": round(wall, 4),
+        "decision": best.decision.encode(),
+        "tuned_cost_s": _cost_or_none(best),
+        "heuristic_cost_s": _cost_or_none(heuristic),
+        "errors": search.errors,
+        "illegal": len(illegal),
+        "answer": (
+            None if result.answer is None else result.answer.to_record()
+        ),
+    }):
+        cli.print_metrics()
     if illegal:
         print(
             "the winning candidate fails the legality verifier",
@@ -161,6 +197,7 @@ def _run_pipeline(args, cluster, ledger) -> int:
     from repro.pipeline import Pipeline
     from repro.tuner.joint import tune_pipeline
 
+    say = (lambda *a, **k: None) if args.json else print
     if args.size is not None:
         stages = pipeline_stages(args.pipeline, args.size)
     else:
@@ -171,7 +208,7 @@ def _run_pipeline(args, cluster, ledger) -> int:
         for stage in pipeline.stages
         for t in stage.assignment.tensors()
     }
-    print(
+    say(
         f"jointly tuning pipeline {args.pipeline} {shapes} on {cluster!r} "
         f"({cluster.num_processors} processors)"
     )
@@ -190,41 +227,51 @@ def _run_pipeline(args, cluster, ledger) -> int:
     )
     wall = time.monotonic() - start
 
-    print(result.describe())
+    say(result.describe())
     if result.report is not None:
-        print(result.report.describe())
+        say(result.report.describe())
     joint = result.report
     independent = result.independent_report
     if joint is not None and independent is not None:
         saved = (
             independent.combined.total_time - joint.combined.total_time
         )
-        print(
+        say(
             f"joint vs independent: "
             f"{joint.combined.total_time:.4f}s vs "
             f"{independent.combined.total_time:.4f}s "
             f"({saved:+.4f}s from joint scheduling)"
         )
-    print(
+    say(
         f"wall-clock: {wall:.2f}s "
         f"({result.combinations} combinations, "
         f"{result.evaluations} pipeline simulations)"
     )
 
+    joint_cost = None if joint is None else joint.combined.total_time
+    independent_cost = (
+        None if independent is None else independent.combined.total_time
+    )
     _append_perf(f"tune-pipeline:{args.pipeline}", wall, {
         "pipeline": args.pipeline,
         "nodes": args.nodes,
         "combinations": result.combinations,
         "evaluations": result.evaluations,
-        "joint_cost_s": (
-            None if joint is None else joint.combined.total_time
-        ),
-        "independent_cost_s": (
-            None if independent is None
-            else independent.combined.total_time
-        ),
+        "joint_cost_s": joint_cost,
+        "independent_cost_s": independent_cost,
     })
-    _print_metrics()
+    if not cli.emit(args, {
+        "pipeline": args.pipeline,
+        "nodes": args.nodes,
+        "sizes": {name: list(shape) for name, shape in shapes.items()},
+        "combinations": result.combinations,
+        "evaluations": result.evaluations,
+        "wall_s": round(wall, 4),
+        "joint_cost_s": joint_cost,
+        "independent_cost_s": independent_cost,
+        "errors": result.errors,
+    }):
+        cli.print_metrics()
     return result.errors
 
 
@@ -243,28 +290,7 @@ def main(argv=None) -> int:
         help="jointly tune a multi-kernel pipeline instead of a single "
         "kernel (per-stage schedules plus handoff formats)",
     )
-    parser.add_argument(
-        "--nodes", type=int, default=16, help="cluster node count"
-    )
-    parser.add_argument(
-        "--size",
-        type=int,
-        default=None,
-        help="problem side (default: the paper's weak-scaled size)",
-    )
-    parser.add_argument(
-        "--gpu", action="store_true", help="Lassen GPU nodes (4 V100s)"
-    )
-    parser.add_argument(
-        "--system-mem-gib",
-        type=int,
-        default=None,
-        help="override CPU node memory (smaller values force the "
-        "tuner off replication-heavy schedules)",
-    )
-    parser.add_argument(
-        "--jobs", type=int, default=1, help="parallel oracle workers"
-    )
+    cli.add_cluster_args(parser, nodes_default=16, system_mem=True)
     parser.add_argument(
         "--strategy", choices=["auto", "exhaustive", "beam"], default="auto"
     )
@@ -276,24 +302,9 @@ def main(argv=None) -> int:
         help="per-stage candidates the joint pipeline product ranges over",
     )
     parser.add_argument(
-        "--seed", type=int, default=0, help="deterministic search seed"
-    )
-    parser.add_argument(
         "--max-dims", type=int, default=3, help="max machine-grid rank"
     )
-    parser.add_argument(
-        "--ledger",
-        default=None,
-        help="tuning-ledger path (re-tunes are incremental)",
-    )
-    parser.add_argument(
-        "--timeout",
-        type=float,
-        default=None,
-        help="per-candidate wall-clock budget in seconds; a candidate "
-        "that exceeds it becomes an oracle error instead of hanging "
-        "the tune",
-    )
+    cli.add_common_args(parser, timeout=True)
     parser.add_argument(
         "--demo",
         action="store_true",
@@ -312,16 +323,8 @@ def main(argv=None) -> int:
         if args.pipeline is None:
             args.workload = "matmul"
 
-    if args.gpu:
-        cluster = Cluster.gpu_cluster(args.nodes)
-    elif args.system_mem_gib is not None:
-        cluster = Cluster.cpu_cluster(
-            args.nodes, system_mem_gib=args.system_mem_gib
-        )
-    else:
-        cluster = Cluster.cpu_cluster(args.nodes)
-
-    ledger = TuningLedger(args.ledger) if args.ledger else None
+    cluster = cli.build_cluster(args)
+    ledger = cli.make_ledger(args)
     try:
         if args.pipeline is not None:
             errors = _run_pipeline(args, cluster, ledger)
@@ -338,11 +341,7 @@ def main(argv=None) -> int:
             file=sys.stderr,
         )
         status = 1
-    if ledger is not None and ledger.save_failures:
-        print(
-            f"tuning ledger could not be written to {ledger.path}",
-            file=sys.stderr,
-        )
+    if cli.ledger_failed(ledger):
         status = 1
     return status
 

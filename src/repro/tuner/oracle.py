@@ -31,7 +31,7 @@ from collections import OrderedDict
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.analysis.prune import STATIC_OOM, prune_reason
 from repro.bench.cache import (
@@ -295,6 +295,11 @@ class TuningLedger:
 
     The ledger is a JSON object ``{"version": 1, "entries": {key:
     record}}`` with keys ``<workload signature>/<decision encoding>``.
+    The serving layer (:mod:`repro.serve`) additionally stores finished
+    canonical answers under an ``"answers"`` object keyed by request
+    fingerprint (see :mod:`repro.api`); the key is omitted entirely
+    while empty, so purely tuner-written ledgers keep their historical
+    byte layout.
     Writes go through a temporary file and ``os.replace`` so a crashed
     or concurrent tune can never truncate it; entries are sorted on
     save so equal tuning runs produce byte-identical files.
@@ -321,26 +326,39 @@ class TuningLedger:
         #: Entries recovered from a corrupt file at load time (the
         #: original was quarantined to ``<path>.corrupt``).
         self.salvaged = 0
+        #: Canonical serving answers keyed by request fingerprint
+        #: (:meth:`repro.api.ScheduleRequest.fingerprint`).
+        self.answers: Dict[str, Dict] = {}
         if self.path is not None:
-            self.entries = self._read_entries()
+            self.entries, self.answers = self._read()
 
-    def _read_entries(self) -> Dict[str, Dict]:
+    def _read(self) -> Tuple[Dict[str, Dict], Dict[str, Dict]]:
+        """The on-disk ``(entries, answers)`` maps (salvaging a corrupt
+        file recovers entries only — answers are re-derivable from a
+        re-tune, entries are the expensive part)."""
         if self.path is None or not self.path.exists():
-            return {}
+            return {}, {}
         try:
             text = self.path.read_text()
         except OSError:
-            return {}
+            return {}, {}
         try:
             data = json.loads(text)
         except json.JSONDecodeError:
             entries = self._salvage(text)
             self.salvaged += len(entries)
             self._quarantine(text)
-            return entries
+            return entries, {}
         if isinstance(data, dict) and isinstance(data.get("entries"), dict):
-            return data["entries"]
-        return {}
+            answers = data.get("answers")
+            if not isinstance(answers, dict):
+                answers = {}
+            return data["entries"], answers
+        return {}, {}
+
+    def _read_entries(self) -> Dict[str, Dict]:
+        entries, _answers = self._read()
+        return entries
 
     @staticmethod
     def _salvage(text: str) -> Dict[str, Dict]:
@@ -409,6 +427,14 @@ class TuningLedger:
         key = f"{wsig}/{outcome.decision.encode()}"
         self.entries[key] = outcome.to_record()
 
+    def get_answer(self, fingerprint: str) -> Optional[Dict]:
+        return self.answers.get(fingerprint)
+
+    def put_answer(self, fingerprint: str, record: Dict):
+        """Store a serving answer record ``{"request": ..., "answer":
+        ...}`` under its request fingerprint."""
+        self.answers[fingerprint] = record
+
     def save(self, stats: Optional[Dict] = None) -> bool:
         """Persist the ledger; returns False when the path is unset or
         the (atomic) write failed.
@@ -432,13 +458,19 @@ class TuningLedger:
             self.save_failures += 1
             return False
         with locked(self.path):
-            merged = self._read_entries()
+            merged, merged_answers = self._read()
             merged.update(self.entries)
+            merged_answers.update(self.answers)
             self.entries = merged
+            self.answers = merged_answers
             payload = {
                 "version": self.VERSION,
                 "entries": {k: merged[k] for k in sorted(merged)},
             }
+            if merged_answers:
+                payload["answers"] = {
+                    k: merged_answers[k] for k in sorted(merged_answers)
+                }
             if stats is not None:
                 payload["oracle_stats"] = stats
             text = json.dumps(payload, indent=1, sort_keys=True) + "\n"

@@ -328,6 +328,10 @@ class TuneResult:
     kernel: object
     report: object
     search: SearchOutcome
+    #: The canonical :class:`repro.api.ScheduleAnswer` when the tune
+    #: came through the unified API (``Kernel.tune``, the serving
+    #: daemon); ``None`` for direct :func:`tune` calls.
+    answer: object = None
 
     def describe(self) -> str:
         lines = [f"tuned schedule: {self.decision.describe()}"]
@@ -406,9 +410,18 @@ def tune(
     and simulated.
 
     ``warm_start`` injects a known-good decision from another machine
-    size (fault replanning's pre-failure winner): its same-rank grid
-    projections join the space and survive every beam cut, so the
-    re-tune can only improve on replaying the old structure.
+    size (fault replanning's pre-failure winner, or the serving
+    daemon's nearest tuned neighbor): its same-rank grid projections
+    join the space and survive every beam cut, so the re-tune can only
+    improve on replaying the old structure.
+
+    ``strategy="warm"`` goes further: instead of joining the full
+    space, the search is *restricted* to the warm neighborhood — the
+    warm start's grid projections plus the heuristic seed — and
+    evaluated exhaustively. That is the serving daemon's transfer
+    path: strictly fewer oracle simulations than a cold tune of the
+    same workload, at the cost of never out-exploring the neighbor's
+    structure. Requires ``warm_start``.
 
     ``objective="expected"`` optimizes expected cost under a per-phase
     failure probability of ``failure_rate`` instead of raw simulated
@@ -426,15 +439,25 @@ def tune(
             f"(expected 'total' or 'expected')"
         )
     p = cluster.num_processors
-    space = enumerate_space(assignment, p, max_dims=max_dims)
     if seed_grid is None:
         seed_grid = default_seed_grid(assignment, p)
     seed_decision = from_heuristic(assignment, seed_grid)
-    if seed_decision not in space:
-        space = sorted(space + [seed_decision], key=Decision.key)
     warm = []
     if warm_start is not None:
         warm = warm_variants(assignment, warm_start, p)
+    if strategy == "warm":
+        if warm_start is None:
+            raise ValueError("strategy='warm' requires a warm_start")
+        # The warm neighborhood only: no space enumeration at all —
+        # this is what makes a warm-started serve miss strictly
+        # cheaper than a cold tune.
+        space = sorted(
+            set(warm) | {seed_decision}, key=Decision.key
+        )
+    else:
+        space = enumerate_space(assignment, p, max_dims=max_dims)
+        if seed_decision not in space:
+            space = sorted(space + [seed_decision], key=Decision.key)
         extra = [d for d in warm if d not in set(space)]
         if extra:
             space = sorted(space + extra, key=Decision.key)
@@ -458,7 +481,7 @@ def tune(
             if len(space) <= EXHAUSTIVE_THRESHOLD
             else "beam"
         )
-    if strategy == "exhaustive":
+    if strategy in ("exhaustive", "warm"):
         ranked, rungs = exhaustive_search(assignment, oracle, space)
     elif strategy == "beam":
         ranked, rungs = beam_search(
@@ -474,7 +497,7 @@ def tune(
     else:
         raise ValueError(
             f"unknown strategy {strategy!r} "
-            f"(expected 'auto', 'exhaustive' or 'beam')"
+            f"(expected 'auto', 'exhaustive', 'beam' or 'warm')"
         )
     if objective == "expected":
         from repro.faults.objective import rerank_expected  # local: cycle

@@ -1,0 +1,131 @@
+"""The unified scheduling API: one request/answer pair everywhere.
+
+``repro.api`` is the contract the in-process ``Kernel.tune`` path, the
+wire protocol, and the ledger all share: the einsum text round-trips
+to the exact expression tree, the request record round-trips to the
+same fingerprint, and equal requests produce byte-identical canonical
+answers no matter which entry point tuned them.
+"""
+
+import json
+
+import pytest
+
+from repro.api import (
+    MachineSpec,
+    ScheduleAnswer,
+    ScheduleRequest,
+    assignment_of,
+    canonical_json,
+    einsum_of,
+    tune_request,
+)
+from repro.machine.cluster import Cluster
+from repro.tuner.workloads import WORKLOADS, sized
+
+
+class TestEinsumRoundTrip:
+    @pytest.mark.parametrize("name", sorted(WORKLOADS))
+    def test_round_trip_is_exact(self, name):
+        assignment = sized(name, 64)
+        text = einsum_of(assignment)
+        shapes = {t.name: list(t.shape) for t in assignment.tensors()}
+        rebuilt = assignment_of(
+            text, shapes, accumulate=assignment.accumulate
+        )
+        # repr equality means the identical expression tree: same
+        # operator associativity, same index-variable names.
+        assert repr(rebuilt) == repr(assignment)
+        assert einsum_of(rebuilt) == text
+
+    def test_matmul_text(self):
+        assert einsum_of(sized("matmul", 64)) == "A[i,j]=B[i,k]*C[k,j]"
+
+
+class TestRequestRecord:
+    def test_record_round_trip_preserves_fingerprint(self):
+        request = ScheduleRequest.from_assignment(
+            sized("mttkrp", 64), Cluster.cpu_cluster(2)
+        )
+        rebuilt = ScheduleRequest.from_record(
+            json.loads(json.dumps(request.to_record()))
+        )
+        assert rebuilt.fingerprint() == request.fingerprint()
+        assert rebuilt.structure_key() == request.structure_key()
+
+    def test_fingerprint_depends_on_options(self):
+        base = ScheduleRequest.from_assignment(
+            sized("matmul", 64), Cluster.cpu_cluster(1)
+        )
+        reseeded = ScheduleRequest.from_assignment(
+            sized("matmul", 64), Cluster.cpu_cluster(1), seed=7
+        )
+        bigger = ScheduleRequest.from_assignment(
+            sized("matmul", 128), Cluster.cpu_cluster(1)
+        )
+        assert base.fingerprint() != reseeded.fingerprint()
+        assert base.fingerprint() != bigger.fingerprint()
+        # Shapes are not part of the structure key: the 128 problem is
+        # the 64 problem's warm-transfer neighbor.
+        assert base.structure_key() == bigger.structure_key()
+
+    def test_machine_spec_round_trips_cluster(self):
+        for cluster in (Cluster.cpu_cluster(4), Cluster.gpu_cluster(2)):
+            spec = MachineSpec.from_cluster(cluster)
+            again = spec.to_cluster()
+            assert MachineSpec.from_cluster(again) == spec
+            assert again.num_processors == cluster.num_processors
+
+
+class TestTuneRequest:
+    def test_equal_requests_tune_byte_identically(self):
+        request = ScheduleRequest.from_assignment(
+            sized("matmul", 64), Cluster.cpu_cluster(1)
+        )
+        answers = [
+            canonical_json(tune_request(request).answer.canonical_record())
+            for _ in range(2)
+        ]
+        assert answers[0] == answers[1]
+
+    def test_kernel_tune_answer_matches_api_path(self):
+        from repro.core.kernel import Kernel
+
+        cluster = Cluster.cpu_cluster(1)
+        assignment = sized("matmul", 64)
+        request = ScheduleRequest.from_assignment(assignment, cluster)
+        via_api = tune_request(request)
+        via_kernel = Kernel.tune(assignment, cluster)
+        assert via_kernel.answer is not None
+        assert canonical_json(
+            via_kernel.answer.canonical_record()
+        ) == canonical_json(via_api.answer.canonical_record())
+        assert (
+            via_kernel.answer.request_fingerprint
+            == request.fingerprint()
+        )
+
+    def test_answer_record_round_trips(self):
+        request = ScheduleRequest.from_assignment(
+            sized("matmul", 64), Cluster.cpu_cluster(1)
+        )
+        answer = tune_request(request).answer
+        rebuilt = ScheduleAnswer.from_record(
+            json.loads(json.dumps(answer.to_record()))
+        )
+        assert rebuilt.canonical_record() == answer.canonical_record()
+        assert rebuilt.provenance == answer.provenance
+
+    def test_warm_strategy_simulates_fewer_candidates(self):
+        request = ScheduleRequest.from_assignment(
+            sized("matmul", 128), Cluster.cpu_cluster(2)
+        )
+        cold = tune_request(request)
+        warm = tune_request(
+            request,
+            warm_start=cold.search.best.decision,
+            strategy="warm",
+        )
+        assert warm.search.evaluations < cold.search.evaluations
+        assert warm.answer.provenance == "warm-started"
+        assert warm.answer.feasible

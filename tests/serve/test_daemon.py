@@ -1,0 +1,190 @@
+"""The serving daemon end to end: hits, misses, dedup, warm starts.
+
+One daemon per test (tiny workloads keep each tune well under a
+second); every test runs over a unix socket in a temp dir. Counter
+assertions are on *deltas* — the ``serve.*`` counters live in the
+process-global metrics registry.
+"""
+
+import contextlib
+import threading
+
+from repro.api import ScheduleRequest, canonical_json, tune_request
+from repro.machine.cluster import Cluster
+from repro.obs.metrics import METRICS
+from repro.serve.client import ScheduleClient
+from repro.serve.daemon import ScheduleServer, start_background
+from repro.serve.shard import ShardedLedger
+from repro.tuner.workloads import sized
+
+
+def _request(size=64, nodes=1, **options):
+    return ScheduleRequest.from_assignment(
+        sized("matmul", size), Cluster.cpu_cluster(nodes), **options
+    )
+
+
+@contextlib.contextmanager
+def serving(tmp_path, **kwargs):
+    server = ScheduleServer(
+        tmp_path / "ledger",
+        socket_path=str(tmp_path / "serve.sock"),
+        tune_jobs=1,
+        **kwargs,
+    )
+    handle = start_background(server)
+    try:
+        with ScheduleClient(
+            socket_path=server.socket_path, timeout=120.0
+        ) as client:
+            yield server, client
+    finally:
+        handle.stop()
+
+
+def _counter(name):
+    return METRICS.snapshot(sources=False).get(name, 0)
+
+
+class TestHitMiss:
+    def test_miss_tunes_then_hits_are_byte_identical(self, tmp_path):
+        request = _request()
+        offline = tune_request(request)
+        hits0, misses0 = _counter("serve.hits"), _counter("serve.misses")
+        with serving(tmp_path) as (server, client):
+            first = client.schedule(request)
+            assert first["status"] == "ok"
+            assert first["provenance"] == "tuned"
+            second = client.schedule(request)
+            assert second["provenance"] == "hit"
+        assert _counter("serve.misses") == misses0 + 1
+        assert _counter("serve.hits") == hits0 + 1
+        # The served hit is byte-identical to the offline in-process
+        # tune of the same request, and to the tuned miss before it.
+        for response in (first, second):
+            assert canonical_json(
+                _canonical(response["answer"])
+            ) == canonical_json(
+                _canonical(offline.answer.to_record())
+            )
+
+    def test_restart_serves_persisted_answers_as_hits(self, tmp_path):
+        request = _request()
+        with serving(tmp_path) as (server, client):
+            assert client.schedule(request)["provenance"] == "tuned"
+        # A fresh daemon over the same root rebuilds its index from
+        # the shards: no tuning, the answer is already a hit.
+        with serving(tmp_path) as (server, client):
+            assert len(server.index) == 1
+            assert client.schedule(request)["provenance"] == "hit"
+
+    def test_wait_false_returns_pending(self, tmp_path):
+        with serving(tmp_path) as (server, client):
+            request = _request()
+            pending = client.schedule(request, wait=False)
+            assert pending["status"] == "pending"
+            assert pending["fingerprint"] == request.fingerprint()
+            done = client.schedule(request)  # joins the same tune
+            assert done["status"] == "ok"
+
+    def test_bad_request_is_an_error_response(self, tmp_path):
+        errors0 = _counter("serve.errors")
+        with serving(tmp_path) as (server, client):
+            response = client._roundtrip({
+                "op": "schedule",
+                "request": {"einsum": "not an einsum ]["},
+            })
+            assert response["status"] == "error"
+        assert _counter("serve.errors") == errors0 + 1
+
+
+class TestDedupAndWarm:
+    def test_identical_inflight_misses_share_one_tune(self, tmp_path):
+        deduped0 = _counter("serve.deduped")
+        tunes0 = _counter("serve.tunes")
+        with serving(tmp_path) as (server, client):
+            request = _request(size=128)
+            client.schedule(request, wait=False)
+            client.schedule(request, wait=False)
+            final = client.schedule(request)
+            assert final["status"] == "ok"
+        assert _counter("serve.deduped") >= deduped0 + 1
+        assert _counter("serve.tunes") == tunes0 + 1
+
+    def test_miss_near_tuned_neighbor_warm_starts(self, tmp_path):
+        warm0 = _counter("serve.warm_started")
+        cold = tune_request(_request(size=128))
+        with serving(tmp_path) as (server, client):
+            assert client.schedule(_request())["provenance"] == "tuned"
+            warmed = client.schedule(_request(size=128))
+            assert warmed["provenance"] == "warm-started"
+            answer = warmed["answer"]
+            assert answer["evaluations"] < cold.search.evaluations
+            assert answer["cost"] != "infeasible"
+        assert _counter("serve.warm_started") == warm0 + 1
+        # Persisted with its true provenance, not rewritten to "hit".
+        ledger = ShardedLedger(tmp_path / "ledger")
+        record = ledger.get_answer(_request(size=128).fingerprint())
+        assert record["answer"]["provenance"] == "warm-started"
+
+    def test_no_warm_flag_disables_transfer(self, tmp_path):
+        warm0 = _counter("serve.warm_started")
+        with serving(tmp_path, warm_start=False) as (server, client):
+            client.schedule(_request())
+            warmed = client.schedule(_request(size=128))
+            assert warmed["provenance"] == "tuned"
+        assert _counter("serve.warm_started") == warm0
+
+
+class TestProtocolOps:
+    def test_ping_stats_shutdown(self, tmp_path):
+        with serving(tmp_path) as (server, client):
+            assert client.ping()
+            stats = client.stats()
+            assert stats["status"] == "ok"
+            assert stats["shards"] == server.ledger.shards
+            assert stats["answers"] == 0
+            assert client.shutdown()["stopping"]
+
+    def test_hits_do_not_block_on_inflight_tune(self, tmp_path):
+        request = _request()
+        slow = _request(size=256, nodes=2)
+        with serving(tmp_path) as (server, client):
+            client.schedule(request)  # seed one answer
+            client.schedule(slow, wait=False)  # cold tune in flight
+            responses = client.schedule_batch([request] * 50)
+            assert all(r["provenance"] == "hit" for r in responses)
+            done = client.schedule(slow)
+            assert done["status"] == "ok"
+
+
+def _canonical(answer_record):
+    from repro.api import ScheduleAnswer
+
+    return ScheduleAnswer.from_record(answer_record).canonical_record()
+
+
+def test_concurrent_clients(tmp_path):
+    """Many clients over one socket: every response routes home."""
+    request = _request()
+    with serving(tmp_path) as (server, client):
+        client.schedule(request)  # prime the index
+        results = []
+
+        def hammer():
+            with ScheduleClient(
+                socket_path=server.socket_path, timeout=120.0
+            ) as mine:
+                results.append(
+                    [mine.schedule(request)["provenance"]
+                     for _ in range(10)]
+                )
+
+        threads = [threading.Thread(target=hammer) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=60)
+    assert len(results) == 4
+    for provenances in results:
+        assert provenances == ["hit"] * 10

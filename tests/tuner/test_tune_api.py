@@ -162,24 +162,28 @@ class TestCliExitCodes:
         self, tmp_path, monkeypatch, capsys
     ):
         import repro.tune as tune_cli
+        import repro.tuner.search as search_mod
 
         monkeypatch.setenv(
             "REPRO_BENCH_LOG", str(tmp_path / "bench.json")
         )
-        real_tune = tune_cli.tune
+        real_tune = search_mod.tune
 
         def failing_tune(*args, **kwargs):
             result = real_tune(*args, **kwargs)
             result.search.errors = 3
             return result
 
-        monkeypatch.setattr(tune_cli, "tune", failing_tune)
+        # The CLI routes through api.tune_request, which resolves the
+        # engine from repro.tuner.search at call time — patch it there.
+        monkeypatch.setattr(search_mod, "tune", failing_tune)
         args = ["--workload", "matmul", "--nodes", "2", "--size", "1024"]
         assert tune_cli.main(args) == 1
         assert "simulation(s) failed" in capsys.readouterr().err
 
     def test_crash_exits_nonzero(self, tmp_path, monkeypatch, capsys):
         import repro.tune as tune_cli
+        import repro.tuner.search as search_mod
 
         monkeypatch.setenv(
             "REPRO_BENCH_LOG", str(tmp_path / "bench.json")
@@ -188,7 +192,7 @@ class TestCliExitCodes:
         def exploding_tune(*args, **kwargs):
             raise RuntimeError("oracle died")
 
-        monkeypatch.setattr(tune_cli, "tune", exploding_tune)
+        monkeypatch.setattr(search_mod, "tune", exploding_tune)
         args = ["--workload", "matmul", "--nodes", "2", "--size", "1024"]
         assert tune_cli.main(args) == 1
         assert "tuning run failed" in capsys.readouterr().err
