@@ -43,6 +43,11 @@ from repro.sim.params import MachineParams, LASSEN
 HIT = "hit"
 TUNED = "tuned"
 WARM_STARTED = "warm-started"
+#: The serving daemon's poison-request quarantine: N consecutive
+#: worker crashes produce a persisted infeasible answer with this
+#: provenance (see :mod:`repro.serve.supervise`) instead of re-tuning
+#: the crasher forever.
+QUARANTINED = "quarantined"
 
 
 def canonical_json(payload) -> str:

@@ -122,6 +122,19 @@ RATE_RULES = (
 #: baseline's to fail.
 MIN_RATE = 0.5
 
+#: Zero-stays-zero counters: a benchmark run where one of these was 0
+#: in the baseline and nonzero now regressed — a slow or failing path
+#: started firing. (The chaos soak triggers them *on purpose*, which
+#: is fine: the gate compares like-named records, and the soak's
+#: record legitimately carries nonzero values on both sides.)
+APPEARANCE_RULES = (
+    ("orbit.fallback_events", "orbit scalar fallbacks reappeared"),
+    ("serve.crashes", "serving tune workers started crashing"),
+    ("serve.quarantined", "serving requests started being quarantined"),
+    ("serve.shed", "serving daemon started shedding load"),
+    ("serve.drained", "serving waiters started hitting drain errors"),
+)
+
 CounterFinding = Tuple[str, str, float, float, str]
 
 
@@ -145,13 +158,13 @@ def compare_counters(
         if base_c is None:
             pre_schema.append(name)
             continue
-        base_fb = base_c.get("orbit.fallback_events", 0)
-        cur_fb = cur_c.get("orbit.fallback_events", 0)
-        if base_fb == 0 and cur_fb > 0:
-            findings.append((
-                name, "orbit.fallback_events", base_fb, cur_fb,
-                "orbit scalar fallbacks reappeared",
-            ))
+        for counter, description in APPEARANCE_RULES:
+            base_v = base_c.get(counter, 0)
+            cur_v = cur_c.get(counter, 0)
+            if base_v == 0 and cur_v > 0:
+                findings.append((
+                    name, counter, base_v, cur_v, description,
+                ))
         for label, num_key, den_key in RATE_RULES:
             if den_key is None:
                 # Rate against the step count rather than a miss twin.

@@ -15,12 +15,27 @@ The package splits into three layers:
 * :mod:`repro.faults.objective` — the tuner's ``objective="expected"``
   mode: expected runtime under a per-phase failure rate, with
   checkpoint placement as a decision
-  (:func:`expected_cost`, :func:`rerank_expected`).
+  (:func:`expected_cost`, :func:`rerank_expected`);
+* :mod:`repro.faults.chaos` — the same seeded discipline applied to
+  the *serving layer*: :class:`ChaosPlan` schedules worker kills,
+  poison requests, dropped connections, torn/oversized frames, and a
+  daemon restart, replayed by ``python -m repro.serve --chaos`` and
+  the chaos soak benchmark.
 
 ``python -m repro.faults --demo`` runs a deterministic end-to-end
 recovery scenario (also the CI fault-smoke job).
 """
 
+from repro.faults.chaos import (
+    ChaosController,
+    ChaosPlan,
+    DropConnection,
+    KillWorker,
+    OversizedLine,
+    PoisonRequest,
+    RestartDaemon,
+    TornLine,
+)
 from repro.faults.events import (
     FaultPlan,
     KillNode,
@@ -47,6 +62,14 @@ __all__ = [
     "FaultPlan",
     "KillNode",
     "Resize",
+    "ChaosPlan",
+    "ChaosController",
+    "KillWorker",
+    "PoisonRequest",
+    "DropConnection",
+    "TornLine",
+    "OversizedLine",
+    "RestartDaemon",
     "NodeFailure",
     "install_fault_hook",
     "lost_instances",

@@ -54,7 +54,20 @@ Number = Union[int, float]
 #: * ``serve.tunes`` — cold tunes completed by the fork-pool oracle;
 #: * ``serve.warm_started`` — tunes seeded from a tuned neighbor's
 #:   projected decision (strictly fewer simulations than cold);
-#: * ``serve.errors`` — requests that failed (bad einsum, tune error).
+#: * ``serve.errors`` — requests that failed (bad einsum, tune error,
+#:   oversized frame);
+#: * ``serve.shed`` — misses rejected by admission control (the
+#:   bounded in-flight set was full; ``status: "overloaded"``);
+#: * ``serve.crashes`` — tune-worker children that died without
+#:   delivering (SIGKILL, segfault, hard timeout);
+#: * ``serve.retried`` — crash retries dispatched with backoff;
+#: * ``serve.drained`` — waiters answered with the structured
+#:   ``"draining"`` error during shutdown;
+#: * ``serve.quarantined`` — requests cut off at the consecutive-crash
+#:   cap with a durable infeasible answer;
+#: * ``serve.reconnects`` — client-side connection rebuilds
+#:   (:class:`repro.serve.client.ScheduleClient` counts these in its
+#:   own process's registry).
 SERVE_COUNTERS = (
     "serve.hits",
     "serve.misses",
@@ -62,6 +75,12 @@ SERVE_COUNTERS = (
     "serve.tunes",
     "serve.warm_started",
     "serve.errors",
+    "serve.shed",
+    "serve.crashes",
+    "serve.retried",
+    "serve.drained",
+    "serve.quarantined",
+    "serve.reconnects",
 )
 
 

@@ -4,13 +4,16 @@ Usage::
 
     python -m repro.serve --ledger DIR [--socket PATH | --port N]
         [--jobs 2] [--shards 8] [--no-warm] [--timeout SECONDS]
+        [--max-pending 64] [--line-limit BYTES]
     python -m repro.serve --ledger DIR --migrate OLD_LEDGER.json
     python -m repro.serve --smoke [--json]
+    python -m repro.serve --chaos [--seed N] [--json]
 
 Default mode runs the daemon over the sharded ledger rooted at
-``--ledger`` until a client sends ``shutdown`` (or SIGINT). A unix
-socket (``--socket``) is preferred; without one the daemon binds
-localhost TCP.
+``--ledger`` until a client sends ``shutdown`` (or SIGINT/SIGTERM,
+both of which drain gracefully: no new tunes admitted, in-flight ones
+finished, waiters answered). A unix socket (``--socket``) is
+preferred; without one the daemon binds localhost TCP.
 
 ``--migrate`` reshards an existing single-file tuning ledger into the
 ``--ledger`` directory and exits (the source file is left untouched).
@@ -27,6 +30,16 @@ with the client, and exits non-zero unless
 * a pipelined hit burst completed while a cold tune was still
   running (the hit path never blocks on tuning);
 * the ``serve.*`` counters account for all of the above.
+
+``--chaos`` is the CI chaos-smoke job: a seeded
+:class:`repro.faults.chaos.ChaosPlan` (worker kills, a poison request,
+dropped connections, torn and oversized frames, one daemon restart
+mid-burst) replayed against a temporary daemon. It exits non-zero
+unless every healthy request's final answer is byte-identical to the
+offline tune, the poison request was quarantined at the crash cap, and
+the client recovered every injected failure. The JSON payload includes
+``answers_digest`` — equal seeds must produce equal digests, which is
+what the CI job asserts by running the scenario twice.
 """
 
 from __future__ import annotations
@@ -55,6 +68,10 @@ def _run_daemon(args) -> int:
         warm_start=not args.no_warm,
         timeout_s=args.timeout,
         shards=args.shards,
+        max_pending=args.max_pending,
+        quarantine_after=args.quarantine_after,
+        worker_retries=args.worker_retries,
+        line_limit=args.line_limit,
     )
     where = args.socket or f"{args.host}:{args.port}"
     print(
@@ -261,6 +278,204 @@ def hit_qps_text(rate: float) -> str:
     return f"{rate:,.0f} QPS"
 
 
+def _run_chaos(args) -> int:
+    """The CI chaos-smoke scenario (see the module docstring)."""
+    import hashlib
+    import tempfile
+
+    from repro.api import (
+        QUARANTINED,
+        ScheduleRequest,
+        canonical_json,
+        tune_request,
+    )
+    from repro.faults.chaos import ChaosController, ChaosPlan, PoisonRequest
+    from repro.machine.cluster import Cluster
+    from repro.serve.client import ScheduleClient
+    from repro.serve.daemon import ScheduleServer, start_background
+    from repro.tuner.workloads import sized
+
+    failures = []
+    seed = args.seed
+    healthy = [
+        ScheduleRequest.from_assignment(
+            sized("matmul", size), Cluster.cpu_cluster(1)
+        )
+        for size in (48, 64, 96)
+    ]
+    poison = ScheduleRequest.from_assignment(
+        sized("matmul", 80), Cluster.cpu_cluster(1)
+    )
+    poison_fp = poison.fingerprint()
+
+    # Offline ground truth through the same unified engine.
+    offline = {
+        r.fingerprint(): _canon(tune_request(r).answer.to_record())
+        for r in healthy
+    }
+
+    rounds = 4
+    operations = rounds * len(healthy) + 4
+    # kills=1 with worker_retries=1 and quarantine_after=2: a sampled
+    # kill costs a healthy request one retry, never a quarantine; only
+    # the poison request (crashes every attempt) reaches the cap.
+    plan = ChaosPlan.sample(
+        seed,
+        operations=operations,
+        dispatches=4,
+        kills=1,
+        drops=2,
+        torn=1,
+        oversized=1,
+        restart=True,
+    ).with_events(PoisonRequest(poison_fp))
+    restart_after = plan.restart_after() or (operations // 2)
+    controller = ChaosController(plan)
+
+    quarantine_after = 2
+
+    def new_server(tmp):
+        return ScheduleServer(
+            Path(tmp) / "ledger",
+            socket_path=str(Path(tmp) / "serve.sock"),
+            tune_jobs=args.jobs,
+            timeout_s=args.timeout,
+            worker_retries=1,
+            quarantine_after=quarantine_after,
+            retry_backoff_s=0.01,
+            chaos=controller,
+        )
+
+    answers = {}
+    poison_responses = []
+    with tempfile.TemporaryDirectory(prefix="repro-chaos-") as tmp:
+        server = new_server(tmp)
+        handle = start_background(server)
+        client = ScheduleClient(
+            socket_path=server.socket_path,
+            timeout=120.0,
+            retries=8,
+            backoff_s=0.05,
+            chaos=controller,
+        )
+        try:
+            # Fire-and-forget one request now; poll it after the
+            # restart (the rebuilt shard index must serve it).
+            pending_fp = healthy[0].fingerprint()
+            client.schedule(healthy[0], wait=False)
+
+            sequence = [
+                healthy[i % len(healthy)] for i in range(operations - 2)
+            ]
+            sequence.insert(2, poison)
+            completed = 0
+            restarted = False
+            for request in sequence:
+                fp = request.fingerprint()
+                response = client.schedule(request, deadline_s=120.0)
+                completed += 1
+                if fp == poison_fp:
+                    poison_responses.append(response)
+                elif response.get("status") == "ok":
+                    answers[fp] = _canon(response["answer"])
+                else:
+                    failures.append(
+                        f"healthy request {fp} failed: {response}"
+                    )
+                if not restarted and completed >= restart_after:
+                    restarted = True
+                    handle.stop()
+                    server = new_server(tmp)
+                    handle = start_background(server)
+
+            if not restarted:
+                handle.stop()
+                server = new_server(tmp)
+                handle = start_background(server)
+
+            polled = client.poll(pending_fp)
+            if polled.get("status") != "ok":
+                failures.append(
+                    f"poll after restart failed: {polled}"
+                )
+            elif _canon(polled["answer"]) != offline[pending_fp]:
+                failures.append(
+                    "polled answer diverged from the offline tune"
+                )
+            stats = client.stats()
+        finally:
+            client.close()
+            handle.stop()
+
+    for fp, canon in answers.items():
+        if canon != offline[fp]:
+            failures.append(
+                f"served answer for {fp} is not byte-identical to "
+                f"the offline tune"
+            )
+    missing = set(offline) - set(answers)
+    if missing:
+        failures.append(f"no final answer for {sorted(missing)}")
+
+    quarantined = [
+        r for r in poison_responses
+        if r.get("provenance") == QUARANTINED
+    ]
+    if not quarantined:
+        failures.append(
+            f"poison request was never quarantined: {poison_responses}"
+        )
+
+    counters = stats.get("counters", {})
+    if counters.get("serve.crashes", 0) < quarantine_after:
+        failures.append(
+            f"expected >= {quarantine_after} detected worker crashes, "
+            f"saw {counters.get('serve.crashes', 0)}"
+        )
+    if counters.get("serve.quarantined", 0) < 1:
+        failures.append("serve.quarantined never incremented")
+    if counters.get("serve.reconnects", 0) < 1:
+        failures.append(
+            "client never reconnected despite injected drops"
+        )
+
+    digest = hashlib.sha256(
+        canonical_json(
+            {fp: answers[fp] for fp in sorted(answers)}
+        ).encode()
+    ).hexdigest()
+    payload = {
+        "seed": seed,
+        "plan": plan.encode(),
+        "events_fired": {
+            "kills": controller.kills_fired,
+            "poison": controller.poison_fired,
+            "drops": controller.drops_fired,
+            "torn": controller.torn_fired,
+            "oversized": controller.oversized_fired,
+        },
+        "answers_digest": digest,
+        "counters": counters,
+        "failures": failures,
+    }
+    if not cli.emit(args, payload):
+        print(
+            f"chaos seed {seed}: plan [{plan.encode()}]\n"
+            f"  fired: {payload['events_fired']}\n"
+            f"  answers_digest: {digest}"
+        )
+        for name, value in sorted(counters.items()):
+            print(f"  {name} = {value}")
+    for failure in failures:
+        print(f"CHAOS FAILURE: {failure}", file=sys.stderr)
+    if not failures and not args.json:
+        print(
+            "chaos smoke OK: every answer byte-identical, poison "
+            "quarantined, client recovered every injected failure"
+        )
+    return 1 if failures else 0
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.serve",
@@ -299,16 +514,55 @@ def main(argv=None) -> int:
         help="self-contained hit/miss/warm trace against a temporary "
         "daemon; non-zero exit on any mismatch (the CI job)",
     )
+    parser.add_argument(
+        "--chaos",
+        action="store_true",
+        help="seeded chaos scenario (worker kills, poison request, "
+        "dropped/torn/oversized frames, daemon restart) against a "
+        "temporary daemon; non-zero exit unless every failure is "
+        "recovered (the CI chaos-smoke job)",
+    )
+    parser.add_argument(
+        "--max-pending",
+        type=int,
+        default=64,
+        help="distinct misses allowed in flight before the daemon "
+        "sheds with status 'overloaded'",
+    )
+    parser.add_argument(
+        "--quarantine-after",
+        type=int,
+        default=3,
+        help="consecutive worker crashes before a request is "
+        "quarantined with a durable infeasible answer",
+    )
+    parser.add_argument(
+        "--worker-retries",
+        type=int,
+        default=2,
+        help="crash retries per tune dispatch (with backoff)",
+    )
+    parser.add_argument(
+        "--line-limit",
+        type=int,
+        default=1 << 20,
+        help="per-line byte bound on the NDJSON stream (raise for "
+        "very large einsum requests)",
+    )
     cli.add_common_args(
-        parser, seed=False, timeout=True, jobs_default=2
+        parser, timeout=True, jobs_default=2
     )
     args = parser.parse_args(argv)
 
     try:
         if args.smoke:
             return _run_smoke(args)
+        if args.chaos:
+            return _run_chaos(args)
         if args.ledger is None:
-            parser.error("--ledger DIR is required (except for --smoke)")
+            parser.error(
+                "--ledger DIR is required (except --smoke/--chaos)"
+            )
         if args.migrate is not None:
             return _run_migrate(args)
         return _run_daemon(args)

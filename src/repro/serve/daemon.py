@@ -1,4 +1,4 @@
-"""The schedule-serving daemon: microsecond hits, forked-off misses.
+"""The schedule-serving daemon: microsecond hits, supervised misses.
 
 :class:`ScheduleServer` is a single-threaded asyncio server (unix
 socket preferred, localhost TCP as fallback) speaking the
@@ -9,12 +9,31 @@ two paths are deliberately asymmetric:
   dict from request fingerprint to the persisted canonical answer, so
   an exact hit is one hash lookup plus one ``writer.write`` —
   microseconds, and unaffected by whatever tuning is in flight.
-* **Misses** are queued, *deduplicated in flight* (concurrent
-  identical requests share one future and therefore one tune),
-  batched by a single consumer task, and dispatched through the
-  fork-pool sweep driver (:mod:`repro.serve.worker`) from an executor
-  thread with ``always_fork=True`` — the GIL-heavy search runs in
-  child processes, never in the loop's.
+* **Misses** are admission-controlled (a bounded in-flight set; beyond
+  it the daemon *sheds* with ``status: "overloaded"`` and a
+  retry-after hint rather than queueing unboundedly), *deduplicated in
+  flight* (concurrent identical requests share one future and
+  therefore one tune), and dispatched through the supervised forked
+  runner (:mod:`repro.serve.supervise`) — the GIL-heavy search runs in
+  child processes, never in the loop's, and a SIGKILL'd child is a
+  detected crash that retries with backoff instead of a hung pool.
+
+**Resilience semantics** (see ``docs/serving.md``):
+
+* A per-request ``deadline_s`` caps both the oracle's tune timeout and
+  the client's wait — on expiry the waiter gets a structured
+  ``code: "deadline"`` error while the tune finishes in the
+  background, pollable later.
+* SIGTERM or the ``shutdown`` op triggers a **graceful drain**: no new
+  misses are admitted (structured ``code: "draining"`` errors), hits
+  keep serving, in-flight tunes finish and answer their waiters, and
+  only then does the daemon exit. Waiters still unanswered at the
+  drain deadline get the same structured error — never a cancelled
+  future and a torn socket.
+* A request whose worker crashes ``quarantine_after`` consecutive
+  times is **quarantined**: a durable infeasible-with-reason answer is
+  persisted under its fingerprint (provenance ``"quarantined"``), so
+  restarts serve it as a hit instead of re-tuning a crasher forever.
 
 **Transfer warm-starting:** before dispatch, each miss looks for its
 nearest tuned neighbor — same einsum structure, dtype, objective and
@@ -35,22 +54,31 @@ from __future__ import annotations
 
 import asyncio
 import math
+import os
+import signal
 import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
-from functools import partial
 from pathlib import Path
 from typing import Dict, List, Optional, Tuple
 
-from repro.api import HIT, ScheduleRequest
-from repro.bench.parallel import run_points
+from repro.api import HIT, QUARANTINED, ScheduleRequest
 from repro.obs.metrics import METRICS
 from repro.serve import protocol
 from repro.serve.shard import ShardedLedger
+from repro.serve.supervise import (
+    QuarantineStore,
+    quarantined_answer,
+    run_supervised,
+)
 
 # Import for the side effect: registers the serve_tune_batch sweep in
-# this process, so forked pool workers inherit it resolved.
+# this process, so forked workers inherit it resolved.
 from repro.serve import worker as _worker  # noqa: F401
+
+#: Sentinel frame for a line that exceeded the stream limit (the frame
+#: was discarded but the stream is realigned on the next newline).
+_OVERSIZED = object()
 
 
 def _volume(record: Dict) -> float:
@@ -61,6 +89,16 @@ def _volume(record: Dict) -> float:
         for extent in shape:
             total *= max(1, extent)
     return total
+
+
+def _draining_row(fingerprint: str) -> Dict:
+    return {
+        "status": "error",
+        "code": "draining",
+        "fingerprint": fingerprint,
+        "error": "daemon is draining; this tune did not complete "
+                 "before shutdown — retry against its replacement",
+    }
 
 
 class ScheduleServer:
@@ -76,6 +114,13 @@ class ScheduleServer:
         warm_start: bool = True,
         timeout_s: Optional[float] = None,
         shards: Optional[int] = None,
+        max_pending: int = 64,
+        quarantine_after: int = 3,
+        worker_retries: int = 2,
+        retry_backoff_s: float = 0.05,
+        drain_timeout_s: float = 30.0,
+        line_limit: int = 1 << 20,
+        chaos=None,
     ):
         self.ledger = ShardedLedger(Path(ledger_root), shards=shards)
         self.socket_path = socket_path
@@ -84,6 +129,24 @@ class ScheduleServer:
         self.tune_jobs = max(1, tune_jobs)
         self.warm_start = warm_start
         self.timeout_s = timeout_s
+        #: Admission bound: distinct misses allowed in flight before
+        #: the daemon sheds with ``status: "overloaded"``.
+        self.max_pending = max(1, max_pending)
+        self.quarantine_after = max(1, quarantine_after)
+        self.worker_retries = max(0, worker_retries)
+        self.retry_backoff_s = retry_backoff_s
+        self.drain_timeout_s = drain_timeout_s
+        #: Per-line byte bound on the NDJSON stream — configurable for
+        #: genuinely large einsum requests; beyond it the daemon
+        #: answers a structured ``code: "oversized"`` error and stays
+        #: aligned on the connection.
+        self.line_limit = max(4096, line_limit)
+        #: Optional :class:`repro.faults.chaos.ChaosController` whose
+        #: worker-kill schedule the dispatcher consults per attempt.
+        self.chaos = chaos
+        self.quarantine = QuarantineStore(
+            Path(ledger_root), threshold=self.quarantine_after
+        )
         #: fingerprint -> {"request": record, "answer": record}
         self.index: Dict[str, Dict] = {}
         #: structure key -> fingerprints with a usable tuned answer.
@@ -91,15 +154,18 @@ class ScheduleServer:
         #: fingerprint -> future shared by identical in-flight misses.
         self.inflight: Dict[str, asyncio.Future] = {}
         self.started = time.monotonic()
+        self.draining = False
         self._server: Optional[asyncio.AbstractServer] = None
-        self._queue: Optional[asyncio.Queue] = None
-        self._consumer: Optional[asyncio.Task] = None
         self._stopped: Optional[asyncio.Future] = None
         self._connections: set = set()
-        # One dispatch thread: batches serialize behind each other by
-        # design (each dispatch fans out across the fork pool).
+        self._tunes: set = set()
+        #: Connections currently processing a message (response not
+        #: yet written) — drain completion waits for zero.
+        self._busy = 0
+        # One executor thread per concurrent supervised fork; the
+        # blocking pipe waits live here, never on the event loop.
         self._executor = ThreadPoolExecutor(
-            max_workers=1, thread_name_prefix="serve-tune"
+            max_workers=self.tune_jobs, thread_name_prefix="serve-tune"
         )
         for fingerprint, record in self.ledger.answers():
             self._index_answer(fingerprint, record)
@@ -113,6 +179,8 @@ class ScheduleServer:
             key = request.structure_key()
         except Exception:
             return  # unindexable for warm transfer; still a hit source
+        if record.get("answer", {}).get("provenance") == QUARANTINED:
+            return  # never a warm-start donor
         bucket = self.neighborhoods.setdefault(key, [])
         if fingerprint not in bucket:
             bucket.append(fingerprint)
@@ -146,6 +214,21 @@ class ScheduleServer:
 
     # -- request handling ----------------------------------------------
 
+    def _hit_response(self, fingerprint: str, cached: Dict) -> Dict:
+        METRICS.inc("serve.hits")
+        answer = dict(cached["answer"])
+        # Quarantined answers keep their provenance: the caller must
+        # see *why* the request is infeasible, not a plain hit.
+        provenance = (
+            QUARANTINED
+            if answer.get("provenance") == QUARANTINED
+            else HIT
+        )
+        answer["provenance"] = provenance
+        return protocol.ok_response(
+            fingerprint=fingerprint, provenance=provenance, answer=answer
+        )
+
     async def _handle_schedule(self, message: Dict) -> Dict:
         record = message.get("request")
         if not isinstance(record, dict):
@@ -163,19 +246,52 @@ class ScheduleServer:
 
         cached = self.index.get(fingerprint)
         if cached is not None:
-            METRICS.inc("serve.hits")
-            answer = dict(cached["answer"])
-            answer["provenance"] = HIT
-            return protocol.ok_response(
-                fingerprint=fingerprint, provenance=HIT, answer=answer
-            )
+            return self._hit_response(fingerprint, cached)
+
+        deadline_s = message.get("deadline_s")
+        if deadline_s is not None:
+            try:
+                deadline_s = max(0.001, float(deadline_s))
+            except (TypeError, ValueError):
+                return protocol.error_response(
+                    "deadline_s must be a number of seconds"
+                )
 
         future = self.inflight.get(fingerprint)
         if future is None:
+            if self.draining:
+                return protocol.error_response(
+                    "daemon is draining; not admitting new tunes",
+                    code="draining",
+                    fingerprint=fingerprint,
+                )
+            if self.quarantine.poisoned(fingerprint):
+                # Quarantined on a previous run but the answer never
+                # persisted (crashed between): synthesize it now.
+                return self._quarantine(
+                    fingerprint, record, self.quarantine.reason(fingerprint)
+                )
+            if len(self.inflight) >= self.max_pending:
+                METRICS.inc("serve.shed")
+                return {
+                    "status": "overloaded",
+                    "fingerprint": fingerprint,
+                    "error": (
+                        f"miss queue full ({self.max_pending} tunes "
+                        "in flight); retry later"
+                    ),
+                    "retry_after_s": self._retry_after_hint(),
+                    "protocol": protocol.PROTOCOL_VERSION,
+                }
             METRICS.inc("serve.misses")
-            future = asyncio.get_running_loop().create_future()
+            loop = asyncio.get_running_loop()
+            future = loop.create_future()
             self.inflight[fingerprint] = future
-            await self._queue.put((fingerprint, record))
+            task = loop.create_task(
+                self._tune_one(fingerprint, record, deadline_s)
+            )
+            self._tunes.add(task)
+            task.add_done_callback(self._tunes.discard)
         else:
             METRICS.inc("serve.deduped")
 
@@ -185,11 +301,28 @@ class ScheduleServer:
                 "fingerprint": fingerprint,
                 "protocol": protocol.PROTOCOL_VERSION,
             }
-        row = await asyncio.shield(future)
-        if row.get("status") != "ok":
+        try:
+            row = await asyncio.wait_for(
+                asyncio.shield(future), timeout=deadline_s
+            )
+        except asyncio.TimeoutError:
             return protocol.error_response(
+                f"deadline of {deadline_s}s expired before the tune "
+                "finished; the answer stays pollable by fingerprint",
+                code="deadline",
+                fingerprint=fingerprint,
+            )
+        return self._row_response(fingerprint, row)
+
+    def _row_response(self, fingerprint: str, row: Dict) -> Dict:
+        if row.get("status") != "ok":
+            response = protocol.error_response(
                 row.get("error", "tune failed")
             )
+            for key in ("code", "fingerprint"):
+                if key in row:
+                    response[key] = row[key]
+            return response
         answer = row["answer"]
         return protocol.ok_response(
             fingerprint=fingerprint,
@@ -197,16 +330,207 @@ class ScheduleServer:
             answer=answer,
         )
 
+    def _retry_after_hint(self) -> float:
+        """A crude shed hint: assume the current in-flight tunes clear
+        at a few seconds each across the worker slots."""
+        backlog = max(1, len(self.inflight))
+        return round(
+            min(30.0, 1.0 + 2.0 * backlog / max(1, self.tune_jobs)), 3
+        )
+
+    def _handle_poll(self, message: Dict) -> Dict:
+        fingerprint = message.get("fingerprint")
+        if not isinstance(fingerprint, str) or not fingerprint:
+            return protocol.error_response(
+                "poll op needs a 'fingerprint' string"
+            )
+        cached = self.index.get(fingerprint)
+        if cached is not None:
+            return self._hit_response(fingerprint, cached)
+        if fingerprint in self.inflight:
+            return {
+                "status": "pending",
+                "fingerprint": fingerprint,
+                "protocol": protocol.PROTOCOL_VERSION,
+            }
+        return protocol.error_response(
+            "no answer and no tune in flight for this fingerprint "
+            "(was it requested on this ledger root?)",
+            code="unknown-fingerprint",
+            fingerprint=fingerprint,
+        )
+
+    # -- the supervised tune path --------------------------------------
+
+    def _quarantine(
+        self, fingerprint: str, record: Dict, reason: str
+    ) -> Dict:
+        """Persist and index the durable infeasible answer for a
+        poison request; returns its ok-row response."""
+        METRICS.inc("serve.quarantined")
+        answer = quarantined_answer(fingerprint, reason)
+        entry = {"request": record, "answer": answer}
+        try:
+            self.ledger.put_answer(fingerprint, entry)
+            self.ledger.save()
+        except Exception:
+            pass  # the QUARANTINE.json count still blocks re-tunes
+        self._index_answer(fingerprint, entry)
+        return protocol.ok_response(
+            fingerprint=fingerprint,
+            provenance=QUARANTINED,
+            answer=answer,
+        )
+
+    def _dispatch_kwargs(
+        self, fingerprint: str, record: Dict,
+        deadline_s: Optional[float],
+    ) -> Dict:
+        warm: Dict[str, str] = {}
+        if self.warm_start:
+            try:
+                request = ScheduleRequest.from_record(record)
+                encoded = self._neighbor_decision(request, fingerprint)
+            except Exception:
+                encoded = None
+            if encoded:
+                warm[fingerprint] = encoded
+        timeout_s = self.timeout_s
+        if deadline_s is not None:
+            timeout_s = (
+                deadline_s
+                if timeout_s is None
+                else min(timeout_s, deadline_s)
+            )
+        return {
+            "records": [record],
+            "ledger_path": str(self.ledger.path),
+            "warm": warm,
+            "timeout_s": timeout_s,
+            "parent_pid": os.getpid(),
+        }
+
+    async def _tune_one(
+        self,
+        fingerprint: str,
+        record: Dict,
+        deadline_s: Optional[float] = None,
+    ):
+        """Run one miss through the supervised fork and resolve its
+        future — *always*, whatever the outcome shape."""
+        loop = asyncio.get_running_loop()
+        kwargs = self._dispatch_kwargs(fingerprint, record, deadline_s)
+
+        def dispatch():
+            def on_attempt(_attempt: int):
+                if self.chaos is not None:
+                    kwargs["chaos_kill"] = self.chaos.kill_worker(
+                        fingerprint
+                    )
+            return run_supervised(
+                "serve_tune_batch",
+                kwargs,
+                retries=self.worker_retries,
+                backoff_s=self.retry_backoff_s,
+                on_attempt=on_attempt,
+            )
+
+        row: Dict = {
+            "status": "error",
+            "fingerprint": fingerprint,
+            "error": "tune dispatch failed",
+        }
+        try:
+            status, result, crashes = await loop.run_in_executor(
+                self._executor, dispatch
+            )
+            if crashes:
+                total = self.quarantine.record_crashes(
+                    fingerprint, crashes, str(result)[:500]
+                )
+            if status == "ok":
+                self.quarantine.record_success(fingerprint)
+                rows = [
+                    r for r in result
+                    if r.get("fingerprint") == fingerprint
+                ]
+                if rows:
+                    row = rows[0]
+                else:
+                    # The worker returned a short batch (the bug class
+                    # the old zip silently truncated on): surface it as
+                    # a structured error instead of hanging the client.
+                    METRICS.inc("serve.errors")
+                    row = {
+                        "status": "error",
+                        "fingerprint": fingerprint,
+                        "error": "worker returned no row for this "
+                                 "request",
+                    }
+            elif status == "err":
+                row = {
+                    "status": "error",
+                    "fingerprint": fingerprint,
+                    "error": f"tune dispatch failed: {result}",
+                }
+            else:  # every attempt crashed
+                if total >= self.quarantine_after:
+                    response = self._quarantine(
+                        fingerprint, record, str(result)[:500]
+                    )
+                    row = {
+                        "status": "ok",
+                        "fingerprint": fingerprint,
+                        "answer": response["answer"],
+                    }
+                else:
+                    row = {
+                        "status": "error",
+                        "code": "crashed",
+                        "fingerprint": fingerprint,
+                        "error": (
+                            f"tune worker crashed {crashes}x "
+                            f"(consecutive total {total}): {result}"
+                        ),
+                    }
+        except Exception as err:
+            row = {
+                "status": "error",
+                "fingerprint": fingerprint,
+                "error": f"dispatch failed: {type(err).__name__}: {err}",
+            }
+        finally:
+            if (
+                row.get("status") == "ok"
+                and fingerprint not in self.index
+            ):
+                self._index_answer(
+                    fingerprint,
+                    {"request": record, "answer": row["answer"]},
+                )
+            future = self.inflight.pop(fingerprint, None)
+            if future is not None and not future.done():
+                future.set_result(row)
+
+    # -- connection handling -------------------------------------------
+
     def _stats(self) -> Dict:
+        snapshot = METRICS.snapshot(sources=False)
         counters = {
             name: value
-            for name, value in METRICS.snapshot(sources=False).items()
+            for name, value in snapshot.items()
             if name.startswith("serve.")
         }
+        from repro.obs.metrics import SERVE_COUNTERS
+
+        for name in SERVE_COUNTERS:
+            counters.setdefault(name, 0)
         return protocol.ok_response(
             counters=counters,
             answers=len(self.index),
             inflight=len(self.inflight),
+            draining=self.draining,
+            max_pending=self.max_pending,
             shards=self.ledger.shards,
             ledger=str(self.ledger.path),
             uptime_s=round(time.monotonic() - self.started, 3),
@@ -216,15 +540,43 @@ class ScheduleServer:
         op = message.get("op")
         if op == "schedule":
             return await self._handle_schedule(message)
+        if op == "poll":
+            return self._handle_poll(message)
         if op == "stats":
             return self._stats()
         if op == "ping":
             return protocol.ok_response(pong=True)
         if op == "shutdown":
-            if self._stopped is not None and not self._stopped.done():
-                self._stopped.set_result(None)
-            return protocol.ok_response(stopping=True)
+            self.begin_drain()
+            return protocol.ok_response(stopping=True, draining=True)
         return protocol.error_response(f"unknown op {op!r}")
+
+    async def _read_frame(self, reader):
+        """One NDJSON line, staying aligned past oversized input.
+
+        ``readuntil`` (not ``readline``) because its
+        :class:`~asyncio.LimitOverrunError` path leaves the buffer
+        intact: the oversized line is discarded byte-exactly up to its
+        newline and :data:`_OVERSIZED` returned, so the connection
+        keeps working at the very next frame. Returns ``b""`` at EOF
+        (including after a torn final line — nobody is left to answer).
+        """
+        try:
+            return await reader.readuntil(b"\n")
+        except asyncio.IncompleteReadError:
+            return b""
+        except asyncio.LimitOverrunError as err:
+            consumed = err.consumed
+            while True:
+                if consumed:
+                    await reader.readexactly(consumed)
+                try:
+                    await reader.readuntil(b"\n")  # the line's tail
+                    return _OVERSIZED
+                except asyncio.LimitOverrunError as again:
+                    consumed = again.consumed
+                except asyncio.IncompleteReadError:
+                    return b""
 
     async def _handle_connection(self, reader, writer):
         task = asyncio.current_task()
@@ -233,19 +585,33 @@ class ScheduleServer:
             task.add_done_callback(self._connections.discard)
         try:
             while True:
-                line = await reader.readline()
-                if not line:
+                frame = await self._read_frame(reader)
+                if frame is _OVERSIZED:
+                    METRICS.inc("serve.errors")
+                    writer.write(protocol.encode(protocol.error_response(
+                        f"line exceeds the {self.line_limit}-byte "
+                        "stream limit (raise --line-limit for large "
+                        "requests)",
+                        code="oversized",
+                    )))
+                    await writer.drain()
+                    continue
+                if not frame:
                     break
+                self._busy += 1
                 try:
-                    message = protocol.decode(line)
-                except Exception as err:
-                    response = protocol.error_response(
-                        f"undecodable message: {err}"
-                    )
-                else:
-                    response = await self._dispatch(message)
-                writer.write(protocol.encode(response))
-                await writer.drain()
+                    try:
+                        message = protocol.decode(frame)
+                    except Exception as err:
+                        response = protocol.error_response(
+                            f"undecodable message: {err}"
+                        )
+                    else:
+                        response = await self._dispatch(message)
+                    writer.write(protocol.encode(response))
+                    await writer.drain()
+                finally:
+                    self._busy -= 1
         except (ConnectionResetError, BrokenPipeError):
             pass
         finally:
@@ -255,94 +621,82 @@ class ScheduleServer:
             except Exception:
                 pass
 
-    # -- the miss consumer ---------------------------------------------
-
-    async def _consume(self):
-        loop = asyncio.get_running_loop()
-        while True:
-            first = await self._queue.get()
-            batch = [first]
-            while not self._queue.empty():
-                batch.append(self._queue.get_nowait())
-            per_point = []
-            for fingerprint, record in batch:
-                warm: Dict[str, str] = {}
-                if self.warm_start:
-                    try:
-                        request = ScheduleRequest.from_record(record)
-                        encoded = self._neighbor_decision(
-                            request, fingerprint
-                        )
-                    except Exception:
-                        encoded = None
-                    if encoded:
-                        warm[fingerprint] = encoded
-                per_point.append({
-                    "records": [record],
-                    "ledger_path": str(self.ledger.path),
-                    "warm": warm,
-                    "timeout_s": self.timeout_s,
-                })
-            try:
-                rows = await loop.run_in_executor(
-                    self._executor,
-                    partial(
-                        run_points,
-                        "serve_tune_batch",
-                        per_point,
-                        self.tune_jobs,
-                        None,
-                        True,  # always_fork: keep tuning off this loop
-                    ),
-                )
-            except Exception as err:
-                rows = [
-                    {
-                        "status": "error",
-                        "fingerprint": fp,
-                        "error": f"dispatch failed: {err}",
-                    }
-                    for fp, _record in batch
-                ]
-            for (fingerprint, record), row in zip(batch, rows):
-                if row.get("status") == "ok":
-                    self._index_answer(
-                        fingerprint,
-                        {"request": record, "answer": row["answer"]},
-                    )
-                future = self.inflight.pop(fingerprint, None)
-                if future is not None and not future.done():
-                    future.set_result(row)
-
     # -- lifecycle -----------------------------------------------------
+
+    def begin_drain(self):
+        """Stop admitting misses; exit once in-flight work settles."""
+        if self.draining:
+            return
+        self.draining = True
+        asyncio.get_running_loop().create_task(self._drain())
+
+    async def _drain(self):
+        deadline = time.monotonic() + self.drain_timeout_s
+        while time.monotonic() < deadline:
+            if not self.inflight and self._busy == 0:
+                break
+            await asyncio.sleep(0.02)
+        # Whoever is still waiting gets the structured drain error —
+        # a resolved future and a clean line, never a torn socket.
+        for fingerprint, future in list(self.inflight.items()):
+            if not future.done():
+                METRICS.inc("serve.drained")
+                future.set_result(_draining_row(fingerprint))
+        self.inflight.clear()
+        # One last grace window for those responses to flush.
+        grace = time.monotonic() + 2.0
+        while self._busy and time.monotonic() < grace:
+            await asyncio.sleep(0.02)
+        self.request_stop()
+
+    def request_stop(self):
+        if self._stopped is not None and not self._stopped.done():
+            self._stopped.set_result(None)
 
     async def start(self):
         loop = asyncio.get_running_loop()
-        self._queue = asyncio.Queue()
         self._stopped = loop.create_future()
-        self._consumer = loop.create_task(self._consume())
+        try:
+            loop.add_signal_handler(signal.SIGTERM, self.begin_drain)
+        except (ValueError, NotImplementedError, RuntimeError):
+            pass  # not the main thread (ServerHandle) or no signals
         if self.socket_path:
             self._server = await asyncio.start_unix_server(
-                self._handle_connection, path=str(self.socket_path)
+                self._handle_connection,
+                path=str(self.socket_path),
+                limit=self.line_limit,
             )
         else:
             self._server = await asyncio.start_server(
-                self._handle_connection, host=self.host, port=self.port
+                self._handle_connection,
+                host=self.host,
+                port=self.port,
+                limit=self.line_limit,
             )
             # Rebind to the kernel-assigned port when port=0 was asked.
             self.port = self._server.sockets[0].getsockname()[1]
 
     async def stop(self):
-        if self._consumer is not None:
-            self._consumer.cancel()
-        for task in list(self._connections):
+        pending = list(self._tunes) + list(self._connections)
+        for task in pending:
             task.cancel()
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
-        for future in self.inflight.values():
+        # The cancellations must actually run: a connection task's
+        # ``finally`` closes its transport, and skipping that leaves
+        # the client's socket open-but-dead — it would hang in read
+        # instead of seeing EOF and reconnecting to the restarted
+        # daemon.
+        if pending:
+            await asyncio.gather(*pending, return_exceptions=True)
+        await asyncio.sleep(0)  # let transport-close callbacks fire
+        # An abrupt stop (no drain) still resolves every waiter with
+        # the structured error rather than a cancelled future.
+        for fingerprint, future in self.inflight.items():
             if not future.done():
-                future.cancel()
+                METRICS.inc("serve.drained")
+                future.set_result(_draining_row(fingerprint))
         self.inflight.clear()
         self._executor.shutdown(wait=False)
         if self.socket_path:
@@ -377,12 +731,22 @@ class ServerHandle:
         asyncio.set_event_loop(self.loop)
         self.loop.run_until_complete(self.server.start())
         self._ready.set()
-        self.loop.run_forever()
+        # Waiting on the stop future (rather than run_forever) means a
+        # drain completed by the daemon itself — shutdown op, SIGTERM —
+        # ends the thread without any cross-thread loop.stop() dance.
+        self.loop.run_until_complete(self._await_stop())
         self.loop.run_until_complete(self.server.stop())
         self.loop.close()
 
+    async def _await_stop(self):
+        await self.server._stopped
+
     def stop(self):
-        self.loop.call_soon_threadsafe(self.loop.stop)
+        if self.thread.is_alive() and not self.loop.is_closed():
+            try:
+                self.loop.call_soon_threadsafe(self.server.request_stop)
+            except RuntimeError:
+                pass  # the loop closed between the checks
         self.thread.join(timeout=30)
 
 

@@ -6,23 +6,39 @@ the protocol never shows up next to a microsecond index lookup.
 
 Requests are objects with an ``op``:
 
-``{"op": "schedule", "request": {...}, "wait": true}``
+``{"op": "schedule", "request": {...}, "wait": true, "deadline_s": 30}``
     ``request`` is a :meth:`repro.api.ScheduleRequest.to_record` dict.
     A cached answer returns immediately with ``provenance: "hit"``.
     On a miss with ``wait`` true (the default) the response arrives
     once the tune finishes; with ``wait`` false the daemon responds
-    ``{"status": "pending"}`` right away and tunes in the background.
+    ``{"status": "pending"}`` right away and tunes in the background
+    (retrieve later with ``poll``). ``deadline_s`` (optional, seconds,
+    relative) bounds how long the *daemon* lets this request wait: it
+    caps the oracle's tune timeout and, on expiry, answers
+    ``status: "error"`` with ``code: "deadline"`` — the tune keeps
+    running and the answer stays pollable.
+
+``{"op": "poll", "fingerprint": "..."}``
+    Retrieve a previously requested answer by fingerprint: ``"ok"``
+    with the answer if tuned (on this daemon *or a restarted one* —
+    the rebuilt shard index serves it), ``"pending"`` while in flight,
+    or ``"error"`` with ``code: "unknown-fingerprint"``.
 
 ``{"op": "stats"}``
     Daemon counters (the ``serve.*`` metrics), ledger sizes, uptime.
 
 ``{"op": "ping"}`` / ``{"op": "shutdown"}``
-    Liveness probe / graceful stop.
+    Liveness probe / graceful drain (stop admitting misses, finish
+    in-flight tunes, then exit).
 
 Responses always carry ``status``: ``"ok"`` (with ``answer`` and
-``provenance`` for schedule ops), ``"pending"``, or ``"error"`` (with
-``error`` text). ``protocol`` carries :data:`PROTOCOL_VERSION` so
-clients can refuse a mismatched daemon.
+``provenance`` for schedule ops), ``"pending"``, ``"overloaded"``
+(the bounded miss queue is full — shed with a ``retry_after_s``
+hint), or ``"error"`` (with ``error`` text and, for structured
+failures, a machine-readable ``code``: ``"draining"``,
+``"deadline"``, ``"oversized"``, ``"crashed"``,
+``"unknown-fingerprint"``). ``protocol`` carries
+:data:`PROTOCOL_VERSION` so clients can refuse a mismatched daemon.
 """
 
 from __future__ import annotations
@@ -51,12 +67,16 @@ def decode(line: bytes) -> Dict:
     return message
 
 
-def error_response(text: str) -> Dict:
-    return {
+def error_response(text: str, **fields) -> Dict:
+    """An error line; ``fields`` attach structured context (``code``,
+    ``fingerprint``, ``retry_after_s``)."""
+    response = {
         "status": "error",
         "error": text,
         "protocol": PROTOCOL_VERSION,
     }
+    response.update(fields)
+    return response
 
 
 def ok_response(**fields) -> Dict:

@@ -14,6 +14,8 @@ from the pool itself.
 
 from __future__ import annotations
 
+import os
+import signal
 from typing import Dict, List, Optional
 
 from repro.api import ScheduleRequest, tune_request
@@ -28,6 +30,8 @@ def serve_tune_batch(
     ledger_path: Optional[str] = None,
     warm: Optional[Dict[str, str]] = None,
     timeout_s: Optional[float] = None,
+    chaos_kill: bool = False,
+    parent_pid: Optional[int] = None,
 ) -> List[Dict]:
     """Tune every request record; returns one row per request.
 
@@ -41,7 +45,19 @@ def serve_tune_batch(
     Rows are ``{"status": "ok", "fingerprint", "answer"}`` or
     ``{"status": "error", "fingerprint", "error"}`` — a bad request
     never poisons the batch.
+
+    ``chaos_kill`` is the seeded chaos harness's injection point
+    (:mod:`repro.faults.chaos`): the worker SIGKILLs *itself* right
+    where a real crash would lose the unpersisted answer. Guarded by
+    ``parent_pid`` so a no-fork platform (where the "worker" is the
+    daemon process) can never shoot the daemon.
     """
+    if (
+        chaos_kill
+        and parent_pid is not None
+        and os.getpid() != parent_pid
+    ):
+        os.kill(os.getpid(), signal.SIGKILL)
     warm = warm or {}
     ledger = open_ledger(ledger_path)
     rows: List[Dict] = []

@@ -1,0 +1,155 @@
+"""The serving chaos model: seeded plans, controller injection points.
+
+Mirrors ``tests/faults/test_events.py`` for :class:`ChaosPlan` — the
+plan must be deterministic per seed with a stable ``encode()`` — and
+pins the :class:`ChaosController` consult semantics the daemon and
+client rely on (one counter per injection point, fire-once events,
+poison overriding positional kills).
+"""
+
+import pytest
+
+from repro.faults.chaos import (
+    ChaosController,
+    ChaosPlan,
+    DropConnection,
+    KillWorker,
+    OversizedLine,
+    PoisonRequest,
+    RestartDaemon,
+    TornLine,
+)
+
+
+class TestPlan:
+    def test_equal_seeds_sample_byte_identical_plans(self):
+        a = ChaosPlan.sample(11, operations=20, dispatches=6)
+        b = ChaosPlan.sample(11, operations=20, dispatches=6)
+        assert a == b
+        assert a.encode() == b.encode()
+
+    def test_different_seeds_differ(self):
+        encodings = {
+            ChaosPlan.sample(seed, operations=50, dispatches=20).encode()
+            for seed in range(8)
+        }
+        assert len(encodings) > 1
+
+    def test_encode_is_stable_and_readable(self):
+        plan = ChaosPlan(
+            events=(
+                KillWorker(dispatch=3),
+                DropConnection(reply=1),
+                TornLine(send=2),
+                OversizedLine(send=4, size=8192),
+                RestartDaemon(after=5),
+                PoisonRequest(fingerprint="abcd1234"),
+            ),
+            seed=7,
+        )
+        assert plan.encode() == (
+            "seed=7;kill-worker(dispatch=3);drop(reply=1);torn(send=2);"
+            "oversized(send=4,size=8192);restart(after=5);"
+            "poison(fingerprint=abcd1234)"
+        )
+
+    def test_hand_built_plan_has_no_seed_prefix(self):
+        plan = ChaosPlan(events=(KillWorker(dispatch=0),))
+        assert plan.encode() == "kill-worker(dispatch=0)"
+
+    def test_sampled_event_counts_and_ranges(self):
+        plan = ChaosPlan.sample(
+            3, operations=10, dispatches=4, kills=2, drops=3, torn=1,
+            oversized=1, restart=True,
+        )
+        kills = [e for e in plan.events if isinstance(e, KillWorker)]
+        drops = [e for e in plan.events if isinstance(e, DropConnection)]
+        torn = [e for e in plan.events if isinstance(e, TornLine)]
+        oversized = [
+            e for e in plan.events if isinstance(e, OversizedLine)
+        ]
+        assert len(kills) == 2 and all(
+            0 <= e.dispatch < 4 for e in kills
+        )
+        assert len(drops) == 3 and all(0 <= e.reply < 10 for e in drops)
+        assert len(torn) == 1 and len(oversized) == 1
+        # The restart lands mid-stream, never at the edges.
+        assert 10 // 3 <= plan.restart_after() < 10
+
+    def test_restart_can_be_disabled(self):
+        plan = ChaosPlan.sample(
+            3, operations=10, dispatches=4, restart=False
+        )
+        assert plan.restart_after() is None
+
+    def test_with_events_extends_preserving_seed(self):
+        base = ChaosPlan.sample(5, operations=4, dispatches=2)
+        extended = base.with_events(PoisonRequest(fingerprint="ff00"))
+        assert extended.seed == 5
+        assert extended.events[:-1] == base.events
+        assert extended.events[-1] == PoisonRequest(fingerprint="ff00")
+
+    def test_sample_rejects_empty_ranges(self):
+        with pytest.raises(ValueError):
+            ChaosPlan.sample(1, operations=0, dispatches=4)
+        with pytest.raises(ValueError):
+            ChaosPlan.sample(1, operations=4, dispatches=0)
+
+
+class TestController:
+    def test_kill_fires_at_its_dispatch_index_once(self):
+        controller = ChaosController(
+            ChaosPlan(events=(KillWorker(dispatch=1),))
+        )
+        assert not controller.kill_worker("aa")   # dispatch 0
+        assert controller.kill_worker("aa")       # dispatch 1
+        assert not controller.kill_worker("aa")   # dispatch 2
+        assert controller.kills_fired == 1
+
+    def test_poison_fires_every_dispatch_regardless_of_index(self):
+        controller = ChaosController(
+            ChaosPlan(events=(PoisonRequest(fingerprint="bad"),))
+        )
+        assert all(controller.kill_worker("bad") for _ in range(4))
+        assert not controller.kill_worker("good")
+        assert controller.poison_fired == 4
+        assert controller.kills_fired == 0
+
+    def test_drop_fires_at_its_reply_index(self):
+        controller = ChaosController(
+            ChaosPlan(events=(DropConnection(reply=0),))
+        )
+        assert controller.drop_before_reply()
+        assert not controller.drop_before_reply()
+        assert controller.drops_fired == 1
+
+    def test_torn_fires_at_its_send_index(self):
+        controller = ChaosController(
+            ChaosPlan(events=(TornLine(send=2),))
+        )
+        fired = [controller.torn_send() for _ in range(4)]
+        assert fired == [False, False, True, False]
+        assert controller.torn_fired == 1
+
+    def test_oversized_peeks_the_send_counter_and_fires_once(self):
+        controller = ChaosController(
+            ChaosPlan(events=(OversizedLine(send=1, size=999),))
+        )
+        # The client consults torn_send() (advancing the counter) and
+        # then oversized_send() for the same request frame.
+        assert not controller.torn_send()           # send 0
+        assert controller.oversized_send() is None
+        assert not controller.torn_send()           # send 1
+        assert controller.oversized_send() == 999
+        assert not controller.torn_send()           # send 2
+        assert controller.oversized_send() is None  # fired already
+        assert controller.oversized_fired == 1
+
+    def test_torn_send_suppresses_oversized_at_the_same_index(self):
+        controller = ChaosController(
+            ChaosPlan(
+                events=(TornLine(send=0), OversizedLine(send=0))
+            )
+        )
+        assert controller.torn_send()
+        assert controller.oversized_send() is None

@@ -1,0 +1,390 @@
+"""The serving resilience layer: shedding, deadlines, drain, recovery.
+
+Everything ``docs/serving.md``'s resilience section promises, pinned:
+admission control sheds with a structured ``"overloaded"`` response, a
+per-request deadline answers a typed error while the tune finishes in
+the background, draining refuses new misses but keeps serving hits,
+oversized and torn frames never desync a connection, client timeouts
+poison the socket with a typed error, crashes retry and poison
+requests quarantine durably, and the client reconnects idempotently
+across drops and daemon restarts.
+"""
+
+import contextlib
+import time
+
+import pytest
+
+from repro.api import ScheduleRequest, canonical_json, tune_request
+from repro.faults.chaos import (
+    ChaosController,
+    ChaosPlan,
+    DropConnection,
+    KillWorker,
+    PoisonRequest,
+    TornLine,
+)
+from repro.machine.cluster import Cluster
+from repro.obs.metrics import METRICS
+from repro.serve.client import (
+    ConnectionLost,
+    RequestTimeout,
+    ScheduleClient,
+)
+from repro.serve.daemon import ScheduleServer, start_background
+from repro.serve.supervise import QUARANTINE_FILE
+from repro.tuner.workloads import sized
+
+
+def _request(size=64, nodes=1, **options):
+    return ScheduleRequest.from_assignment(
+        sized("matmul", size), Cluster.cpu_cluster(nodes), **options
+    )
+
+
+def _counter(name):
+    return METRICS.snapshot(sources=False).get(name, 0)
+
+
+def _canonical(answer_record):
+    from repro.api import ScheduleAnswer
+
+    return ScheduleAnswer.from_record(answer_record).canonical_record()
+
+
+@contextlib.contextmanager
+def serving(tmp_path, client_kwargs=None, **kwargs):
+    kwargs.setdefault("tune_jobs", 1)
+    server = ScheduleServer(
+        tmp_path / "ledger",
+        socket_path=str(tmp_path / "serve.sock"),
+        **kwargs,
+    )
+    handle = start_background(server)
+    try:
+        client_kwargs = dict(client_kwargs or {})
+        client_kwargs.setdefault("timeout", 120.0)
+        with ScheduleClient(
+            socket_path=server.socket_path, **client_kwargs
+        ) as client:
+            yield server, client
+    finally:
+        handle.stop()
+
+
+def _poll_until_ok(client, fingerprint, timeout=60.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        response = client.poll(fingerprint)
+        if response["status"] == "ok":
+            return response
+        assert response["status"] == "pending", response
+        time.sleep(0.05)
+    raise AssertionError(f"{fingerprint} never resolved")
+
+
+class TestAdmissionControl:
+    def test_full_miss_queue_sheds_with_retry_hint(self, tmp_path):
+        shed0 = _counter("serve.shed")
+        with serving(
+            tmp_path,
+            max_pending=1,
+            client_kwargs={"retries": 0},
+        ) as (server, client):
+            first = client.schedule(_request(48), wait=False)
+            assert first["status"] == "pending"
+            second = client.schedule(_request(96), wait=False)
+            assert second["status"] == "overloaded"
+            assert second["retry_after_s"] > 0
+            assert "full" in second["error"]
+            # Hits and polls still answer while the queue is full.
+            assert client.poll(first["fingerprint"])["status"] in (
+                "pending", "ok",
+            )
+            _poll_until_ok(client, first["fingerprint"])
+        assert _counter("serve.shed") == shed0 + 1
+
+    def test_client_retries_overloaded_until_admitted(self, tmp_path):
+        with serving(tmp_path, max_pending=1) as (server, client):
+            pending = client.schedule(_request(48), wait=False)
+            # The resilient path keeps retrying after the hint; the
+            # first tune finishes well within the retry budget.
+            answered = client.schedule(_request(96), deadline_s=90.0)
+            assert answered["status"] == "ok"
+            _poll_until_ok(client, pending["fingerprint"])
+
+
+class TestDeadlines:
+    def test_expired_deadline_is_typed_and_answer_stays_pollable(
+        self, tmp_path
+    ):
+        request = _request(96)
+        with serving(tmp_path) as (server, client):
+            response = client.schedule(request, deadline_s=0.001)
+            assert response["status"] == "error"
+            assert response["code"] == "deadline"
+            assert response["fingerprint"] == request.fingerprint()
+            # The tune was not cancelled — the answer (tuned under the
+            # deadline-capped oracle timeout, so possibly a truncated
+            # search) still arrives and is served.
+            done = _poll_until_ok(client, request.fingerprint())
+            assert done["provenance"] in ("tuned", "warm-started", "hit")
+
+    def test_bad_deadline_is_a_structured_error(self, tmp_path):
+        with serving(tmp_path) as (server, client):
+            response = client._roundtrip({
+                "op": "schedule",
+                "request": _request().to_record(),
+                "deadline_s": "soon",
+            })
+            assert response["status"] == "error"
+            assert "deadline_s" in response["error"]
+
+
+class TestDrain:
+    def test_draining_refuses_misses_but_serves_hits(self, tmp_path):
+        hot = _request(48)
+        with serving(tmp_path) as (server, client):
+            assert client.schedule(hot)["status"] == "ok"
+            server.draining = True  # drain flag only; daemon stays up
+            refused = client._roundtrip({
+                "op": "schedule",
+                "request": _request(96).to_record(),
+            })
+            assert refused["status"] == "error"
+            assert refused["code"] == "draining"
+            assert client.schedule(hot)["provenance"] == "hit"
+            server.draining = False  # let the fixture shut down clean
+
+    def test_shutdown_op_drains_and_stops(self, tmp_path):
+        with serving(tmp_path) as (server, client):
+            assert client.schedule(_request(48))["status"] == "ok"
+            response = client.shutdown()
+            assert response["stopping"] and response["draining"]
+
+
+class TestFrameDiscipline:
+    def test_oversized_line_answers_error_and_keeps_stream(
+        self, tmp_path
+    ):
+        errors0 = _counter("serve.errors")
+        with serving(tmp_path, line_limit=4096) as (server, client):
+            client._file.write(b"\x7b" * 8192 + b"\n")
+            client._file.flush()
+            response = client._recv()
+            assert response["status"] == "error"
+            assert response["code"] == "oversized"
+            # Same connection, next frame: fully functional.
+            assert client.ping()
+        assert _counter("serve.errors") == errors0 + 1
+
+    def test_torn_final_line_just_closes_the_connection(self, tmp_path):
+        with serving(tmp_path) as (server, client):
+            client._file.write(b'{"op": "pi')
+            client._file.flush()
+            client.close()
+            # The daemon survives the torn line; a fresh connection
+            # works immediately.
+            with ScheduleClient(
+                socket_path=server.socket_path, timeout=30.0
+            ) as fresh:
+                assert fresh.ping()
+
+
+class TestClientTimeout:
+    def test_timeout_poisons_the_connection_with_typed_error(
+        self, tmp_path
+    ):
+        request = _request(96)
+        with serving(
+            tmp_path, client_kwargs={"timeout": 0.05}
+        ) as (server, client):
+            with pytest.raises(RequestTimeout):
+                client.schedule(request)
+            assert client._file is None  # poisoned, never reused
+            # The next call reconnects; the tune kept running and the
+            # answer is (eventually) served from the index.
+            client._timeout = 120.0
+            _poll_until_ok(client, request.fingerprint())
+
+
+class TestPollAcrossRestarts:
+    def test_wait_false_poll_and_poll_after_daemon_restart(
+        self, tmp_path
+    ):
+        request = _request(64)
+        offline = tune_request(request).answer.to_record()
+        with serving(tmp_path) as (server, client):
+            pending = client.schedule(request, wait=False)
+            assert pending["status"] == "pending"
+            assert pending["fingerprint"] == request.fingerprint()
+            # A repeated wait=False schedule joins, never re-tunes.
+            again = client.schedule(request, wait=False)
+            assert again["status"] in ("pending", "ok")
+            first = _poll_until_ok(client, request.fingerprint())
+        # Restart over the same root: the fingerprint outlives the
+        # daemon, and the poll answers byte-identically from the
+        # rebuilt index.
+        with serving(tmp_path) as (server, client):
+            polled = client.poll(request.fingerprint())
+            assert polled["status"] == "ok"
+            assert polled["provenance"] == "hit"
+            for response in (first, polled):
+                assert canonical_json(
+                    _canonical(response["answer"])
+                ) == canonical_json(_canonical(offline))
+
+    def test_poll_of_unknown_fingerprint_is_typed(self, tmp_path):
+        with serving(tmp_path) as (server, client):
+            response = client.poll("no-such-fingerprint")
+            assert response["status"] == "error"
+            assert response["code"] == "unknown-fingerprint"
+
+
+class TestQuarantine:
+    def test_poison_request_quarantines_durably(self, tmp_path):
+        request = _request(48)
+        fingerprint = request.fingerprint()
+        controller = ChaosController(
+            ChaosPlan(events=(PoisonRequest(fingerprint=fingerprint),))
+        )
+        crashes0 = _counter("serve.crashes")
+        quarantined0 = _counter("serve.quarantined")
+        with serving(
+            tmp_path,
+            chaos=controller,
+            worker_retries=1,
+            quarantine_after=2,
+            retry_backoff_s=0.01,
+        ) as (server, client):
+            response = client.schedule(request, deadline_s=60.0)
+            assert response["status"] == "ok"
+            assert response["provenance"] == "quarantined"
+            answer = response["answer"]
+            assert answer["cost"] == "infeasible"
+            assert "died" in answer["quarantine_reason"]
+        assert _counter("serve.crashes") >= crashes0 + 2
+        assert _counter("serve.quarantined") == quarantined0 + 1
+        assert (tmp_path / "ledger" / QUARANTINE_FILE).exists()
+        # A restarted daemon serves the quarantined answer as an
+        # indexed hit — the crasher is never dispatched again (no
+        # chaos controller here: a dispatch would tune cleanly and
+        # betray the test).
+        with serving(tmp_path) as (server, client):
+            served = client.schedule(request)
+            assert served["provenance"] == "quarantined"
+        assert _counter("serve.crashes") == crashes0 + 2
+
+    def test_transient_crash_retries_to_success(self, tmp_path):
+        # One positional kill: the first dispatch dies, the retry
+        # tunes cleanly — no quarantine, correct answer.
+        request = _request(64)
+        controller = ChaosController(
+            ChaosPlan(events=(KillWorker(dispatch=0),))
+        )
+        quarantined0 = _counter("serve.quarantined")
+        retried0 = _counter("serve.retried")
+        with serving(
+            tmp_path,
+            chaos=controller,
+            worker_retries=2,
+            retry_backoff_s=0.01,
+        ) as (server, client):
+            response = client.schedule(request, deadline_s=60.0)
+            assert response["status"] == "ok"
+            assert response["provenance"] in ("tuned", "warm-started")
+            assert canonical_json(
+                _canonical(response["answer"])
+            ) == canonical_json(
+                _canonical(tune_request(request).answer.to_record())
+            )
+        assert _counter("serve.quarantined") == quarantined0
+        assert _counter("serve.retried") >= retried0 + 1
+
+
+class TestReconnect:
+    def test_dropped_connection_retries_idempotently(self, tmp_path):
+        request = _request(64)
+        controller = ChaosController(
+            ChaosPlan(events=(DropConnection(reply=0),))
+        )
+        with serving(
+            tmp_path,
+            client_kwargs={"chaos": controller, "backoff_s": 0.01},
+        ) as (server, client):
+            response = client.schedule(request, deadline_s=60.0)
+            assert response["status"] == "ok"
+            assert client.reconnects >= 1
+            assert canonical_json(
+                _canonical(response["answer"])
+            ) == canonical_json(
+                _canonical(tune_request(request).answer.to_record())
+            )
+
+    def test_torn_frame_resends_on_a_fresh_connection(self, tmp_path):
+        controller = ChaosController(
+            ChaosPlan(events=(TornLine(send=0),))
+        )
+        with serving(
+            tmp_path,
+            client_kwargs={"chaos": controller, "backoff_s": 0.01},
+        ) as (server, client):
+            response = client.schedule(_request(48), deadline_s=60.0)
+            assert response["status"] == "ok"
+            assert client.reconnects >= 1
+
+    def test_exhausted_retries_raise_connection_lost(self, tmp_path):
+        server = ScheduleServer(
+            tmp_path / "ledger",
+            socket_path=str(tmp_path / "serve.sock"),
+            tune_jobs=1,
+        )
+        handle = start_background(server)
+        client = ScheduleClient(
+            socket_path=server.socket_path,
+            timeout=5.0,
+            retries=2,
+            backoff_s=0.01,
+        )
+        try:
+            assert client.ping()
+            handle.stop()  # daemon gone for good; no replacement
+            with pytest.raises(ConnectionLost):
+                client.schedule(_request(48))
+        finally:
+            client.close()
+
+    def test_client_survives_daemon_restart_between_requests(
+        self, tmp_path
+    ):
+        request = _request(48)
+        server = ScheduleServer(
+            tmp_path / "ledger",
+            socket_path=str(tmp_path / "serve.sock"),
+            tune_jobs=1,
+        )
+        handle = start_background(server)
+        client = ScheduleClient(
+            socket_path=server.socket_path,
+            timeout=30.0,
+            backoff_s=0.01,
+        )
+        try:
+            assert client.schedule(request)["status"] == "ok"
+            handle.stop()
+            server = ScheduleServer(
+                tmp_path / "ledger",
+                socket_path=str(tmp_path / "serve.sock"),
+                tune_jobs=1,
+            )
+            handle = start_background(server)
+            # The old socket is dead; the client notices (EOF, not a
+            # hang) and reconnects to the replacement, which serves
+            # the persisted answer as a hit.
+            response = client.schedule(request)
+            assert response["status"] == "ok"
+            assert response["provenance"] == "hit"
+            assert client.reconnects >= 1
+        finally:
+            client.close()
+            handle.stop()
